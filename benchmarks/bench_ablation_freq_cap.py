@@ -1,0 +1,63 @@
+"""Frequency-capping ablation (paper Section VII: "power and frequency
+capping effectively reduce energy consumption but incur performance
+trade-offs under strict limits")."""
+
+from conftest import run_once
+
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.modes import ExecutionMode
+
+CLOCK_CAPS = (1.0, 0.8, 0.6, 0.4)
+
+
+def _sweep():
+    rows = []
+    for cap in CLOCK_CAPS:
+        config = ExperimentConfig(
+            gpu="A100",
+            model="gpt3-2.7b",
+            batch_size=16,
+            strategy="fsdp",
+            max_clock_frac=cap,
+            runs=1,
+        )
+        result = run_experiment(
+            config, modes=(ExecutionMode.OVERLAPPED, ExecutionMode.SEQUENTIAL)
+        )
+        stats = result.modes[ExecutionMode.OVERLAPPED]
+        avg, peak = result.power_vs_tdp(ExecutionMode.OVERLAPPED)
+        rows.append(
+            {
+                "clock_cap": cap,
+                "e2e_ms": stats.e2e_s * 1e3,
+                "avg_power_tdp": avg,
+                "peak_power_tdp": peak,
+                "energy_j": stats.energy_j,
+                "compute_slowdown": result.metrics.compute_slowdown,
+            }
+        )
+    return rows
+
+
+def test_frequency_capping(benchmark):
+    rows = run_once(benchmark, _sweep)
+    print()
+    print(f"{'cap':>5} {'e2e_ms':>9} {'avgP':>6} {'peakP':>6} {'energy_J':>9}")
+    for r in rows:
+        print(
+            f"{r['clock_cap']:>5.2f} {r['e2e_ms']:>9.1f} "
+            f"{r['avg_power_tdp']:>5.2f}x {r['peak_power_tdp']:>5.2f}x "
+            f"{r['energy_j']:>9.1f}"
+        )
+
+    # Lower clocks slow the iteration monotonically...
+    e2es = [r["e2e_ms"] for r in rows]
+    assert all(a <= b + 1e-6 for a, b in zip(e2es, e2es[1:]))
+    # ...and reduce average and peak power draw.
+    avgs = [r["avg_power_tdp"] for r in rows]
+    peaks = [r["peak_power_tdp"] for r in rows]
+    assert avgs[-1] < avgs[0]
+    assert peaks[-1] < peaks[0]
+    # Dynamic power falls faster than latency rises (f vs f^2.4): the
+    # strictest cap should cost less energy per iteration than uncapped.
+    assert rows[-1]["energy_j"] < rows[0]["energy_j"]

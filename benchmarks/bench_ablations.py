@@ -1,0 +1,23 @@
+"""Ablations of the contention-model design choices (DESIGN.md §8)."""
+
+from conftest import run_once
+
+from repro.harness.ablations import render_ablation, run_contention_ablation
+
+
+def test_contention_ablation(benchmark, quick):
+    rows = run_once(benchmark, run_contention_ablation)
+    print()
+    print(render_ablation(rows))
+
+    by_variant = {row["variant"]: row["compute_slowdown"] for row in rows}
+    full = by_variant["full_model"]
+    assert full > 0.10, "reference workload should show large slowdown"
+    # Removing SM stealing must explain a large share of the slowdown on
+    # AMD (RCCL's CU occupancy is the paper's vendor asymmetry).
+    assert by_variant["no_sm_stealing"] < full * 0.8
+    # Removing the HBM interference derate reduces slowdown too.
+    assert by_variant["no_interference"] <= full + 1e-9
+    # Every mechanism contributes non-negatively.
+    for name, value in by_variant.items():
+        assert value >= -0.01, (name, value)

@@ -1,0 +1,40 @@
+"""Fig. 10: numeric precision (FP32 vs FP16) ablation."""
+
+from conftest import run_once
+
+from repro.harness.figures import fig10
+
+
+def test_fig10_precision(benchmark, quick):
+    rows = run_once(benchmark, fig10.generate, quick=quick)
+    print()
+    print(fig10.render(rows))
+    ran = [r for r in rows if not r.get("skipped")]
+    assert ran
+
+    def cell(model, batch, precision):
+        for r in ran:
+            if (
+                r["model"] == model
+                and r["batch"] == batch
+                and r["precision"] == precision
+            ):
+                return r
+        return None
+
+    pairs = {(r["model"], r["batch"]) for r in ran}
+    for model, batch in pairs:
+        fp32 = cell(model, batch, "fp32")
+        fp16 = cell(model, batch, "fp16")
+        if fp32 is None or fp16 is None:
+            continue
+        # FP16 is much faster end-to-end...
+        assert fp16["e2e_ms"] < fp32["e2e_ms"], (model, batch)
+        # ...and raises the overlap ratio (compute shrinks faster than
+        # communication), which is what intensifies contention for the
+        # bigger workloads (paper takeaway 7).
+        assert fp16["overlap_ratio"] > fp32["overlap_ratio"], (model, batch)
+        assert fp16["compute_slowdown"] >= fp32["compute_slowdown"] - 0.005, (
+            model,
+            batch,
+        )

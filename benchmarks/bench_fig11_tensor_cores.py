@@ -1,0 +1,44 @@
+"""Fig. 11: tensor-core (TF32) vs vector FP32 ablation."""
+
+from conftest import run_once
+
+from repro.harness.figures import fig11
+
+
+def test_fig11_tensor_cores(benchmark, quick):
+    rows = run_once(benchmark, fig11.generate, quick=quick)
+    print()
+    print(fig11.render(rows))
+    ran = [r for r in rows if not r.get("skipped")]
+    assert ran
+
+    def cell(model, batch, datapath):
+        for r in ran:
+            if (
+                r["model"] == model
+                and r["batch"] == batch
+                and r["datapath"] == datapath
+            ):
+                return r
+        return None
+
+    pairs = {(r["model"], r["batch"]) for r in ran}
+    checked = 0
+    for model, batch in pairs:
+        vector = cell(model, batch, "fp32-vector")
+        tensor = cell(model, batch, "tf32-tensor")
+        if vector is None or tensor is None:
+            continue
+        checked += 1
+        # Tensor cores accelerate compute...
+        assert tensor["e2e_ms"] < vector["e2e_ms"], (model, batch)
+        # ...which raises the overlap ratio and with it the slowdown
+        # (the paper's GPT-3 6.7B b16 case: 4.3% -> 7.3%).
+        assert tensor["overlap_ratio"] > vector["overlap_ratio"], (
+            model,
+            batch,
+        )
+        assert (
+            tensor["compute_slowdown"] >= vector["compute_slowdown"] - 0.005
+        ), (model, batch)
+    assert checked > 0

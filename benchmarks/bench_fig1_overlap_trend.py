@@ -1,0 +1,32 @@
+"""Fig. 1: overlap amount grows with model size and batch size."""
+
+from collections import defaultdict
+
+from conftest import run_once
+
+from repro.harness.figures import fig1
+
+
+def test_fig1_overlap_trend(benchmark, quick):
+    rows = run_once(benchmark, fig1.generate, quick=quick)
+    print()
+    print(fig1.render(rows))
+
+    # Panel (a): for FSDP on H100x8, the absolute overlapped time grows
+    # with batch size for each model (Fig. 1a's trend).
+    fsdp = [r for r in rows if r["strategy"] == "fsdp"]
+    by_model = defaultdict(list)
+    for row in sorted(fsdp, key=lambda r: r["batch"]):
+        by_model[row["model"]].append(row["overlapped_ms"])
+    for model, series in by_model.items():
+        assert series == sorted(series), (
+            f"overlapped time should grow with batch for {model}: {series}"
+        )
+
+    # Panel (b): PP overlapped amount grows with batch size.
+    pp = sorted(
+        (r for r in rows if r["strategy"] == "pipeline"),
+        key=lambda r: r["batch"],
+    )
+    amounts = [r["overlapped_ms"] for r in pp]
+    assert amounts == sorted(amounts), amounts

@@ -1,0 +1,33 @@
+"""Fig. 6: power consumption across GPUs and workloads."""
+
+from conftest import run_once
+
+from repro.harness.figures import fig6
+
+
+def test_fig6_power(benchmark, quick):
+    rows = run_once(benchmark, fig6.generate, quick=quick)
+    print()
+    print(fig6.render(rows))
+    assert rows
+
+    # Overlapping raises peak power versus sequential execution for the
+    # communication-heavy FSDP cells (paper: up to ~25% higher peaks).
+    fsdp = [r for r in rows if r["strategy"] == "fsdp"]
+    raised = [r for r in fsdp if r["peak_increase_from_overlap"] > 0]
+    assert len(raised) >= len(fsdp) // 2, (
+        "overlap should raise peak power on most FSDP cells"
+    )
+    assert all(
+        r["peak_increase_from_overlap"] < 0.6 for r in fsdp
+    ), "peak increases should stay in a plausible band"
+
+    # Sampled power stays within physical bounds (idle .. 1.5x TDP).
+    for r in rows:
+        for key in (
+            "avg_power_overlap_tdp",
+            "peak_power_overlap_tdp",
+            "avg_power_sequential_tdp",
+            "peak_power_sequential_tdp",
+        ):
+            assert 0.0 < r[key] < 1.5, (key, r)

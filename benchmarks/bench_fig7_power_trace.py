@@ -1,0 +1,28 @@
+"""Fig. 7: MI250 power time-trace during LLaMA2-13B training."""
+
+from conftest import run_once
+
+from repro.harness.figures import fig7
+
+
+def test_fig7_power_trace(benchmark, quick):
+    data = run_once(benchmark, fig7.generate, quick=quick)
+    print()
+    print(fig7.render(data))
+
+    samples = data["samples"]
+    assert len(samples) > 100, "1 ms sampling should yield a dense trace"
+    assert data["overlap_windows"], "training must contain overlap windows"
+
+    # Power spikes align with overlap: the mean sampled power inside
+    # overlap windows exceeds the mean outside them.
+    def in_overlap(t):
+        return any(
+            w["start_norm"] <= t <= w["end_norm"]
+            for w in data["overlap_windows"]
+        )
+
+    inside = [s["power_tdp"] for s in samples if in_overlap(s["t_norm"])]
+    outside = [s["power_tdp"] for s in samples if not in_overlap(s["t_norm"])]
+    assert inside and outside
+    assert sum(inside) / len(inside) > sum(outside) / len(outside)

@@ -1,0 +1,23 @@
+"""Fig. 8: N x N matmul concurrent with a 1 GB all-reduce."""
+
+from conftest import run_once
+
+from repro.harness.figures import fig8
+
+
+def test_fig8_microbench(benchmark, quick):
+    rows = run_once(benchmark, fig8.generate, quick=quick)
+    print()
+    print(fig8.render(rows))
+    assert rows
+
+    for row in rows:
+        # Overlapping a collective always slows the GEMM loop and raises
+        # average power (paper takeaway 6).
+        assert row["slowdown"] > 0.0, row
+        assert (
+            row["avg_power_overlap_tdp"] > row["avg_power_isolated_tdp"]
+        ), row
+        assert (
+            row["peak_power_overlap_tdp"] >= row["peak_power_isolated_tdp"]
+        ), row

@@ -1,0 +1,32 @@
+"""Fig. 9: power capping amplifies overlap slowdowns (A100 x 4)."""
+
+from conftest import run_once
+
+from repro.harness.figures import fig9
+
+
+def test_fig9_power_capping(benchmark, quick):
+    rows = run_once(benchmark, fig9.generate, quick=quick)
+    print()
+    print(fig9.render(rows))
+    assert rows
+
+    by_cap = {row["cap_w"]: row for row in rows}
+    caps = sorted(by_cap)
+    # Tighter caps make everything slower, monotonically.
+    e2e = [by_cap[c]["e2e_overlapped_ms"] for c in caps]
+    assert e2e == sorted(e2e, reverse=True), e2e
+
+    # The strictest cap (100 W) roughly doubles overlapped execution
+    # time (the paper reports up to ~107%).
+    strictest = by_cap[min(caps)]
+    assert strictest["overlap_slowdown_vs_uncapped"] > 0.7, strictest
+
+    # Power contention hits the overlapped scenario harder than the
+    # sequential one at every capped point.
+    for cap in caps[:-1]:
+        row = by_cap[cap]
+        assert (
+            row["overlap_slowdown_vs_uncapped"]
+            >= row["sequential_slowdown_vs_uncapped"] - 1e-6
+        ), row

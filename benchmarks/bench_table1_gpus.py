@@ -1,0 +1,18 @@
+"""Table I: GPUs evaluated (datasheet registry)."""
+
+from conftest import run_once
+
+from repro.harness.tables import render_table1, table1_gpus
+
+
+def test_table1_gpus(benchmark):
+    rows = run_once(benchmark, table1_gpus)
+    assert len(rows) == 4
+    by_gpu = {r["gpu"]: r for r in rows}
+    # The exact numbers Table I prints.
+    assert by_gpu["A100"]["peak_fp32_tflops"] == 19.5
+    assert by_gpu["H100"]["peak_fp16_tflops"] == 1979.0
+    assert by_gpu["MI210"]["memory_gb"] == 64
+    assert by_gpu["MI250"]["peak_fp16_tflops"] == 362.1
+    print()
+    print(render_table1())

@@ -1,0 +1,20 @@
+"""Table II: workloads evaluated (model registry)."""
+
+from conftest import run_once
+
+from repro.harness.tables import render_table2, table2_workloads
+
+
+def test_table2_workloads(benchmark):
+    rows = run_once(benchmark, table2_workloads)
+    assert len(rows) == 5
+    by_model = {r["model"]: r for r in rows}
+    assert by_model["gpt3-xl"]["layers"] == 24
+    assert by_model["gpt3-13b"]["hidden_dim"] == 5120
+    assert by_model["llama2-13b"]["attention_heads"] == 40
+    # Parameter counts derived from the architecture land near the
+    # nominal sizes of Table II.
+    assert 1.1 <= by_model["gpt3-xl"]["parameters_b"] <= 1.5
+    assert 12.0 <= by_model["gpt3-13b"]["parameters_b"] <= 14.0
+    print()
+    print(render_table2())

@@ -1,0 +1,14 @@
+"""The paper's seven takeaways, validated end to end."""
+
+from conftest import run_once
+
+from repro.analysis.takeaways import render_takeaways, validate_takeaways
+
+
+def test_all_takeaways_hold(benchmark):
+    checks = run_once(benchmark, validate_takeaways, runs=1)
+    print()
+    print(render_takeaways(checks))
+    assert len(checks) == 7
+    failed = [c.number for c in checks if not c.holds]
+    assert not failed, f"takeaways violated: {failed}"

@@ -1,0 +1,56 @@
+"""Which contention mechanism causes the slowdown? A model autopsy.
+
+The simulator attributes the overlap-induced compute slowdown to three
+first-order mechanisms: SM/CU channel stealing by NCCL/RCCL, HBM
+bandwidth consumed by collective traffic, and an interference derate on
+top (DRAM row conflicts, L2 thrash). This example dissects a workload
+two ways:
+
+* a **tornado analysis** sweeping each calibration coefficient +-50%
+  and ranking them by how much the slowdown moves;
+* a **mechanism attribution** that switches each mechanism off entirely
+  and reports how much slowdown it recovers.
+
+Comparing an NVIDIA and an AMD part shows why the paper's MI2xx systems
+slow down more at the same overlap ratio: the SM-stealing term
+dominates on RCCL, not the bandwidth term.
+
+Run:
+    python examples/contention_mechanisms.py
+"""
+
+from repro.analysis.sensitivity import (
+    mechanism_attribution,
+    render_tornado,
+    tornado,
+)
+from repro.core.experiment import ExperimentConfig
+
+
+def main() -> None:
+    for gpu in ("A100", "MI210"):
+        config = ExperimentConfig(
+            gpu=gpu,
+            model="gpt3-xl",
+            batch_size=8,
+            strategy="fsdp",
+            runs=1,
+        )
+        print(f"=== {config.describe()} ===")
+        bars = tornado(config, rel_delta=0.5)
+        print(render_tornado(bars))
+        print()
+
+        attribution = mechanism_attribution(config)
+        total = attribution.pop("total")
+        print(f"total slowdown {total * 100:.1f}%, recovered by disabling:")
+        for name, recovered in sorted(
+            attribution.items(), key=lambda kv: kv[1], reverse=True
+        ):
+            share = recovered / total if total else 0.0
+            print(f"  {name:<18} {recovered * 100:5.2f}pp ({share * 100:4.0f}%)")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quickstart: simulate one FSDP training iteration and inspect overlap.
+
+Builds a 4x H100 node, runs GPT-3 2.7B under FSDP in the three
+execution modes the paper compares (overlapped, sequential, ideal) and
+prints the headline metrics: compute slowdown due to overlap, overlap
+ratio, end-to-end latency per mode, and sampled power.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.modes import ExecutionMode
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        gpu="H100",
+        model="gpt3-2.7b",
+        batch_size=16,
+        strategy="fsdp",
+        runs=3,
+    )
+    print(f"running: {config.describe()}")
+    result = run_experiment(config)
+
+    metrics = result.metrics
+    print()
+    print(f"compute (overlapped):  {metrics.compute_overlapping_s * 1e3:8.2f} ms")
+    print(f"compute (isolated):    {metrics.compute_sequential_s * 1e3:8.2f} ms")
+    print(f"compute slowdown:      {metrics.compute_slowdown * 100:8.1f} %")
+    print(f"overlap ratio:         {metrics.overlap_ratio * 100:8.1f} %")
+    print()
+    for mode in (
+        ExecutionMode.OVERLAPPED,
+        ExecutionMode.SEQUENTIAL,
+        ExecutionMode.IDEAL,
+    ):
+        stats = result.modes[mode]
+        avg, peak = result.power_vs_tdp(mode)
+        print(
+            f"{mode.value:>11}: e2e {stats.e2e_s * 1e3:8.2f} ms"
+            f"  avg power {avg:5.2f}x TDP  peak {peak:5.2f}x TDP"
+            f"  energy {stats.energy_j:7.1f} J"
+        )
+
+    print()
+    seq_penalty = metrics.sequential_vs_overlapped
+    gap_to_ideal = metrics.overlapped_vs_ideal
+    print(
+        f"sequential is {seq_penalty * 100:.1f}% slower than overlapped; "
+        f"overlapped is {gap_to_ideal * 100:.1f}% slower than ideal "
+        f"(the contention gap the paper characterizes)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Scaling study: how overlap and contention evolve from 2 to 8 GPUs.
+
+Fixes the per-GPU batch (weak scaling) and grows the FSDP world size.
+More ranks mean more wire traffic per parameter (the ring's (N-1)/N
+factor), longer rendezvous chains and — past four ranks — a live
+ring-vs-tree algorithm choice for the all-reduces. The overlap ratio
+climbs with world size while the compute slowdown climbs with it: the
+scaling limit the paper's introduction motivates.
+
+Run:
+    python examples/scaling_study.py [--gpu H100] [--model gpt3-2.7b]
+"""
+
+import argparse
+
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.modes import ExecutionMode
+from repro.errors import InfeasibleConfigError
+
+WORLD_SIZES = (2, 4, 8)
+PER_GPU_BATCH = 4
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--gpu", default="H100")
+    parser.add_argument("--model", default="gpt3-2.7b")
+    args = parser.parse_args()
+
+    header = (
+        f"{'gpus':>5} {'batch':>6} {'e2e_ms':>8} {'slowdown':>9} "
+        f"{'overlap':>8} {'comm_ms':>8} {'seq_penalty':>11}"
+    )
+    print(f"{args.model}, FSDP weak scaling ({PER_GPU_BATCH}/GPU) on {args.gpu}")
+    print(header)
+    print("-" * len(header))
+
+    for world in WORLD_SIZES:
+        config = ExperimentConfig(
+            gpu=args.gpu,
+            model=args.model,
+            batch_size=PER_GPU_BATCH * world,
+            num_gpus=world,
+            strategy="fsdp",
+            runs=2,
+        )
+        try:
+            result = run_experiment(
+                config,
+                modes=(ExecutionMode.OVERLAPPED, ExecutionMode.SEQUENTIAL),
+            )
+        except InfeasibleConfigError as exc:
+            print(f"{world:>5}  skipped: {exc}")
+            continue
+        m = result.metrics
+        print(
+            f"{world:>5} {config.batch_size:>6} "
+            f"{m.e2e_overlapping_s * 1e3:>8.1f} "
+            f"{m.compute_slowdown * 100:>8.1f}% "
+            f"{m.overlap_ratio * 100:>7.1f}% "
+            f"{m.comm_total_s * 1e3:>8.1f} "
+            f"{m.sequential_vs_overlapped * 100:>10.1f}%"
+        )
+
+    print(
+        "\ncommunication (and with it the overlap needed to hide it) grows "
+        "with world size — the distribution cost the paper characterizes."
+    )
+
+
+if __name__ == "__main__":
+    main()

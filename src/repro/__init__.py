@@ -1,0 +1,72 @@
+"""repro: reproduction of "Characterizing Compute-Communication Overlap
+in GPU-Accelerated Distributed Deep Learning" (ISPASS 2025).
+
+A discrete-event multi-GPU training simulator with contention and power
+models, plus the experiment harness regenerating every table and figure
+of the paper. See README.md for a tour and DESIGN.md for the system
+inventory.
+"""
+
+from repro.version import __version__
+from repro.errors import (
+    ConfigurationError,
+    DeadlockError,
+    InfeasibleConfigError,
+    PlanError,
+    ReproError,
+    SimulationError,
+    UnknownSpecError,
+)
+from repro.hw import (
+    ComputePath,
+    Datapath,
+    GpuSpec,
+    NodeSpec,
+    Precision,
+    Vendor,
+    get_gpu,
+    list_gpus,
+    make_node,
+)
+from repro.workloads import ModelSpec, TrainingShape, get_model, list_models
+from repro.parallel import Strategy, build_plan
+from repro.sim import SimConfig, SimulationResult, simulate
+from repro.core.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.core.modes import ExecutionMode
+
+__all__ = [
+    "ComputePath",
+    "ConfigurationError",
+    "Datapath",
+    "DeadlockError",
+    "ExecutionMode",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "GpuSpec",
+    "InfeasibleConfigError",
+    "ModelSpec",
+    "NodeSpec",
+    "PlanError",
+    "Precision",
+    "ReproError",
+    "SimConfig",
+    "SimulationError",
+    "SimulationResult",
+    "Strategy",
+    "TrainingShape",
+    "UnknownSpecError",
+    "Vendor",
+    "__version__",
+    "build_plan",
+    "get_gpu",
+    "get_model",
+    "list_gpus",
+    "list_models",
+    "make_node",
+    "run_experiment",
+    "simulate",
+]

@@ -1,0 +1,115 @@
+"""Operating points where overlap stops paying off.
+
+The paper's headline tension: overlapped execution beats sequential on
+average, but contention (especially under power caps) erodes the
+margin. These helpers locate the crossovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.modes import ExecutionMode
+from repro.errors import ConfigurationError, InfeasibleConfigError
+
+
+@dataclass(frozen=True)
+class BenefitPoint:
+    """Overlap-vs-sequential comparison at one operating point."""
+
+    label: str
+    e2e_overlapped_s: float
+    e2e_sequential_s: float
+    compute_slowdown: float
+    overlap_ratio: float
+
+    @property
+    def benefit(self) -> float:
+        """Relative speedup of overlapped over sequential execution
+        (positive = overlap wins)."""
+        if self.e2e_overlapped_s <= 0:
+            return 0.0
+        return self.e2e_sequential_s / self.e2e_overlapped_s - 1.0
+
+
+def overlap_benefit(config: ExperimentConfig, label: str = "") -> BenefitPoint:
+    """Measure the overlap benefit for one configuration."""
+    result = run_experiment(
+        config, modes=(ExecutionMode.OVERLAPPED, ExecutionMode.SEQUENTIAL)
+    )
+    m = result.metrics
+    return BenefitPoint(
+        label=label or config.describe(),
+        e2e_overlapped_s=m.e2e_overlapping_s,
+        e2e_sequential_s=m.e2e_sequential_measured_s,
+        compute_slowdown=m.compute_slowdown,
+        overlap_ratio=m.overlap_ratio,
+    )
+
+
+def find_cap_crossover(
+    config: ExperimentConfig,
+    caps_w: Sequence[float],
+) -> Optional[float]:
+    """Highest power cap at which overlap *stops* beating sequential.
+
+    Sweeps ``caps_w`` from loosest to strictest and returns the first
+    cap where the overlap benefit goes non-positive, or ``None`` if
+    overlap wins everywhere. Under strict caps the combined
+    compute+comm power draw forces deeper throttling of the overlapped
+    schedule, which is exactly the contention amplification of Fig. 9.
+    """
+    if not caps_w:
+        raise ConfigurationError("caps_w must not be empty")
+    for cap in sorted(caps_w, reverse=True):
+        if cap <= 0:
+            raise ConfigurationError("power caps must be positive")
+        point = overlap_benefit(
+            config.with_updates(power_limit_w=cap), label=f"cap={cap:.0f}W"
+        )
+        if point.benefit <= 0:
+            return cap
+    return None
+
+
+def batch_trend(
+    config: ExperimentConfig,
+    batch_sizes: Sequence[int],
+) -> List[BenefitPoint]:
+    """Overlap benefit across batch sizes (skipping OOM cells).
+
+    FSDP's benefit shrinks with batch (communication amortizes);
+    pipeline parallelism's grows (more in-flight microbatches overlap
+    more) — the opposite trends of Fig. 4.
+    """
+    points: List[BenefitPoint] = []
+    for batch in batch_sizes:
+        try:
+            points.append(
+                overlap_benefit(
+                    config.with_updates(batch_size=batch), label=f"b{batch}"
+                )
+            )
+        except InfeasibleConfigError:
+            continue
+    return points
+
+
+def trend_slope(points: List[BenefitPoint], attribute: str) -> float:
+    """Least-squares slope of ``attribute`` across a point sequence.
+
+    Uses the point index as abscissa; the sign is what matters for
+    trend assertions (e.g. slowdown rising vs falling with batch).
+    """
+    values = [getattr(p, attribute) for p in points]
+    n = len(values)
+    if n < 2:
+        return 0.0
+    xs = range(n)
+    mean_x = sum(xs) / n
+    mean_y = sum(values) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, values))
+    var = sum((x - mean_x) ** 2 for x in xs)
+    return cov / var if var else 0.0

@@ -1,0 +1,195 @@
+"""Sensitivity of the simulated slowdown to calibration coefficients.
+
+The contention model has a handful of per-vendor coefficients (see
+:mod:`repro.hw.calibration`). This module quantifies how much each one
+drives the headline metric — compute slowdown under overlap — via
+one-factor-at-a-time sweeps, which doubles as an ablation of the
+*mechanisms* the paper identifies: SM channel stealing, HBM bandwidth
+interference, and rendezvous busy-polling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.modes import ExecutionMode
+from repro.errors import ConfigurationError
+from repro.hw.calibration import ContentionCalibration, calibration_for
+
+#: Coefficients worth sweeping (all floats of ContentionCalibration).
+SWEEPABLE = (
+    "comm_sm_fraction",
+    "interference_factor",
+    "hbm_wire_scale",
+    "comm_clock_sensitivity",
+    "spin_sm_scale",
+    "stall_power_frac",
+)
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """One (parameter value -> metrics) observation."""
+
+    parameter: str
+    value: float
+    compute_slowdown: float
+    overlap_ratio: float
+    e2e_overlapping_s: float
+    avg_power_tdp: float
+    peak_power_tdp: float
+
+
+def _with_value(
+    base: ContentionCalibration, parameter: str, value: float
+) -> ContentionCalibration:
+    if parameter not in SWEEPABLE:
+        raise ConfigurationError(
+            f"unknown calibration parameter {parameter!r} "
+            f"(sweepable: {', '.join(SWEEPABLE)})"
+        )
+    return dataclasses.replace(base, **{parameter: value})
+
+
+def sweep_parameter(
+    config: ExperimentConfig,
+    parameter: str,
+    values: Sequence[float],
+    base: Optional[ContentionCalibration] = None,
+) -> List[SensitivityPoint]:
+    """Run ``config`` once per calibration value of ``parameter``."""
+    if base is None:
+        base = config.node().calibration
+    points: List[SensitivityPoint] = []
+    for value in values:
+        calibrated = config.with_updates(
+            calibration=_with_value(base, parameter, value)
+        )
+        result = run_experiment(
+            calibrated,
+            modes=(ExecutionMode.OVERLAPPED, ExecutionMode.SEQUENTIAL),
+        )
+        avg, peak = result.power_vs_tdp(ExecutionMode.OVERLAPPED)
+        points.append(
+            SensitivityPoint(
+                parameter=parameter,
+                value=value,
+                compute_slowdown=result.metrics.compute_slowdown,
+                overlap_ratio=result.metrics.overlap_ratio,
+                e2e_overlapping_s=result.metrics.e2e_overlapping_s,
+                avg_power_tdp=avg,
+                peak_power_tdp=peak,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class TornadoBar:
+    """Slowdown swing when one coefficient moves +-``rel_delta``."""
+
+    parameter: str
+    low_value: float
+    high_value: float
+    slowdown_at_low: float
+    slowdown_at_high: float
+    baseline_slowdown: float
+
+    @property
+    def swing(self) -> float:
+        """Total slowdown range across the parameter excursion."""
+        return abs(self.slowdown_at_high - self.slowdown_at_low)
+
+
+def tornado(
+    config: ExperimentConfig,
+    rel_delta: float = 0.5,
+    parameters: Sequence[str] = SWEEPABLE,
+) -> List[TornadoBar]:
+    """One-factor tornado analysis around the default calibration.
+
+    Each coefficient is scaled by (1 - rel_delta) and (1 + rel_delta),
+    clamped to its valid range; bars come back sorted by swing, largest
+    first — the mechanisms that matter most for this configuration.
+    """
+    if not 0.0 < rel_delta < 1.0:
+        raise ConfigurationError("rel_delta must be in (0, 1)")
+    base = config.node().calibration
+    baseline = run_experiment(
+        config, modes=(ExecutionMode.OVERLAPPED, ExecutionMode.SEQUENTIAL)
+    ).metrics.compute_slowdown
+
+    bars: List[TornadoBar] = []
+    for parameter in parameters:
+        center = getattr(base, parameter)
+        low = center * (1.0 - rel_delta)
+        high = center * (1.0 + rel_delta)
+        # Fractional coefficients live in [0, 1); clamp the excursion.
+        if parameter != "hbm_wire_scale":
+            high = min(high, 0.99)
+        low_point = sweep_parameter(config, parameter, [low], base=base)[0]
+        high_point = sweep_parameter(config, parameter, [high], base=base)[0]
+        bars.append(
+            TornadoBar(
+                parameter=parameter,
+                low_value=low,
+                high_value=high,
+                slowdown_at_low=low_point.compute_slowdown,
+                slowdown_at_high=high_point.compute_slowdown,
+                baseline_slowdown=baseline,
+            )
+        )
+    bars.sort(key=lambda b: b.swing, reverse=True)
+    return bars
+
+
+def render_tornado(bars: List[TornadoBar]) -> str:
+    """ASCII tornado chart of calibration sensitivities."""
+    if not bars:
+        return "(no bars)"
+    width = 40
+    max_swing = max(b.swing for b in bars) or 1.0
+    lines = [
+        f"baseline slowdown {bars[0].baseline_slowdown * 100:.1f}%; "
+        f"bars show slowdown at -/+ excursion"
+    ]
+    for b in bars:
+        n = max(1, int(round(b.swing / max_swing * width)))
+        lines.append(
+            f"{b.parameter:<24} {'#' * n:<{width}} "
+            f"[{b.slowdown_at_low * 100:5.1f}% .. "
+            f"{b.slowdown_at_high * 100:5.1f}%]"
+        )
+    return "\n".join(lines)
+
+
+def mechanism_attribution(
+    config: ExperimentConfig,
+) -> Dict[str, float]:
+    """Slowdown attribution by zeroing one mechanism at a time.
+
+    Returns the slowdown *recovered* when each mechanism is switched
+    off (larger = that mechanism explains more of the contention).
+    """
+    base = calibration_for(config.node().gpu.vendor)
+    full = run_experiment(
+        config, modes=(ExecutionMode.OVERLAPPED, ExecutionMode.SEQUENTIAL)
+    ).metrics.compute_slowdown
+    zeroed = {
+        "sm_stealing": dataclasses.replace(
+            base, comm_sm_fraction=0.0, spin_sm_scale=0.0
+        ),
+        "hbm_interference": dataclasses.replace(base, interference_factor=0.0),
+        "hbm_traffic": dataclasses.replace(base, hbm_wire_scale=1e-6),
+    }
+    attribution: Dict[str, float] = {"total": full}
+    for name, calibration in zeroed.items():
+        result = run_experiment(
+            config.with_updates(calibration=calibration),
+            modes=(ExecutionMode.OVERLAPPED, ExecutionMode.SEQUENTIAL),
+        )
+        attribution[name] = full - result.metrics.compute_slowdown
+    return attribution

@@ -1,0 +1,371 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the library's layers:
+
+* ``list-gpus`` / ``list-models`` — the registries (Tables I and II);
+* ``run`` — one experiment cell with full Eq. 1-5 metrics;
+* ``figure N`` — regenerate a paper figure (1, 4-11);
+* ``table N`` — regenerate a paper table (1, 2);
+* ``microbench`` — the Fig. 8 matmul-vs-all-reduce microbenchmark;
+* ``roofline`` — per-kernel roofline report for a workload on a GPU;
+* ``takeaways`` — validate the paper's seven takeaways;
+* ``trace`` — simulate one iteration and export a Chrome trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.modes import ExecutionMode
+from repro.errors import ReproError
+from repro.hw.datapath import Precision
+
+
+def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--gpu", default="H100", help="GPU name (list-gpus)")
+    parser.add_argument("--model", default="gpt3-2.7b", help="model name")
+    parser.add_argument("--batch", type=int, default=16, help="global batch size")
+    parser.add_argument(
+        "--strategy",
+        default="fsdp",
+        choices=("fsdp", "pipeline", "ddp", "tensor"),
+    )
+    parser.add_argument("--num-gpus", type=int, default=4)
+    parser.add_argument("--seq-len", type=int, default=1024)
+    parser.add_argument(
+        "--precision",
+        default="fp16",
+        choices=[p.value for p in Precision],
+    )
+    parser.add_argument(
+        "--no-tensor-cores",
+        action="store_true",
+        help="run GEMMs on the vector datapath",
+    )
+    parser.add_argument(
+        "--schedule",
+        default="gpipe",
+        choices=("gpipe", "1f1b"),
+        help="pipeline microbatch schedule (pipeline strategy only)",
+    )
+    parser.add_argument("--power-cap", type=float, default=None, metavar="WATTS")
+    parser.add_argument(
+        "--clock-cap",
+        type=float,
+        default=1.0,
+        metavar="FRAC",
+        help="frequency cap as a fraction of max clock",
+    )
+    parser.add_argument("--runs", type=int, default=3, help="seeds to average")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        gpu=args.gpu,
+        model=args.model,
+        batch_size=args.batch,
+        strategy=args.strategy,
+        num_gpus=args.num_gpus,
+        seq_len=args.seq_len,
+        precision=Precision(args.precision),
+        use_tensor_cores=not args.no_tensor_cores,
+        pipeline_schedule=args.schedule,
+        power_limit_w=args.power_cap,
+        max_clock_frac=args.clock_cap,
+        runs=args.runs,
+        base_seed=args.seed,
+    )
+
+
+def _cmd_list_gpus(_: argparse.Namespace) -> int:
+    from repro.harness.tables import render_table1
+
+    print(render_table1())
+    return 0
+
+
+def _cmd_list_models(_: argparse.Namespace) -> int:
+    from repro.harness.tables import render_table2
+
+    print(render_table2())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    print(f"running: {config.describe()} ({config.runs} runs)")
+    result = run_experiment(config)
+    m = result.metrics
+    print()
+    print(f"compute slowdown (Eq. 1):   {m.compute_slowdown * 100:7.1f} %")
+    print(f"overlap ratio (Eq. 2):      {m.overlap_ratio * 100:7.1f} %")
+    for mode in (
+        ExecutionMode.OVERLAPPED,
+        ExecutionMode.SEQUENTIAL,
+        ExecutionMode.IDEAL,
+    ):
+        stats = result.modes[mode]
+        avg, peak = result.power_vs_tdp(mode)
+        print(
+            f"{mode.value:>11}: e2e {stats.e2e_s * 1e3:9.2f} ms  "
+            f"power {avg:4.2f}/{peak:4.2f}x TDP  "
+            f"energy {stats.energy_j:8.1f} J  "
+            f"min clock {stats.min_clock_frac:4.2f}"
+        )
+    print(f"\nfeasibility: {result.feasibility.reason}")
+    return 0
+
+
+_FIGURES = {
+    "1": "fig1",
+    "4": "fig4",
+    "5": "fig5",
+    "6": "fig6",
+    "7": "fig7",
+    "8": "fig8",
+    "9": "fig9",
+    "10": "fig10",
+    "11": "fig11",
+}
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    import importlib
+
+    name = _FIGURES.get(args.number)
+    if name is None:
+        print(
+            f"unknown figure {args.number!r} "
+            f"(available: {', '.join(sorted(_FIGURES, key=int))})",
+            file=sys.stderr,
+        )
+        return 2
+    module = importlib.import_module(f"repro.harness.figures.{name}")
+    data = module.generate(quick=not args.full)
+    print(module.render(data))
+    if args.out:
+        from repro.harness.io import write_json
+
+        write_json(args.out, data)
+        print(f"\ndata written to {args.out}")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.harness.tables import render_table1, render_table2
+
+    if args.number == "1":
+        print(render_table1())
+    elif args.number == "2":
+        print(render_table2())
+    else:
+        print(f"unknown table {args.number!r} (available: 1, 2)", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_microbench(args: argparse.Namespace) -> int:
+    from repro.core.microbench import run_microbench
+    from repro.hw.system import make_node
+
+    node = make_node(args.gpu, args.num_gpus)
+    tdp = node.gpu.tdp_w
+    sizes = [int(s) for s in args.sizes.split(",")]
+    print(
+        f"{'N':>7} {'slowdown':>9} {'avgP_ov':>8} {'peakP_ov':>9} "
+        f"{'avgP_iso':>9} {'peakP_iso':>10}"
+    )
+    for n in sizes:
+        r = run_microbench(node, n)
+        print(
+            f"{n:>7} {r.slowdown * 100:>8.1f}% "
+            f"{r.avg_power_overlap_w / tdp:>7.2f}x "
+            f"{r.peak_power_overlap_w / tdp:>8.2f}x "
+            f"{r.avg_power_isolated_w / tdp:>8.2f}x "
+            f"{r.peak_power_isolated_w / tdp:>9.2f}x"
+        )
+    return 0
+
+
+def _cmd_roofline(args: argparse.Namespace) -> int:
+    from repro.analysis.roofline import (
+        bound_time_split,
+        render_roofline,
+        roofline_report,
+    )
+    from repro.hw.datapath import resolve_path
+    from repro.hw.registry import get_gpu
+    from repro.workloads.registry import get_model
+    from repro.workloads.transformer import TrainingShape
+
+    shape = TrainingShape(
+        batch_size=args.batch,
+        seq_len=args.seq_len,
+        path=resolve_path(
+            Precision(args.precision), not args.no_tensor_cores
+        ),
+    )
+    points = roofline_report(get_model(args.model), shape, get_gpu(args.gpu))
+    print(render_roofline(points, top=args.top))
+    split = bound_time_split(points)
+    print(
+        f"\niteration is {split['compute_bound_fraction'] * 100:.1f}% "
+        f"compute-bound by time "
+        f"({split['compute_bound_s'] * 1e3:.1f} ms vs "
+        f"{split['memory_bound_s'] * 1e3:.1f} ms memory-bound)"
+    )
+    return 0
+
+
+def _cmd_takeaways(args: argparse.Namespace) -> int:
+    from repro.analysis.takeaways import render_takeaways, validate_takeaways
+
+    checks = validate_takeaways(runs=args.runs)
+    print(render_takeaways(checks))
+    return 0 if all(c.holds for c in checks) else 1
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.analysis.sensitivity import render_tornado, tornado
+
+    config = ExperimentConfig(
+        gpu=args.gpu,
+        model=args.model,
+        batch_size=args.batch,
+        strategy=args.strategy,
+        runs=1,
+    )
+    print(
+        f"tornado analysis around the default {config.node().gpu.vendor} "
+        f"calibration ({config.describe()}, +-{args.delta * 100:.0f}%)"
+    )
+    bars = tornado(config, rel_delta=args.delta)
+    print(render_tornado(bars))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.parallel.strategy import build_plan
+    from repro.profiler.chrome_trace import write_chrome_trace
+    from repro.sim.engine import simulate
+
+    config = _config_from_args(args)
+    node = config.node()
+    plan = build_plan(
+        node,
+        config.model_spec(),
+        config.shape(),
+        config.strategy,
+        overlap=not args.sequential,
+    )
+    result = simulate(node, plan.tasks, config.sim_config(seed=args.seed))
+    write_chrome_trace(result, args.out)
+    print(
+        f"{plan.name}: {len(result.records)} records over "
+        f"{result.end_time_s * 1e3:.1f} ms -> {args.out}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-gpus", help="Table I: the GPU registry").set_defaults(
+        func=_cmd_list_gpus
+    )
+    sub.add_parser(
+        "list-models", help="Table II: the workload registry"
+    ).set_defaults(func=_cmd_list_models)
+
+    run_parser = sub.add_parser("run", help="run one experiment cell")
+    _add_experiment_args(run_parser)
+    run_parser.set_defaults(func=_cmd_run)
+
+    fig_parser = sub.add_parser("figure", help="regenerate a paper figure")
+    fig_parser.add_argument("number", help="figure number (1, 4-11)")
+    fig_parser.add_argument(
+        "--full", action="store_true", help="full paper-scale sweep"
+    )
+    fig_parser.add_argument("--out", default=None, help="write JSON data here")
+    fig_parser.set_defaults(func=_cmd_figure)
+
+    table_parser = sub.add_parser("table", help="regenerate a paper table")
+    table_parser.add_argument("number", help="table number (1 or 2)")
+    table_parser.set_defaults(func=_cmd_table)
+
+    micro_parser = sub.add_parser(
+        "microbench", help="Fig. 8 matmul vs all-reduce"
+    )
+    micro_parser.add_argument("--gpu", default="A100")
+    micro_parser.add_argument("--num-gpus", type=int, default=4)
+    micro_parser.add_argument(
+        "--sizes", default="2048,4096,8192", help="comma-separated N values"
+    )
+    micro_parser.set_defaults(func=_cmd_microbench)
+
+    roof_parser = sub.add_parser(
+        "roofline", help="per-kernel roofline for a workload"
+    )
+    roof_parser.add_argument("--gpu", default="A100")
+    roof_parser.add_argument("--model", default="gpt3-2.7b")
+    roof_parser.add_argument("--batch", type=int, default=16)
+    roof_parser.add_argument("--seq-len", type=int, default=1024)
+    roof_parser.add_argument(
+        "--precision", default="fp16", choices=[p.value for p in Precision]
+    )
+    roof_parser.add_argument("--no-tensor-cores", action="store_true")
+    roof_parser.add_argument("--top", type=int, default=15)
+    roof_parser.set_defaults(func=_cmd_roofline)
+
+    take_parser = sub.add_parser(
+        "takeaways", help="validate the paper's seven takeaways"
+    )
+    take_parser.add_argument("--runs", type=int, default=1)
+    take_parser.set_defaults(func=_cmd_takeaways)
+
+    sens_parser = sub.add_parser(
+        "sensitivity",
+        help="tornado analysis of the contention-calibration coefficients",
+    )
+    sens_parser.add_argument("--gpu", default="MI210")
+    sens_parser.add_argument("--model", default="gpt3-xl")
+    sens_parser.add_argument("--batch", type=int, default=8)
+    sens_parser.add_argument("--strategy", default="fsdp")
+    sens_parser.add_argument("--delta", type=float, default=0.5)
+    sens_parser.set_defaults(func=_cmd_sensitivity)
+
+    trace_parser = sub.add_parser(
+        "trace", help="simulate one iteration and export a Chrome trace"
+    )
+    _add_experiment_args(trace_parser)
+    trace_parser.add_argument("--out", default="trace.json")
+    trace_parser.add_argument(
+        "--sequential", action="store_true", help="serialize communication"
+    )
+    trace_parser.set_defaults(func=_cmd_trace)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Vendor collective libraries: NCCL (NVIDIA) and RCCL (AMD)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hw.gpu import Vendor
+from repro.units import MB, US
+
+
+@dataclass(frozen=True)
+class CollectiveLibrary:
+    """Launch- and channel-level behaviour of a collective library.
+
+    Attributes:
+        name: display name ("NCCL"/"RCCL").
+        max_channels: maximum concurrent channels (each pinning roughly
+            one SM/CU worth of copy/reduce loops).
+        launch_overhead_s: host-side launch + kernel setup latency.
+        channel_half_bytes: message size at which half the channels are
+            active; small messages launch few channels and therefore
+            steal few SMs.
+    """
+
+    name: str
+    max_channels: int
+    launch_overhead_s: float
+    channel_half_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.max_channels < 1:
+            raise ConfigurationError("max_channels must be >= 1")
+        if self.launch_overhead_s < 0:
+            raise ConfigurationError("launch overhead must be >= 0")
+        if self.channel_half_bytes <= 0:
+            raise ConfigurationError("channel_half_bytes must be positive")
+
+    def channel_utilization(self, message_bytes: float) -> float:
+        """Fraction of channels active for a message size, in [0, 1]."""
+        if message_bytes <= 0:
+            return 0.0
+        return message_bytes / (message_bytes + self.channel_half_bytes)
+
+
+NCCL = CollectiveLibrary(
+    name="NCCL",
+    max_channels=16,
+    launch_overhead_s=6.0 * US,
+    channel_half_bytes=1.0 * MB,
+)
+
+RCCL = CollectiveLibrary(
+    name="RCCL",
+    max_channels=28,
+    launch_overhead_s=9.0 * US,
+    channel_half_bytes=0.5 * MB,
+)
+
+
+def library_for(vendor: Vendor) -> CollectiveLibrary:
+    """The collective library shipped for a vendor's GPUs."""
+    if vendor is Vendor.NVIDIA:
+        return NCCL
+    return RCCL

@@ -1,0 +1,26 @@
+"""Execution scenarios compared throughout the paper."""
+
+from __future__ import annotations
+
+import enum
+
+
+class ExecutionMode(enum.Enum):
+    """The three scenarios of the paper's Section IV-D.
+
+    * ``OVERLAPPED`` — communication on dedicated streams, concurrent
+      with compute (the production configuration).
+    * ``SEQUENTIAL`` — the same operations serialized: communication
+      never runs concurrently with compute.
+    * ``IDEAL`` — the overlapped schedule with contention switched off:
+      compute runs as if alone while communication still takes its
+      nominal time. A hypothetical scenario (Eq. 4) the simulator can
+      also execute directly.
+    """
+
+    OVERLAPPED = "overlapped"
+    SEQUENTIAL = "sequential"
+    IDEAL = "ideal"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value

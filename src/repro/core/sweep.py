@@ -1,0 +1,102 @@
+"""Grid sweeps over (GPU, model, batch, strategy) with feasibility cuts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.core.modes import ExecutionMode
+from repro.errors import InfeasibleConfigError
+
+
+@dataclass
+class GridRow:
+    """One sweep cell: either a result or the reason it was skipped."""
+
+    config: ExperimentConfig
+    result: Optional[ExperimentResult]
+    skipped_reason: Optional[str] = None
+
+    @property
+    def ran(self) -> bool:
+        return self.result is not None
+
+
+def run_grid(
+    gpus: Sequence[str],
+    models: Sequence[str],
+    batch_sizes: Sequence[int],
+    strategies: Sequence[str] = ("fsdp",),
+    base: Optional[ExperimentConfig] = None,
+    modes: Tuple[ExecutionMode, ...] = (
+        ExecutionMode.OVERLAPPED,
+        ExecutionMode.SEQUENTIAL,
+        ExecutionMode.IDEAL,
+    ),
+) -> List[GridRow]:
+    """Run the full cross-product, skipping infeasible cells.
+
+    ``base`` supplies the non-swept fields (runs, precision, seq_len,
+    power limits, ...); its gpu/model/batch/strategy fields are ignored.
+    """
+    if base is None:
+        base = ExperimentConfig(gpu="H100", model="gpt3-xl", batch_size=8)
+    rows: List[GridRow] = []
+    for gpu in gpus:
+        for strategy in strategies:
+            for model in models:
+                for batch in batch_sizes:
+                    config = base.with_updates(
+                        gpu=gpu,
+                        model=model,
+                        batch_size=batch,
+                        strategy=strategy,
+                    )
+                    rows.append(_run_cell(config, modes))
+    return rows
+
+
+def _run_cell(
+    config: ExperimentConfig, modes: Tuple[ExecutionMode, ...]
+) -> GridRow:
+    try:
+        result = run_experiment(config, modes=modes)
+    except InfeasibleConfigError as exc:
+        return GridRow(config=config, result=None, skipped_reason=str(exc))
+    return GridRow(config=config, result=result)
+
+
+def feasible_rows(rows: Iterable[GridRow]) -> List[GridRow]:
+    """Only the cells that actually ran."""
+    return [row for row in rows if row.ran]
+
+
+def summarize_slowdowns(rows: Iterable[GridRow]) -> dict:
+    """Aggregate slowdown statistics over a grid (the abstract's
+    headline numbers: average and maximum compute slowdown, average and
+    maximum sequential-vs-overlapped gap)."""
+    ran = feasible_rows(rows)
+    if not ran:
+        return {
+            "cells": 0,
+            "mean_compute_slowdown": 0.0,
+            "max_compute_slowdown": 0.0,
+            "mean_sequential_penalty": 0.0,
+            "max_sequential_penalty": 0.0,
+        }
+    slowdowns = [row.result.metrics.compute_slowdown for row in ran]
+    seq_penalties = [
+        row.result.metrics.sequential_vs_overlapped for row in ran
+    ]
+    return {
+        "cells": len(ran),
+        "mean_compute_slowdown": sum(slowdowns) / len(slowdowns),
+        "max_compute_slowdown": max(slowdowns),
+        "mean_sequential_penalty": sum(seq_penalties) / len(seq_penalties),
+        "max_sequential_penalty": max(seq_penalties),
+    }

@@ -1,0 +1,59 @@
+"""Minimal terminal plotting for figure output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ConfigurationError("labels and values must align")
+    if not labels:
+        return "(no data)"
+    peak = max(abs(v) for v in values) or 1.0
+    label_width = max(len(lbl) for lbl in labels)
+    lines: List[str] = []
+    for label, value in zip(labels, values):
+        bar_len = int(round(abs(value) / peak * width))
+        bar = "#" * bar_len
+        lines.append(f"{label.ljust(label_width)} |{bar} {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def line_plot(
+    series: Sequence[Tuple[float, float]],
+    height: int = 12,
+    width: int = 70,
+    title: str = "",
+) -> str:
+    """Scatter/line plot of (x, y) points on a character grid."""
+    points = list(series)
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+        grid[row][col] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: [{y_lo:.3g}, {y_hi:.3g}]")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: [{x_lo:.3g}, {x_hi:.3g}]")
+    return "\n".join(lines)

@@ -1,0 +1,456 @@
+"""Generate EXPERIMENTS.md: paper-vs-measured for every table/figure.
+
+Runs every experiment of the evaluation (quick grids by default) and
+renders a markdown report pairing each of the paper's quantitative
+claims with the number this reproduction measures, plus a verdict on
+whether the qualitative shape holds.
+
+Regenerate with::
+
+    python -m repro.harness.experiments_md [--full] [--out EXPERIMENTS.md]
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional, Tuple
+
+from repro.harness.figures import (
+    fig1,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+)
+from repro.version import __version__
+
+
+def _verdict(holds: bool) -> str:
+    return "reproduced" if holds else "**NOT reproduced**"
+
+
+def _pct(x: float) -> str:
+    return f"{x * 100:.1f}%"
+
+
+class _Report:
+    """Accumulates markdown sections."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+
+    def section(self, title: str) -> None:
+        self.lines.append(f"\n## {title}\n")
+
+    def para(self, text: str) -> None:
+        self.lines.append(text + "\n")
+
+    def table(self, headers: List[str], rows: List[List[str]]) -> None:
+        self.lines.append("| " + " | ".join(headers) + " |")
+        self.lines.append("|" + "---|" * len(headers))
+        for row in rows:
+            self.lines.append("| " + " | ".join(str(c) for c in row) + " |")
+        self.lines.append("")
+
+    def claim(self, paper: str, measured: str, holds: bool) -> None:
+        self.table(
+            ["paper", "this reproduction", "verdict"],
+            [[paper, measured, _verdict(holds)]],
+        )
+
+    def text(self) -> str:
+        return "\n".join(self.lines)
+
+
+def _fig1_section(report: _Report, quick: bool) -> None:
+    report.section("Fig. 1 — overlap grows with model and batch size")
+    rows = fig1.generate(quick=quick)
+    ran = [r for r in rows if not r.get("skipped")]
+    fsdp = [r for r in ran if r["strategy"] == "fsdp"]
+    by_model: Dict[str, List] = {}
+    for r in fsdp:
+        by_model.setdefault(r["model"], []).append(r)
+    # Overlapped-communication share should grow with model size at
+    # fixed batch for FSDP.
+    order = ["gpt3-xl", "gpt3-2.7b", "gpt3-6.7b", "gpt3-13b"]
+    shares = []
+    for model in order:
+        cells = by_model.get(model)
+        if cells:
+            smallest_batch = min(cells, key=lambda r: r["batch"])
+            shares.append((model, smallest_batch["overlap_ratio_eq2"]))
+    grows = all(b[1] >= a[1] - 0.02 for a, b in zip(shares, shares[1:]))
+    report.claim(
+        "the proportion of computation overlapped with communication "
+        "grows with model size (H100 FSDP)",
+        "overlap ratio by model at smallest batch: "
+        + ", ".join(f"{m}: {_pct(s)}" for m, s in shares),
+        grows and len(shares) >= 2,
+    )
+
+
+def _fig4_section(report: _Report, quick: bool) -> None:
+    report.section("Fig. 4 — compute slowdown across GPUs/models/strategies")
+    headline = fig4.headline(quick=quick)
+    mean_s = headline["mean_compute_slowdown"]
+    max_s = headline["max_compute_slowdown"]
+    mean_p = headline["mean_sequential_penalty"]
+    max_p = headline["max_sequential_penalty"]
+    report.table(
+        ["metric", "paper", "measured", "verdict"],
+        [
+            [
+                "mean compute slowdown",
+                "18.9%",
+                _pct(mean_s),
+                _verdict(0.02 <= mean_s <= 0.40),
+            ],
+            [
+                "max compute slowdown",
+                "40.0%",
+                _pct(max_s),
+                _verdict(0.15 <= max_s <= 0.60),
+            ],
+            [
+                "mean sequential penalty",
+                "10.2%",
+                _pct(mean_p),
+                _verdict(0.02 <= mean_p <= 0.30),
+            ],
+            [
+                "max sequential penalty",
+                "26.6%",
+                _pct(max_p),
+                _verdict(0.05 <= max_p <= 0.50),
+            ],
+        ],
+    )
+    rows = [r for r in fig4.generate(quick=quick) if not r["skipped"]]
+    mi_max = max(
+        (r["compute_slowdown"] for r in rows if r["gpu"] in ("MI250", "MI210")),
+        default=0.0,
+    )
+    nv_max = max(
+        (r["compute_slowdown"] for r in rows if r["gpu"] in ("A100", "H100")),
+        default=0.0,
+    )
+    report.claim(
+        "AMD parts show higher slowdowns than NVIDIA at equal overlap "
+        "(RCCL's larger CU footprint)",
+        f"max slowdown AMD {_pct(mi_max)} vs NVIDIA {_pct(nv_max)}",
+        mi_max > nv_max,
+    )
+    a100_13b = [
+        r
+        for r in fig4.generate(quick=quick)
+        if r["gpu"] == "A100"
+        and r["model"] in ("gpt3-13b", "llama2-13b")
+        and r["strategy"] == "fsdp"
+    ]
+    report.claim(
+        "the 40 GB A100 cannot host models beyond GPT-3 2.7B",
+        f"{len(a100_13b)} 13B-class A100 FSDP cells, all OOM-skipped: "
+        f"{all(bool(r['skipped']) for r in a100_13b)}",
+        bool(a100_13b) and all(bool(r["skipped"]) for r in a100_13b),
+    )
+
+
+def _fig5_section(report: _Report, quick: bool) -> None:
+    report.section("Fig. 5 — end-to-end latency: ideal vs overlapped vs sequential")
+    rows = fig5.generate(quick=quick)
+    overlap_wins = [
+        r for r in rows if r["e2e_overlapped_ms"] <= r["e2e_sequential_ms"]
+    ]
+    short_of_ideal = [
+        r for r in rows if r["e2e_overlapped_ms"] >= r["e2e_ideal_ms"] - 1e-6
+    ]
+    report.claim(
+        "overlapped execution consistently outperforms sequential "
+        "across GPUs and models",
+        f"{len(overlap_wins)}/{len(rows)} cells",
+        len(overlap_wins) >= max(1, int(0.9 * len(rows))),
+    )
+    report.claim(
+        "overlapped execution still falls short of ideal",
+        f"{len(short_of_ideal)}/{len(rows)} cells",
+        len(short_of_ideal) == len(rows),
+    )
+    worst = max(rows, key=lambda r: r["overlapped_vs_ideal"])
+    report.claim(
+        "worst gap to ideal on MI250 with a 13B model (paper: +45%)",
+        f"worst cell: {worst['gpu']} {worst['model']} b{worst['batch']} "
+        f"+{_pct(worst['overlapped_vs_ideal'])} vs ideal",
+        worst["gpu"] in ("MI250", "MI210"),
+    )
+
+
+def _fig6_section(report: _Report, quick: bool) -> None:
+    report.section("Fig. 6 — power across GPUs and workloads")
+    rows = fig6.generate(quick=quick)
+    fsdp = [r for r in rows if r["strategy"] == "fsdp"]
+    raised = [r for r in fsdp if r["peak_increase_from_overlap"] > 0]
+    max_peak = max(r["peak_power_overlap_tdp"] for r in rows)
+    min_avg = min(r["avg_power_overlap_tdp"] for r in rows)
+    report.claim(
+        "overlapping raises peak power vs non-overlapping, up to ~25%",
+        f"{len(raised)}/{len(fsdp)} FSDP cells raised; max increase "
+        f"{_pct(max(r['peak_increase_from_overlap'] for r in fsdp))}",
+        len(raised) >= len(fsdp) // 2,
+    )
+    report.claim(
+        "power spans a wide band: ~0.4x TDP for small workloads up to "
+        ">1x TDP peaks for large ones (paper: 38% avg to 140% peak)",
+        f"measured band: {min_avg:.2f}x TDP (min avg) to "
+        f"{max_peak:.2f}x TDP (max peak)",
+        min_avg < 0.8 and max_peak > 1.0,
+    )
+
+
+def _fig7_section(report: _Report, quick: bool) -> None:
+    report.section("Fig. 7 — MI250 power trace during LLaMA2-13B training")
+    data = fig7.generate(quick=quick)
+    samples = data["samples"]
+    windows = data["overlap_windows"]
+
+    def in_overlap(t: float) -> bool:
+        return any(w["start_norm"] <= t <= w["end_norm"] for w in windows)
+
+    inside = [s["power_tdp"] for s in samples if in_overlap(s["t_norm"])]
+    outside = [s["power_tdp"] for s in samples if not in_overlap(s["t_norm"])]
+    mean_in = sum(inside) / len(inside) if inside else 0.0
+    mean_out = sum(outside) / len(outside) if outside else 0.0
+    peak = max(s["power_tdp"] for s in samples)
+    report.claim(
+        "power spikes coincide with overlap windows",
+        f"mean power inside windows {mean_in:.2f}x TDP vs outside "
+        f"{mean_out:.2f}x TDP; trace peak {peak:.2f}x TDP "
+        f"({len(samples)} samples at 1 ms)",
+        mean_in > mean_out,
+    )
+
+
+def _fig8_section(report: _Report, quick: bool) -> None:
+    report.section("Fig. 8 — matmul vs 1 GB all-reduce microbenchmark")
+    rows = fig8.generate(quick=quick)
+    body = []
+    all_hold = True
+    for r in rows:
+        holds = (
+            r["slowdown"] > 0
+            and r["avg_power_overlap_tdp"] > r["avg_power_isolated_tdp"]
+            and r["peak_power_overlap_tdp"] > r["peak_power_isolated_tdp"]
+        )
+        all_hold = all_hold and holds
+        body.append(
+            [
+                r["gpu"],
+                r["n"],
+                _pct(r["slowdown"]),
+                f"{r['avg_power_overlap_tdp']:.2f}x",
+                f"{r['peak_power_overlap_tdp']:.2f}x",
+                f"{r['avg_power_isolated_tdp']:.2f}x",
+                _verdict(holds),
+            ]
+        )
+    report.table(
+        ["gpu", "N", "slowdown", "avgP overlap", "peakP overlap",
+         "avgP isolated", "verdict"],
+        body,
+    )
+    report.claim(
+        "overlapping increases average and peak power and slows the GEMM",
+        f"{len(rows)} sizes measured",
+        all_hold,
+    )
+
+
+def _fig9_section(report: _Report, quick: bool) -> None:
+    report.section("Fig. 9 — power capping on A100 x 4")
+    rows = fig9.generate(quick=quick)
+    strictest = min(rows, key=lambda r: r["cap_w"])
+    monotone = all(
+        a["e2e_overlapped_ms"] <= b["e2e_overlapped_ms"] + 1e-6
+        for a, b in zip(rows, rows[1:])
+    )
+    report.table(
+        ["cap (W)", "e2e overlapped (ms)", "e2e sequential (ms)",
+         "slowdown vs uncapped", "min clock"],
+        [
+            [
+                f"{r['cap_w']:.0f}",
+                f"{r['e2e_overlapped_ms']:.1f}",
+                f"{r['e2e_sequential_ms']:.1f}",
+                _pct(r["overlap_slowdown_vs_uncapped"]),
+                f"{r['min_clock_frac']:.2f}",
+            ]
+            for r in rows
+        ],
+    )
+    report.claim(
+        "under a strict cap (100-150 W) overlapped execution slows by "
+        "up to ~100-107%",
+        f"strictest cap {strictest['cap_w']:.0f} W slows overlapped "
+        f"execution by {_pct(strictest['overlap_slowdown_vs_uncapped'])}",
+        strictest["overlap_slowdown_vs_uncapped"] > 0.5 and monotone,
+    )
+
+
+def _fig10_section(report: _Report, quick: bool) -> None:
+    report.section("Fig. 10 — numeric precision (FP32 vs FP16)")
+    rows = [r for r in fig10.generate(quick=quick) if not r.get("skipped")]
+
+    def cell(model: str, batch: int, precision: str) -> Optional[Dict]:
+        for r in rows:
+            if (
+                r["model"] == model
+                and r["batch"] == batch
+                and r["precision"] == precision
+            ):
+                return r
+        return None
+
+    pairs: List[Tuple[str, int]] = sorted(
+        {(r["model"], r["batch"]) for r in rows}
+    )
+    body = []
+    directions_hold = True
+    for model, batch in pairs:
+        fp32, fp16 = cell(model, batch, "fp32"), cell(model, batch, "fp16")
+        if not fp32 or not fp16:
+            continue
+        holds = (
+            fp16["e2e_ms"] < fp32["e2e_ms"]
+            and fp16["overlap_ratio"] > fp32["overlap_ratio"]
+        )
+        directions_hold = directions_hold and holds
+        body.append(
+            [
+                f"{model} b{batch}",
+                f"{fp32['e2e_ms']:.0f} -> {fp16['e2e_ms']:.0f} ms",
+                f"{_pct(fp32['overlap_ratio'])} -> "
+                f"{_pct(fp16['overlap_ratio'])}",
+                f"{fp32['peak_power_tdp']:.2f}x -> "
+                f"{fp16['peak_power_tdp']:.2f}x",
+                _verdict(holds),
+            ]
+        )
+    report.table(
+        ["workload", "e2e fp32->fp16", "overlap ratio", "peak power", "verdict"],
+        body,
+    )
+    report.claim(
+        "FP16 accelerates training and raises overlap ratios, "
+        "intensifying contention for larger workloads",
+        f"{len(body)} workload pairs",
+        directions_hold and bool(body),
+    )
+
+
+def _fig11_section(report: _Report, quick: bool) -> None:
+    report.section("Fig. 11 — tensor cores (TF32) vs vector FP32")
+    rows = [r for r in fig11.generate(quick=quick) if not r.get("skipped")]
+
+    def cell(model: str, batch: int, datapath: str) -> Optional[Dict]:
+        for r in rows:
+            if (
+                r["model"] == model
+                and r["batch"] == batch
+                and r["datapath"] == datapath
+            ):
+                return r
+        return None
+
+    pairs = sorted({(r["model"], r["batch"]) for r in rows})
+    body = []
+    directions_hold = True
+    for model, batch in pairs:
+        vec = cell(model, batch, "fp32-vector")
+        tc = cell(model, batch, "tf32-tensor")
+        if not vec or not tc:
+            continue
+        holds = (
+            tc["e2e_ms"] < vec["e2e_ms"]
+            and tc["overlap_ratio"] > vec["overlap_ratio"]
+            and tc["compute_slowdown"] >= vec["compute_slowdown"] - 0.005
+        )
+        directions_hold = directions_hold and holds
+        body.append(
+            [
+                f"{model} b{batch}",
+                f"{_pct(vec['compute_slowdown'])} -> "
+                f"{_pct(tc['compute_slowdown'])}",
+                f"{_pct(vec['overlap_ratio'])} -> {_pct(tc['overlap_ratio'])}",
+                _verdict(holds),
+            ]
+        )
+    report.table(
+        ["workload", "slowdown fp32->tf32", "overlap ratio", "verdict"], body
+    )
+    report.claim(
+        "tensor cores accelerate compute, raising overlap ratio and "
+        "slowdown (paper: GPT-3 6.7B b16 slowdown 4.3% -> 7.3%)",
+        f"{len(body)} workload pairs",
+        directions_hold and bool(body),
+    )
+
+
+def generate_markdown(quick: bool = True) -> str:
+    """Run every experiment and render the full EXPERIMENTS.md text."""
+    report = _Report()
+    report.para(
+        f"# EXPERIMENTS — paper vs. this reproduction (repro {__version__})"
+    )
+    report.para(
+        "Regenerated by `python -m repro.harness.experiments_md"
+        + ("" if quick else " --full")
+        + "`. "
+        + (
+            "Quick grids (subset of the paper's sweep; "
+            "`--full` runs the complete grid)."
+            if quick
+            else "Full paper-scale grids."
+        )
+    )
+    report.para(
+        "Absolute numbers come from a calibrated simulator, not the "
+        "authors' testbed; the claims below are about *shape* — "
+        "who wins, trend directions, where extremes sit. See DESIGN.md "
+        "for the substitution table."
+    )
+    _fig1_section(report, quick)
+    _fig4_section(report, quick)
+    _fig5_section(report, quick)
+    _fig6_section(report, quick)
+    _fig7_section(report, quick)
+    _fig8_section(report, quick)
+    _fig9_section(report, quick)
+    _fig10_section(report, quick)
+    _fig11_section(report, quick)
+
+    report.section("Tables I and II")
+    report.para(
+        "Table I (GPUs) and Table II (workloads) are static registries "
+        "checked verbatim by `benchmarks/bench_table1_gpus.py` and "
+        "`bench_table2_workloads.py` against the paper's printed values."
+    )
+    return report.text()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true")
+    parser.add_argument("--out", default="EXPERIMENTS.md")
+    args = parser.parse_args(argv)
+    text = generate_markdown(quick=not args.full)
+    with open(args.out, "w") as handle:
+        handle.write(text + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

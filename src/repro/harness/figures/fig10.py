@@ -1,0 +1,124 @@
+"""Fig. 10: effect of numeric precision (FP32 vs FP16) on slowdown and power.
+
+FP16 shortens compute much more than it shortens communication, which
+raises the overlap ratio; for large workloads this intensifies
+contention even as small workloads get cheaper — the paper's
+takeaway 7.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.modes import ExecutionMode
+from repro.errors import InfeasibleConfigError
+from repro.harness.report import render_table
+from repro.hw.datapath import Precision
+
+WORKLOADS: Tuple[Tuple[str, int], ...] = (
+    ("gpt3-xl", 8),
+    ("gpt3-xl", 32),
+    ("gpt3-2.7b", 8),
+    ("gpt3-2.7b", 32),
+    ("gpt3-6.7b", 16),
+)
+QUICK_WORKLOADS: Tuple[Tuple[str, int], ...] = (
+    ("gpt3-xl", 8),
+    ("gpt3-6.7b", 16),
+)
+
+
+def generate(
+    quick: bool = True, gpu: str = "H100", runs: int = 1
+) -> List[Dict[str, object]]:
+    """Rows: workload x {fp32, fp16} with slowdown and power columns."""
+    rows: List[Dict[str, object]] = []
+    for model, batch in QUICK_WORKLOADS if quick else WORKLOADS:
+        for precision in (Precision.FP32, Precision.FP16):
+            config = ExperimentConfig(
+                gpu=gpu,
+                model=model,
+                batch_size=batch,
+                strategy="fsdp",
+                precision=precision,
+                # FP32 runs on the general (vector) datapath in this
+                # ablation; tensor-core FP32 (TF32) is Fig. 11's knob.
+                use_tensor_cores=precision is not Precision.FP32,
+                runs=runs,
+            )
+            try:
+                result = run_experiment(
+                    config,
+                    modes=(
+                        ExecutionMode.OVERLAPPED,
+                        ExecutionMode.SEQUENTIAL,
+                    ),
+                )
+            except InfeasibleConfigError as exc:
+                rows.append(
+                    {
+                        "gpu": gpu,
+                        "model": model,
+                        "batch": batch,
+                        "precision": precision.value,
+                        "skipped": str(exc),
+                    }
+                )
+                continue
+            avg, peak = result.power_vs_tdp(ExecutionMode.OVERLAPPED)
+            rows.append(
+                {
+                    "gpu": gpu,
+                    "model": model,
+                    "batch": batch,
+                    "precision": precision.value,
+                    "compute_slowdown": result.metrics.compute_slowdown,
+                    "overlap_ratio": result.metrics.overlap_ratio,
+                    "avg_power_tdp": avg,
+                    "peak_power_tdp": peak,
+                    "e2e_ms": result.metrics.e2e_overlapping_s * 1e3,
+                    "skipped": None,
+                }
+            )
+    return rows
+
+
+def render(rows: List[Dict[str, object]]) -> str:
+    headers = [
+        "model",
+        "batch",
+        "precision",
+        "slowdown",
+        "overlap_ratio",
+        "avgP",
+        "peakP",
+        "e2e_ms",
+    ]
+    body = []
+    notes = []
+    for row in rows:
+        if row.get("skipped"):
+            notes.append(
+                f"  skipped {row['model']} b{row['batch']} "
+                f"{row['precision']}: {row['skipped']}"
+            )
+            continue
+        body.append(
+            [
+                row["model"],
+                row["batch"],
+                row["precision"],
+                f"{row['compute_slowdown'] * 100:.1f}%",
+                f"{row['overlap_ratio'] * 100:.1f}%",
+                f"{row['avg_power_tdp']:.2f}x",
+                f"{row['peak_power_tdp']:.2f}x",
+                f"{row['e2e_ms']:.0f}",
+            ]
+        )
+    text = "Fig. 10 - numeric precision ablation (FP32 vs FP16)\n" + render_table(
+        headers, body
+    )
+    if notes:
+        text += "\n" + "\n".join(notes)
+    return text

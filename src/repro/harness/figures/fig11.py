@@ -1,0 +1,122 @@
+"""Fig. 11: Tensor Cores (FP32 -> TF32) vs general-purpose FP32.
+
+The comparison keeps storage precision at FP32 and toggles only the
+datapath: vector ALUs vs tensor cores via TF32 conversion (PyTorch's
+``allow_tf32``), exactly the paper's ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.modes import ExecutionMode
+from repro.errors import InfeasibleConfigError
+from repro.harness.report import render_table
+from repro.hw.datapath import Precision
+
+WORKLOADS: Tuple[Tuple[str, int], ...] = (
+    ("gpt3-xl", 8),
+    ("gpt3-xl", 32),
+    ("gpt3-2.7b", 8),
+    ("gpt3-6.7b", 16),
+)
+QUICK_WORKLOADS: Tuple[Tuple[str, int], ...] = (
+    ("gpt3-xl", 8),
+    ("gpt3-6.7b", 16),
+)
+
+
+def generate(
+    quick: bool = True, gpu: str = "H100", runs: int = 1
+) -> List[Dict[str, object]]:
+    """Rows: workload x {vector FP32, tensor-core TF32}."""
+    rows: List[Dict[str, object]] = []
+    for model, batch in QUICK_WORKLOADS if quick else WORKLOADS:
+        for use_tc in (False, True):
+            config = ExperimentConfig(
+                gpu=gpu,
+                model=model,
+                batch_size=batch,
+                strategy="fsdp",
+                precision=Precision.FP32,
+                use_tensor_cores=use_tc,
+                runs=runs,
+            )
+            datapath = "tf32-tensor" if use_tc else "fp32-vector"
+            try:
+                result = run_experiment(
+                    config,
+                    modes=(
+                        ExecutionMode.OVERLAPPED,
+                        ExecutionMode.SEQUENTIAL,
+                    ),
+                )
+            except InfeasibleConfigError as exc:
+                rows.append(
+                    {
+                        "gpu": gpu,
+                        "model": model,
+                        "batch": batch,
+                        "datapath": datapath,
+                        "skipped": str(exc),
+                    }
+                )
+                continue
+            avg, peak = result.power_vs_tdp(ExecutionMode.OVERLAPPED)
+            rows.append(
+                {
+                    "gpu": gpu,
+                    "model": model,
+                    "batch": batch,
+                    "datapath": datapath,
+                    "compute_slowdown": result.metrics.compute_slowdown,
+                    "overlap_ratio": result.metrics.overlap_ratio,
+                    "avg_power_tdp": avg,
+                    "peak_power_tdp": peak,
+                    "e2e_ms": result.metrics.e2e_overlapping_s * 1e3,
+                    "skipped": None,
+                }
+            )
+    return rows
+
+
+def render(rows: List[Dict[str, object]]) -> str:
+    headers = [
+        "model",
+        "batch",
+        "datapath",
+        "slowdown",
+        "overlap_ratio",
+        "avgP",
+        "peakP",
+        "e2e_ms",
+    ]
+    body = []
+    notes = []
+    for row in rows:
+        if row.get("skipped"):
+            notes.append(
+                f"  skipped {row['model']} b{row['batch']} "
+                f"{row['datapath']}: {row['skipped']}"
+            )
+            continue
+        body.append(
+            [
+                row["model"],
+                row["batch"],
+                row["datapath"],
+                f"{row['compute_slowdown'] * 100:.1f}%",
+                f"{row['overlap_ratio'] * 100:.1f}%",
+                f"{row['avg_power_tdp']:.2f}x",
+                f"{row['peak_power_tdp']:.2f}x",
+                f"{row['e2e_ms']:.0f}",
+            ]
+        )
+    text = (
+        "Fig. 11 - tensor-core (TF32) vs vector FP32 ablation\n"
+        + render_table(headers, body)
+    )
+    if notes:
+        text += "\n" + "\n".join(notes)
+    return text

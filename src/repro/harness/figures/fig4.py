@@ -1,0 +1,72 @@
+"""Fig. 4: computation slowdowns across GPUs, models, batches, strategies."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.sweep import feasible_rows, summarize_slowdowns
+from repro.harness.figures.grid import grid_rows
+from repro.harness.report import render_table
+
+
+def generate(quick: bool = True, runs: int = 1) -> List[Dict[str, object]]:
+    """One row per feasible grid cell with Eq. 1 / Eq. 2 values."""
+    rows: List[Dict[str, object]] = []
+    for cell in grid_rows(quick=quick, runs=runs):
+        if not cell.ran:
+            rows.append(
+                {
+                    "gpu": cell.config.gpu,
+                    "strategy": cell.config.strategy,
+                    "model": cell.config.model,
+                    "batch": cell.config.batch_size,
+                    "compute_slowdown": None,
+                    "overlap_ratio": None,
+                    "skipped": cell.skipped_reason,
+                }
+            )
+            continue
+        metrics = cell.result.metrics
+        rows.append(
+            {
+                "gpu": cell.config.gpu,
+                "strategy": cell.config.strategy,
+                "model": cell.config.model,
+                "batch": cell.config.batch_size,
+                "compute_slowdown": metrics.compute_slowdown,
+                "overlap_ratio": metrics.overlap_ratio,
+                "skipped": None,
+            }
+        )
+    return rows
+
+
+def headline(quick: bool = True, runs: int = 1) -> Dict[str, float]:
+    """The abstract's aggregate numbers over the grid."""
+    return summarize_slowdowns(grid_rows(quick=quick, runs=runs))
+
+
+def render(rows: List[Dict[str, object]]) -> str:
+    """Text rendering with skipped cells annotated."""
+    headers = ["gpu", "strategy", "model", "batch", "compute_slowdown", "overlap_ratio"]
+    body = []
+    skipped = []
+    for row in rows:
+        if row["skipped"]:
+            skipped.append(
+                f"  skipped {row['gpu']} {row['strategy']} {row['model']} "
+                f"b{row['batch']}: {row['skipped']}"
+            )
+            continue
+        body.append([
+            row["gpu"],
+            row["strategy"],
+            row["model"],
+            row["batch"],
+            f"{row['compute_slowdown'] * 100:.1f}%",
+            f"{row['overlap_ratio'] * 100:.1f}%",
+        ])
+    text = "Fig. 4 - compute slowdown grid\n" + render_table(headers, body)
+    if skipped:
+        text += "\nInfeasible cells (memory):\n" + "\n".join(skipped)
+    return text

@@ -1,0 +1,67 @@
+"""Fig. 8: N x N matmul concurrent with a 1 GB all-reduce."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.microbench import run_microbench
+from repro.harness.report import render_table
+from repro.hw.system import make_node
+
+SIZES = (1024, 2048, 4096, 8192, 16384)
+QUICK_SIZES = (2048, 8192)
+GPUS = ("A100", "H100", "MI250")
+QUICK_GPUS = ("A100",)
+
+
+def generate(quick: bool = True) -> List[Dict[str, object]]:
+    """Sweep matrix sizes (and systems in full mode)."""
+    rows: List[Dict[str, object]] = []
+    for gpu in QUICK_GPUS if quick else GPUS:
+        node = make_node(gpu, 4)
+        tdp = node.gpu.tdp_w
+        for n in QUICK_SIZES if quick else SIZES:
+            r = run_microbench(node, n)
+            rows.append(
+                {
+                    "gpu": gpu,
+                    "n": n,
+                    "slowdown": r.slowdown,
+                    "avg_power_overlap_tdp": r.avg_power_overlap_w / tdp,
+                    "peak_power_overlap_tdp": r.peak_power_overlap_w / tdp,
+                    "avg_power_isolated_tdp": r.avg_power_isolated_w / tdp,
+                    "peak_power_isolated_tdp": r.peak_power_isolated_w / tdp,
+                    "peak_power_increase": r.peak_power_increase,
+                }
+            )
+    return rows
+
+
+def render(rows: List[Dict[str, object]]) -> str:
+    headers = [
+        "gpu",
+        "N",
+        "slowdown",
+        "avgP_ov",
+        "peakP_ov",
+        "avgP_iso",
+        "peakP_iso",
+        "peak_delta",
+    ]
+    body = [
+        [
+            row["gpu"],
+            row["n"],
+            f"{row['slowdown'] * 100:.1f}%",
+            f"{row['avg_power_overlap_tdp']:.2f}x",
+            f"{row['peak_power_overlap_tdp']:.2f}x",
+            f"{row['avg_power_isolated_tdp']:.2f}x",
+            f"{row['peak_power_isolated_tdp']:.2f}x",
+            f"{row['peak_power_increase'] * 100:+.1f}%",
+        ]
+        for row in rows
+    ]
+    return (
+        "Fig. 8 - NxN matmul overlapped with 1 GB all-reduce\n"
+        + render_table(headers, body)
+    )

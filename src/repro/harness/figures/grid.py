@@ -1,0 +1,63 @@
+"""The shared evaluation grid behind Figs. 4, 5 and 6.
+
+The paper evaluates the cross-product of four systems, five models,
+batch sizes 8-64 and two strategies (with infeasible cells dropped).
+Running it once and viewing it three ways matches the paper's workflow;
+the grid is memoised per (quick, runs) so co-located benchmarks reuse
+it within a session.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.modes import ExecutionMode
+from repro.core.sweep import GridRow, run_grid
+
+ALL_GPUS: Tuple[str, ...] = ("A100", "H100", "MI210", "MI250")
+ALL_MODELS: Tuple[str, ...] = (
+    "gpt3-xl",
+    "gpt3-2.7b",
+    "gpt3-6.7b",
+    "gpt3-13b",
+    "llama2-13b",
+)
+ALL_BATCHES: Tuple[int, ...] = (8, 16, 32, 64)
+ALL_STRATEGIES: Tuple[str, ...] = ("fsdp", "pipeline")
+
+QUICK_GPUS = ALL_GPUS
+QUICK_MODELS: Tuple[str, ...] = ("gpt3-xl", "gpt3-2.7b", "gpt3-13b")
+QUICK_BATCHES: Tuple[int, ...] = (8, 32)
+QUICK_STRATEGIES: Tuple[str, ...] = ("fsdp", "pipeline")
+
+
+@lru_cache(maxsize=4)
+def evaluation_grid(quick: bool = True, runs: int = 1) -> Tuple[GridRow, ...]:
+    """Run (or fetch) the canonical evaluation grid."""
+    base = ExperimentConfig(
+        gpu="H100",
+        model="gpt3-xl",
+        batch_size=8,
+        runs=runs,
+        jitter_sigma=0.02,
+    )
+    rows = run_grid(
+        gpus=QUICK_GPUS if quick else ALL_GPUS,
+        models=QUICK_MODELS if quick else ALL_MODELS,
+        batch_sizes=QUICK_BATCHES if quick else ALL_BATCHES,
+        strategies=QUICK_STRATEGIES if quick else ALL_STRATEGIES,
+        base=base,
+        modes=(
+            ExecutionMode.OVERLAPPED,
+            ExecutionMode.SEQUENTIAL,
+            ExecutionMode.IDEAL,
+        ),
+    )
+    return tuple(rows)
+
+
+def grid_rows(quick: bool = True, runs: int = 1) -> List[GridRow]:
+    """Mutable copy of the memoised grid."""
+    return list(evaluation_grid(quick=quick, runs=runs))

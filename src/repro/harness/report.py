@@ -1,0 +1,49 @@
+"""Plain-text table rendering for harness output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_row(values: Sequence[object], widths: Sequence[int]) -> str:
+    """Format one row with right-padded columns."""
+    if len(values) != len(widths):
+        raise ConfigurationError("row length does not match widths")
+    cells = []
+    for value, width in zip(values, widths):
+        text = _to_text(value)
+        cells.append(text.ljust(width))
+    return "  ".join(cells).rstrip()
+
+
+def _to_text(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an ASCII table with a header rule."""
+    rows = [list(r) for r in rows]
+    widths: List[int] = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(_to_text(cell)))
+    lines = [
+        format_row(headers, widths),
+        format_row(["-" * w for w in widths], widths),
+    ]
+    lines.extend(format_row(row, widths) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Table I (GPUs evaluated) and Table II (workloads evaluated)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.harness.report import render_table
+from repro.hw.registry import get_gpu, list_gpus
+from repro.units import GIB
+from repro.workloads.registry import get_model, list_models
+
+
+def table1_gpus() -> List[Dict[str, object]]:
+    """Rows of the paper's Table I, from the hardware registry."""
+    rows: List[Dict[str, object]] = []
+    for name in list_gpus():
+        gpu = get_gpu(name)
+        rows.append(
+            {
+                "vendor": gpu.vendor.value.upper(),
+                "gpu": gpu.name,
+                "year": gpu.year,
+                "peak_fp32_tflops": gpu.datasheet_fp32_tflops,
+                "peak_fp16_tflops": gpu.datasheet_fp16_tflops,
+                "memory_gb": round(gpu.memory.capacity_bytes / GIB),
+            }
+        )
+    return rows
+
+
+def table2_workloads() -> List[Dict[str, object]]:
+    """Rows of the paper's Table II, from the workload registry."""
+    rows: List[Dict[str, object]] = []
+    for name in list_models():
+        model = get_model(name)
+        rows.append(
+            {
+                "model": model.name,
+                "family": model.family,
+                "parameters_b": round(model.billions, 1),
+                "layers": model.num_layers,
+                "attention_heads": model.num_heads,
+                "hidden_dim": model.hidden_dim,
+            }
+        )
+    return rows
+
+
+def render_table1() -> str:
+    """Table I as text."""
+    rows = table1_gpus()
+    headers = list(rows[0].keys())
+    return render_table(headers, [[r[h] for h in headers] for r in rows])
+
+
+def render_table2() -> str:
+    """Table II as text."""
+    rows = table2_workloads()
+    headers = list(rows[0].keys())
+    return render_table(headers, [[r[h] for h in headers] for r in rows])

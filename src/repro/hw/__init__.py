@@ -1,0 +1,39 @@
+"""Hardware models: GPUs, memory, interconnects, power, and DVFS.
+
+This subpackage encodes the four GPUs evaluated in the paper (Table I)
+plus the node-level interconnect fabrics (NVLink/NVSwitch, Infinity
+Fabric) and the power/DVFS behaviour needed for the power-capping
+studies (Fig. 9).
+"""
+
+from repro.hw.datapath import ComputePath, Datapath, Precision, resolve_path
+from repro.hw.gpu import GpuSpec, Vendor
+from repro.hw.interconnect import LinkSpec
+from repro.hw.memory import HbmSpec
+from repro.hw.power import GpuActivity, GpuPowerCoefficients, gpu_power
+from repro.hw.dvfs import FrequencyGovernor, PowerLimitPolicy
+from repro.hw.calibration import ContentionCalibration
+from repro.hw.system import NodeSpec, make_node
+from repro.hw.registry import get_gpu, get_link, list_gpus
+
+__all__ = [
+    "ComputePath",
+    "ContentionCalibration",
+    "Datapath",
+    "FrequencyGovernor",
+    "GpuActivity",
+    "GpuPowerCoefficients",
+    "GpuSpec",
+    "HbmSpec",
+    "LinkSpec",
+    "NodeSpec",
+    "PowerLimitPolicy",
+    "Precision",
+    "Vendor",
+    "get_gpu",
+    "get_link",
+    "gpu_power",
+    "list_gpus",
+    "make_node",
+    "resolve_path",
+]

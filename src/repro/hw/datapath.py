@@ -1,0 +1,94 @@
+"""Numeric precisions and compute datapaths.
+
+The paper's ablations (Figs. 10 and 11) vary two orthogonal knobs:
+
+* the numeric *precision* of the training run (FP32, TF32, FP16, BF16);
+* the *datapath* executing the math: general-purpose vector units
+  (CUDA cores / AMD SIMD) or specialized matrix units (NVIDIA Tensor
+  Cores / AMD Matrix Cores).
+
+A :class:`ComputePath` names one (precision, datapath) pair; each
+:class:`~repro.hw.gpu.GpuSpec` carries a dense peak-FLOPS entry per
+supported pair.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class Precision(enum.Enum):
+    """Numeric precision of a training run."""
+
+    FP32 = "fp32"
+    TF32 = "tf32"
+    FP16 = "fp16"
+    BF16 = "bf16"
+
+    @property
+    def bytes_per_element(self) -> int:
+        """Storage size of one element in memory.
+
+        TF32 is a *compute* format: tensors stay FP32-sized in HBM.
+        """
+        if self in (Precision.FP32, Precision.TF32):
+            return 4
+        return 2
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class Datapath(enum.Enum):
+    """Which functional units execute GEMM-like kernels."""
+
+    VECTOR = "vector"  # CUDA cores / AMD SIMD ALUs
+    TENSOR = "tensor"  # NVIDIA Tensor Cores / AMD Matrix Cores
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class ComputePath:
+    """A (precision, datapath) pair, e.g. FP16 on Tensor Cores."""
+
+    precision: Precision
+    datapath: Datapath
+
+    def __post_init__(self) -> None:
+        if self.precision is Precision.TF32 and self.datapath is Datapath.VECTOR:
+            raise ConfigurationError(
+                "TF32 only exists on the tensor-core datapath"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.precision.value}/{self.datapath.value}"
+
+
+# Canonical paths used throughout the experiments.
+FP32_VECTOR = ComputePath(Precision.FP32, Datapath.VECTOR)
+TF32_TENSOR = ComputePath(Precision.TF32, Datapath.TENSOR)
+FP16_TENSOR = ComputePath(Precision.FP16, Datapath.TENSOR)
+BF16_TENSOR = ComputePath(Precision.BF16, Datapath.TENSOR)
+FP16_VECTOR = ComputePath(Precision.FP16, Datapath.VECTOR)
+
+
+def resolve_path(precision: Precision, use_tensor_cores: bool) -> ComputePath:
+    """Map experiment knobs to a concrete :class:`ComputePath`.
+
+    Mirrors the framework behaviour the paper measures: FP16/BF16 GEMMs
+    go to tensor cores when enabled; FP32 stays on the vector path
+    unless TF32 conversion is enabled (in which case it becomes TF32 on
+    tensor cores, as with ``torch.backends.cuda.matmul.allow_tf32``).
+    """
+    if not use_tensor_cores:
+        if precision is Precision.TF32:
+            raise ConfigurationError("TF32 requires tensor cores")
+        return ComputePath(precision, Datapath.VECTOR)
+    if precision is Precision.FP32:
+        return TF32_TENSOR
+    return ComputePath(precision, Datapath.TENSOR)

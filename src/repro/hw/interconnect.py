@@ -1,0 +1,64 @@
+"""GPU-to-GPU interconnect models (NVLink/NVSwitch, Infinity Fabric)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import US
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A per-GPU interconnect attachment.
+
+    ``aggregate_bidir_bytes_per_s`` is the datasheet number the paper
+    quotes (900 GB/s for H100 NVLink4, 600 GB/s for A100 NVLink3,
+    300 GB/s Infinity Fabric): total bandwidth summed over both
+    directions and all links of one GPU. Ring collectives stream in one
+    direction, so the usable per-direction rate is half of that, further
+    derated by a protocol ``efficiency``.
+
+    ``switched`` records whether peer-to-peer bandwidth is guaranteed at
+    full rate regardless of pairing (NVSwitch) or shared across
+    directly-attached neighbours (MI2xx Infinity Fabric meshes).
+    """
+
+    name: str
+    technology: str
+    aggregate_bidir_bytes_per_s: float
+    latency_s: float = 3.0 * US
+    efficiency: float = 0.80
+    switched: bool = True
+
+    def __post_init__(self) -> None:
+        if self.aggregate_bidir_bytes_per_s <= 0:
+            raise ConfigurationError("link bandwidth must be positive")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ConfigurationError("link efficiency must be in (0, 1]")
+        if self.latency_s < 0:
+            raise ConfigurationError("link latency must be >= 0")
+
+    @property
+    def unidir_bytes_per_s(self) -> float:
+        """Peak one-direction bandwidth (half the aggregate)."""
+        return self.aggregate_bidir_bytes_per_s / 2.0
+
+    @property
+    def effective_unidir_bytes_per_s(self) -> float:
+        """Sustained one-direction bandwidth after protocol overhead."""
+        return self.unidir_bytes_per_s * self.efficiency
+
+    def ramp_bandwidth(self, message_bytes: float, half_point_bytes: float) -> float:
+        """Message-size-dependent achievable bandwidth (bytes/s).
+
+        Small messages are latency/launch dominated and reach only a
+        fraction of peak; the classic ``msg / (msg + half_point)`` ramp
+        matches measured NCCL bus-bandwidth curves well enough for the
+        contention analysis (a message of ``half_point_bytes`` achieves
+        half the sustained bandwidth).
+        """
+        if message_bytes <= 0:
+            return 0.0
+        frac = message_bytes / (message_bytes + half_point_bytes)
+        return self.effective_unidir_bytes_per_s * frac

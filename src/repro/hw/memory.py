@@ -1,0 +1,38 @@
+"""High-bandwidth memory (HBM) model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class HbmSpec:
+    """Capacity and bandwidth of a GPU's HBM stack.
+
+    ``streaming_efficiency`` is the fraction of the pin bandwidth a
+    well-tuned streaming kernel actually sustains (STREAM-like copy
+    efficiency); both compute kernels and collective staging buffers are
+    limited by the *effective* bandwidth.
+    """
+
+    capacity_bytes: int
+    bandwidth_bytes_per_s: float
+    technology: str = "HBM2e"
+    streaming_efficiency: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError("HBM capacity must be positive")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError("HBM bandwidth must be positive")
+        if not 0.0 < self.streaming_efficiency <= 1.0:
+            raise ConfigurationError(
+                "streaming efficiency must be in (0, 1]"
+            )
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Sustainable bandwidth in bytes/s for streaming access."""
+        return self.bandwidth_bytes_per_s * self.streaming_efficiency

@@ -1,0 +1,161 @@
+"""Registry of the GPUs and links evaluated in the paper (Table I)."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import UnknownSpecError
+from repro.hw.gpu import GpuSpec, Vendor, _amd_paths, _nvidia_paths
+from repro.hw.interconnect import LinkSpec
+from repro.hw.memory import HbmSpec
+from repro.units import GB_PER_S, GHZ, GIB, TFLOPS, US
+
+# ---------------------------------------------------------------------------
+# GPUs (datasheet numbers; Table I of the paper)
+# ---------------------------------------------------------------------------
+
+A100 = GpuSpec(
+    name="A100",
+    vendor=Vendor.NVIDIA,
+    year=2020,
+    peak_flops=_nvidia_paths(
+        fp32=19.5 * TFLOPS, tf32=156.0 * TFLOPS, fp16=312.0 * TFLOPS
+    ),
+    memory=HbmSpec(
+        capacity_bytes=40 * GIB,
+        bandwidth_bytes_per_s=1555 * GB_PER_S,
+        technology="HBM2e",
+    ),
+    num_sms=108,
+    boost_clock_hz=1.410 * GHZ,
+    tdp_w=400.0,
+    datasheet_fp32_tflops=19.5,
+    datasheet_fp16_tflops=312.0,
+)
+
+H100 = GpuSpec(
+    name="H100",
+    vendor=Vendor.NVIDIA,
+    year=2022,
+    # Dense peaks; Table I's 1979 TFLOPS is the 2:4-sparsity figure.
+    peak_flops=_nvidia_paths(
+        fp32=66.9 * TFLOPS, tf32=494.7 * TFLOPS, fp16=989.4 * TFLOPS
+    ),
+    memory=HbmSpec(
+        capacity_bytes=80 * GIB,
+        bandwidth_bytes_per_s=3350 * GB_PER_S,
+        technology="HBM3",
+    ),
+    num_sms=132,
+    boost_clock_hz=1.980 * GHZ,
+    tdp_w=700.0,
+    datasheet_fp32_tflops=66.9,
+    datasheet_fp16_tflops=1979.0,
+)
+
+MI210 = GpuSpec(
+    name="MI210",
+    vendor=Vendor.AMD,
+    year=2021,
+    peak_flops=_amd_paths(
+        fp32=22.6 * TFLOPS, fp32_matrix=45.3 * TFLOPS, fp16=181.0 * TFLOPS
+    ),
+    memory=HbmSpec(
+        capacity_bytes=64 * GIB,
+        bandwidth_bytes_per_s=1638 * GB_PER_S,
+        technology="HBM2e",
+    ),
+    num_sms=104,
+    boost_clock_hz=1.700 * GHZ,
+    tdp_w=300.0,
+    datasheet_fp32_tflops=22.6,
+    datasheet_fp16_tflops=181.0,
+)
+
+MI250 = GpuSpec(
+    name="MI250",
+    vendor=Vendor.AMD,
+    year=2021,
+    # Dual-GCD package reported as one logical GPU with aggregate
+    # resources, matching the paper's presentation.
+    peak_flops=_amd_paths(
+        fp32=45.3 * TFLOPS, fp32_matrix=90.5 * TFLOPS, fp16=362.1 * TFLOPS
+    ),
+    memory=HbmSpec(
+        capacity_bytes=128 * GIB,
+        bandwidth_bytes_per_s=3277 * GB_PER_S,
+        technology="HBM2e",
+    ),
+    num_sms=208,
+    boost_clock_hz=1.700 * GHZ,
+    tdp_w=560.0,
+    datasheet_fp32_tflops=45.3,
+    datasheet_fp16_tflops=362.1,
+)
+
+_GPUS: Dict[str, GpuSpec] = {
+    "A100": A100,
+    "H100": H100,
+    "MI210": MI210,
+    "MI250": MI250,
+}
+
+# ---------------------------------------------------------------------------
+# Links (paper section IV-A)
+# ---------------------------------------------------------------------------
+
+NVLINK4 = LinkSpec(
+    name="nvlink4",
+    technology="NVLink4+NVSwitch",
+    aggregate_bidir_bytes_per_s=900 * GB_PER_S,
+    latency_s=2.0 * US,
+    switched=True,
+)
+
+NVLINK3 = LinkSpec(
+    name="nvlink3",
+    technology="NVLink3+NVSwitch",
+    aggregate_bidir_bytes_per_s=600 * GB_PER_S,
+    latency_s=2.5 * US,
+    switched=True,
+)
+
+INFINITY_FABRIC = LinkSpec(
+    name="infinity-fabric",
+    technology="InfinityFabric",
+    aggregate_bidir_bytes_per_s=300 * GB_PER_S,
+    latency_s=3.5 * US,
+    # RCCL on MI2xx meshes sustains a markedly lower fraction of the
+    # fabric's datasheet rate than NCCL does on NVSwitch (measured
+    # all-gather bus bandwidth sits near half the per-direction peak).
+    efficiency=0.55,
+    switched=False,
+)
+
+_LINKS: Dict[str, LinkSpec] = {
+    "A100": NVLINK3,
+    "H100": NVLINK4,
+    "MI210": INFINITY_FABRIC,
+    "MI250": INFINITY_FABRIC,
+}
+
+
+def get_gpu(name: str) -> GpuSpec:
+    """Look up a GPU by (case-insensitive) name."""
+    spec = _GPUS.get(name.upper())
+    if spec is None:
+        raise UnknownSpecError("GPU", name, tuple(_GPUS))
+    return spec
+
+
+def get_link(gpu_name: str) -> LinkSpec:
+    """The fabric a given GPU model ships with in the evaluated nodes."""
+    link = _LINKS.get(gpu_name.upper())
+    if link is None:
+        raise UnknownSpecError("link for GPU", gpu_name, tuple(_LINKS))
+    return link
+
+
+def list_gpus() -> Tuple[str, ...]:
+    """Names of all registered GPUs, in Table I order."""
+    return tuple(_GPUS)

@@ -1,0 +1,34 @@
+"""Distributed-training execution plans.
+
+Builders translate (model, node, strategy, mode) into per-GPU stream
+programs for the simulator:
+
+* :mod:`repro.parallel.fsdp` — ZeRO-3 style fully-sharded data
+  parallelism with all-gather prefetch and backward reduce-scatter;
+* :mod:`repro.parallel.pipeline` — GPipe-style pipeline parallelism
+  with microbatched activation/gradient send-recv;
+* :mod:`repro.parallel.ddp` — classic data parallelism with bucketed
+  gradient all-reduce (the baseline strategy).
+
+Every builder supports ``overlap=True`` (collectives on dedicated comm
+streams, prefetching enabled) and ``overlap=False`` (the paper's
+*sequential* execution: the same operations serialized with compute).
+"""
+
+from repro.parallel.plan import ExecutionPlan, PlanBuilder
+from repro.parallel.fsdp import build_fsdp_plan
+from repro.parallel.pipeline import build_pipeline_plan
+from repro.parallel.ddp import build_ddp_plan
+from repro.parallel.placement import balanced_partition
+from repro.parallel.strategy import Strategy, build_plan
+
+__all__ = [
+    "ExecutionPlan",
+    "PlanBuilder",
+    "Strategy",
+    "balanced_partition",
+    "build_ddp_plan",
+    "build_fsdp_plan",
+    "build_pipeline_plan",
+    "build_plan",
+]

@@ -1,0 +1,264 @@
+"""Expert-parallel (MoE) execution plans with chunked all-to-all overlap.
+
+Expert parallelism places ``num_experts / world`` experts on each rank.
+Every MoE layer's forward is: attention (replicated data-parallel
+compute), gate, **dispatch all-to-all**, local expert FFNs, **combine
+all-to-all**, token re-combination. The all-to-alls sit on the critical
+path, which is why Tutel/Lancet-style systems *chunk* them: the token
+buffer splits into C chunks, chunk i+1's dispatch overlaps chunk i's
+expert compute — pipelining communication behind compute inside the
+layer.
+
+``overlap=True`` builds the chunked pipeline (C = ``num_chunks``);
+``overlap=False`` emits whole-buffer all-to-alls serialized with the
+compute, the sequential baseline. Dense (non-MoE) layers run exactly as
+in DDP, with their gradient all-reduce in backward.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.collectives.primitives import CollectiveKind
+from repro.errors import ConfigurationError
+from repro.hw.system import NodeSpec
+from repro.parallel.plan import ExecutionPlan, PlanBuilder
+from repro.sim.task import COMM_STREAM, COMPUTE_STREAM
+from repro.workloads.moe import (
+    MoESpec,
+    combine_kernel,
+    expert_ffn_kernels,
+    gate_kernel,
+)
+from repro.workloads.transformer import (
+    TrainingShape,
+    build_head_backward,
+    build_head_forward,
+    build_layer_forward,
+    build_optimizer_kernels,
+)
+
+DEFAULT_NUM_CHUNKS = 2
+
+
+def build_expert_parallel_plan(
+    node: NodeSpec,
+    spec: MoESpec,
+    shape: TrainingShape,
+    overlap: bool = True,
+    num_chunks: int = DEFAULT_NUM_CHUNKS,
+) -> ExecutionPlan:
+    """Build one expert-parallel MoE training iteration."""
+    world = node.num_gpus
+    if world < 2:
+        raise ConfigurationError("expert parallelism needs at least two GPUs")
+    if spec.num_experts % world != 0:
+        raise ConfigurationError(
+            f"{spec.num_experts} experts do not shard evenly over "
+            f"{world} ranks"
+        )
+    if num_chunks < 1:
+        raise ConfigurationError("num_chunks must be >= 1")
+    if not overlap:
+        num_chunks = 1
+    experts_per_rank = spec.num_experts // world
+    gpus = list(range(world))
+    model = spec.base
+    # Data parallelism over the global batch for the dense backbone.
+    per_gpu_batch = max(1, math.ceil(shape.batch_size / world))
+    local_shape = shape.with_batch(per_gpu_batch)
+    a2a_bytes = spec.dispatch_bytes(local_shape)
+    chunk_bytes = a2a_bytes / num_chunks
+    comm_stream = COMM_STREAM if overlap else COMPUTE_STREAM
+    elt = shape.path.precision.bytes_per_element
+
+    mode = "overlap" if overlap else "sequential"
+    builder = PlanBuilder(
+        name=f"ep-{spec.name}-b{shape.batch_size}-{mode}"
+    )
+    builder.metadata.update(
+        {
+            "strategy": "expert",
+            "overlap": overlap,
+            "model": spec.name,
+            "batch_size": shape.batch_size,
+            "world_size": world,
+            "num_chunks": num_chunks,
+            "alltoall_payload_bytes": a2a_bytes,
+        }
+    )
+
+    head_fwd = build_head_forward(model, local_shape)
+    last_on: Dict[int, Optional[int]] = {g: None for g in gpus}
+
+    def dep(g: int) -> List[int]:
+        tid = last_on[g]
+        return [tid] if tid is not None else []
+
+    for g in gpus:
+        last_on[g] = builder.add_compute(g, head_fwd[0], phase="forward")
+
+    def emit_moe_ffn(layer: int, phase: str, scale: float) -> None:
+        """One MoE FFN pass (forward: scale=1; backward: scale=2 for
+        dgrad+wgrad), chunked so all-to-alls pipeline behind compute."""
+        ffn_kernels = expert_ffn_kernels(
+            spec, local_shape, layer, experts_per_rank
+        )
+        if scale != 1.0:
+            ffn_kernels = [
+                k.scaled(scale, name_suffix=".bwd") for k in ffn_kernels
+            ]
+        # Chunk the expert compute to pair with chunked all-to-alls.
+        chunked = [
+            k.scaled(1.0 / num_chunks, name_suffix=f".c{c}")
+            for c in range(num_chunks)
+            for k in ffn_kernels
+        ]
+        per_chunk = len(ffn_kernels)
+        dispatch_done: Dict[int, Dict[int, int]] = {}
+        for c in range(num_chunks):
+            dispatch_done[c] = builder.add_collective(
+                CollectiveKind.ALL_TO_ALL,
+                chunk_bytes,
+                gpus,
+                deps_by_gpu={g: dep(g) for g in gpus} if c == 0 else {},
+                stream=comm_stream,
+                phase=phase,
+                label=f"L{layer}.a2a_dispatch.c{c}",
+            )
+        combine_done: Dict[int, int] = {}
+        for c in range(num_chunks):
+            chunk_kernels = chunked[c * per_chunk : (c + 1) * per_chunk]
+            last_compute: Dict[int, int] = {}
+            for g in gpus:
+                first = True
+                for kernel in chunk_kernels:
+                    deps = [dispatch_done[c][g]] if first else ()
+                    last_compute[g] = builder.add_compute(
+                        g, kernel, deps=deps, phase=phase
+                    )
+                    first = False
+            combine_done = builder.add_collective(
+                CollectiveKind.ALL_TO_ALL,
+                chunk_bytes,
+                gpus,
+                deps_by_gpu={g: [last_compute[g]] for g in gpus},
+                stream=comm_stream,
+                phase=phase,
+                label=f"L{layer}.a2a_combine.c{c}",
+            )
+        for g in gpus:
+            last_on[g] = combine_done[g]
+
+    # ------------------------------------------------------------------
+    # forward
+    # ------------------------------------------------------------------
+    for layer in range(model.num_layers):
+        dense = build_layer_forward(model, local_shape, layer)
+        if spec.is_moe_layer(layer):
+            # Attention part of the block: everything before the MLP.
+            attn_part = [k for k in dense if "mlp" not in k.name]
+            for g in gpus:
+                first = True
+                for kernel in attn_part:
+                    last_on[g] = builder.add_compute(
+                        g, kernel, deps=dep(g) if first else (), phase="forward"
+                    )
+                    first = False
+                last_on[g] = builder.add_compute(
+                    g,
+                    gate_kernel(spec, local_shape, layer),
+                    deps=dep(g),
+                    phase="forward",
+                )
+            emit_moe_ffn(layer, "forward", scale=1.0)
+            for g in gpus:
+                last_on[g] = builder.add_compute(
+                    g,
+                    combine_kernel(spec, local_shape, layer),
+                    deps=dep(g),
+                    phase="forward",
+                )
+        else:
+            for g in gpus:
+                first = True
+                for kernel in dense:
+                    last_on[g] = builder.add_compute(
+                        g, kernel, deps=dep(g) if first else (), phase="forward"
+                    )
+                    first = False
+
+    for g in gpus:
+        last_on[g] = builder.add_compute(
+            g, head_fwd[1], deps=dep(g), phase="forward"
+        )
+
+    # ------------------------------------------------------------------
+    # backward (reverse layer order; MoE layers re-run the all-to-alls)
+    # ------------------------------------------------------------------
+    for g in gpus:
+        first = True
+        for kernel in build_head_backward(model, local_shape):
+            last_on[g] = builder.add_compute(
+                g, kernel, deps=dep(g) if first else (), phase="backward"
+            )
+            first = False
+
+    for layer in reversed(range(model.num_layers)):
+        dense = build_layer_forward(model, local_shape, layer)
+        if spec.is_moe_layer(layer):
+            emit_moe_ffn(layer, "backward", scale=2.0)
+            attn_part = [k for k in dense if "mlp" not in k.name]
+            for g in gpus:
+                first = True
+                for kernel in attn_part:
+                    last_on[g] = builder.add_compute(
+                        g,
+                        kernel.scaled(2.0, name_suffix=".bwd"),
+                        deps=dep(g) if first else (),
+                        phase="backward",
+                    )
+                    first = False
+        else:
+            for g in gpus:
+                first = True
+                for kernel in dense:
+                    last_on[g] = builder.add_compute(
+                        g,
+                        kernel.scaled(2.0, name_suffix=".bwd"),
+                        deps=dep(g) if first else (),
+                        phase="backward",
+                    )
+                    first = False
+
+    # Dense (non-expert) gradients all-reduce across data-parallel ranks;
+    # expert gradients stay local (each expert lives on one rank).
+    dense_grad_bytes = float(model.num_params) * elt
+    grad_sync = builder.add_collective(
+        CollectiveKind.ALL_REDUCE,
+        dense_grad_bytes,
+        gpus,
+        deps_by_gpu={g: dep(g) for g in gpus},
+        stream=comm_stream,
+        phase="backward",
+        label="dense_grad_allreduce",
+    )
+    for g in gpus:
+        last_on[g] = grad_sync[g]
+
+    # ------------------------------------------------------------------
+    # optimizer: dense replica + local experts
+    # ------------------------------------------------------------------
+    local_params = float(model.num_params) + (
+        float(spec.num_moe_layers * experts_per_rank * spec.expert_params)
+    )
+    for g in gpus:
+        first = True
+        for kernel in build_optimizer_kernels(model, shape, params=local_params):
+            builder.add_compute(
+                g, kernel, deps=dep(g) if first else (), phase="optimizer"
+            )
+            first = False
+
+    return builder.build()

@@ -1,0 +1,246 @@
+"""Execution plans: ordered per-GPU stream programs plus dependencies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.collectives.primitives import CollectiveKind, CollectiveOp
+from repro.errors import PlanError
+from repro.sim.task import COMM_STREAM, COMPUTE_STREAM, CommTask, ComputeTask, Task
+from repro.workloads.kernels import KernelSpec
+
+
+@dataclass
+class ExecutionPlan:
+    """A validated set of tasks ready for simulation.
+
+    Tasks appear in per-stream program order (the order they were added
+    to the builder); ``deps`` encode cross-stream and cross-GPU edges.
+    """
+
+    name: str
+    tasks: List[Task] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    def tasks_on(self, gpu: int, stream: str = None) -> List[Task]:  # type: ignore[assignment]
+        """Tasks of one GPU (optionally one stream), in program order."""
+        return [
+            t
+            for t in self.tasks
+            if t.gpu == gpu and (stream is None or t.stream == stream)
+        ]
+
+    def validate(self) -> None:
+        """Check id uniqueness, dependency closure, collective
+        completeness and acyclicity."""
+        ids = set()
+        for task in self.tasks:
+            if task.task_id in ids:
+                raise PlanError(f"duplicate task id {task.task_id}")
+            ids.add(task.task_id)
+        for task in self.tasks:
+            unknown = task.deps - ids
+            if unknown:
+                raise PlanError(
+                    f"task {task.label}: unknown deps {sorted(unknown)}"
+                )
+        self._check_collectives_complete()
+        self._check_acyclic()
+
+    def _check_collectives_complete(self) -> None:
+        # Every collective op must have exactly one CommTask per
+        # participant; a missing rank would hang the rendezvous at
+        # simulation time, so catch it at build time.
+        posted: Dict[str, List[int]] = {}
+        ops: Dict[str, CollectiveOp] = {}
+        for task in self.tasks:
+            op = getattr(task, "op", None)
+            if op is None:
+                continue
+            posted.setdefault(op.key, []).append(task.gpu)
+            ops[op.key] = op
+        for key, gpus in posted.items():
+            expected = sorted(ops[key].participants)
+            if sorted(gpus) != expected:
+                raise PlanError(
+                    f"collective {key}: rank tasks {sorted(gpus)} do not "
+                    f"match participants {expected}"
+                )
+
+    def _check_acyclic(self) -> None:
+        # Edges: explicit deps plus implicit stream-order edges.
+        successors: Dict[int, List[int]] = {t.task_id: [] for t in self.tasks}
+        indegree: Dict[int, int] = {t.task_id: 0 for t in self.tasks}
+        prev_in_stream: Dict[Tuple[int, str], int] = {}
+        for task in self.tasks:
+            for dep in task.deps:
+                successors[dep].append(task.task_id)
+                indegree[task.task_id] += 1
+            key = (task.gpu, task.stream)
+            if key in prev_in_stream:
+                successors[prev_in_stream[key]].append(task.task_id)
+                indegree[task.task_id] += 1
+            prev_in_stream[key] = task.task_id
+        ready = [tid for tid, deg in indegree.items() if deg == 0]
+        seen = 0
+        while ready:
+            tid = ready.pop()
+            seen += 1
+            for succ in successors[tid]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+        if seen != len(self.tasks):
+            stuck = [tid for tid, deg in indegree.items() if deg > 0]
+            raise PlanError(
+                f"plan {self.name}: dependency cycle involving task ids "
+                f"{sorted(stuck)[:10]}"
+            )
+
+
+class PlanBuilder:
+    """Incremental construction of an :class:`ExecutionPlan`.
+
+    The builder hands out dense task ids and keeps per-stream program
+    order implicitly (insertion order). Collective helpers create one
+    :class:`CommTask` per participant sharing a single
+    :class:`CollectiveOp`.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._tasks: List[Task] = []
+        self._next_id = 0
+        self._collective_seq = 0
+        self.metadata: Dict[str, object] = {}
+
+    def _allocate(self) -> int:
+        tid = self._next_id
+        self._next_id += 1
+        return tid
+
+    def add_compute(
+        self,
+        gpu: int,
+        kernel: KernelSpec,
+        deps: Iterable[int] = (),
+        stream: str = COMPUTE_STREAM,
+        phase: str = "",
+        label: Optional[str] = None,
+    ) -> int:
+        """Append a compute kernel; returns its task id."""
+        tid = self._allocate()
+        self._tasks.append(
+            ComputeTask(
+                task_id=tid,
+                gpu=gpu,
+                stream=stream,
+                label=label or f"g{gpu}.{kernel.name}",
+                deps=frozenset(deps),
+                phase=phase,
+                kernel=kernel,
+            )
+        )
+        return tid
+
+    def add_collective(
+        self,
+        kind: CollectiveKind,
+        payload_bytes: float,
+        participants: Sequence[int],
+        deps_by_gpu: Optional[Dict[int, Iterable[int]]] = None,
+        stream: str = COMM_STREAM,
+        phase: str = "",
+        label: Optional[str] = None,
+    ) -> Dict[int, int]:
+        """Append one collective across ``participants``.
+
+        Returns a mapping gpu -> CommTask id so callers can wire
+        per-rank dependencies on completion.
+        """
+        self._collective_seq += 1
+        key = f"{self.name}/{label or kind.value}#{self._collective_seq}"
+        op = CollectiveOp(
+            key=key,
+            kind=kind,
+            payload_bytes=payload_bytes,
+            participants=tuple(participants),
+        )
+        deps_by_gpu = deps_by_gpu or {}
+        out: Dict[int, int] = {}
+        for gpu in participants:
+            tid = self._allocate()
+            self._tasks.append(
+                CommTask(
+                    task_id=tid,
+                    gpu=gpu,
+                    stream=stream,
+                    label=label or f"g{gpu}.{kind.value}",
+                    deps=frozenset(deps_by_gpu.get(gpu, ())),
+                    phase=phase,
+                    op=op,
+                )
+            )
+            out[gpu] = tid
+        return out
+
+    def begin_collective(
+        self,
+        kind: CollectiveKind,
+        payload_bytes: float,
+        participants: Sequence[int],
+        label: Optional[str] = None,
+    ) -> CollectiveOp:
+        """Create a collective op without emitting any rank task yet.
+
+        Use together with :meth:`add_collective_rank` when the ranks'
+        tasks must land at *different positions* of their streams — e.g.
+        a pipeline send enqueued right after the producing compute while
+        the matching recv is enqueued just before the consuming compute.
+        """
+        self._collective_seq += 1
+        key = f"{self.name}/{label or kind.value}#{self._collective_seq}"
+        return CollectiveOp(
+            key=key,
+            kind=kind,
+            payload_bytes=payload_bytes,
+            participants=tuple(participants),
+        )
+
+    def add_collective_rank(
+        self,
+        op: CollectiveOp,
+        gpu: int,
+        deps: Iterable[int] = (),
+        stream: str = COMM_STREAM,
+        phase: str = "",
+        label: Optional[str] = None,
+    ) -> int:
+        """Emit one rank's participation in a collective begun with
+        :meth:`begin_collective`; returns the CommTask id."""
+        tid = self._allocate()
+        self._tasks.append(
+            CommTask(
+                task_id=tid,
+                gpu=gpu,
+                stream=stream,
+                label=label or f"g{gpu}.{op.kind.value}",
+                deps=frozenset(deps),
+                phase=phase,
+                op=op,
+            )
+        )
+        return tid
+
+    def build(self) -> ExecutionPlan:
+        """Finalize and validate the plan."""
+        plan = ExecutionPlan(
+            name=self.name, tasks=list(self._tasks), metadata=dict(self.metadata)
+        )
+        plan.validate()
+        return plan

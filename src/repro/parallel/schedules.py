@@ -1,0 +1,173 @@
+"""Pipeline-parallel microbatch schedules: GPipe and 1F1B.
+
+A schedule is, per stage, the ordered list of compute steps the stage
+executes — each step a (phase, microbatch) pair. Two classic schedules:
+
+* **GPipe** (all-forward-then-all-backward, with flush): simple, but
+  activations for *every* microbatch stay live through the forward
+  phase. The backward phase pops microbatches in LIFO order.
+* **1F1B** (PipeDream-flush / Megatron's default): after a warmup of
+  ``num_stages - stage - 1`` forwards, each stage alternates one
+  forward with one backward, bounding live activations to roughly the
+  stage depth instead of the microbatch count — the memory-efficient
+  schedule of Narayanan et al. [paper ref 10].
+
+Both schedules produce the same arithmetic; they differ in ordering,
+which changes the overlap windows between the point-to-point transfers
+and compute — exactly the knob this reproduction exists to study.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+
+
+class StepPhase(enum.Enum):
+    """Direction of one schedule step."""
+
+    FORWARD = "F"
+    BACKWARD = "B"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class ScheduleStep:
+    """One unit of stage work: run ``phase`` for ``microbatch``."""
+
+    phase: StepPhase
+    microbatch: int
+
+    def __post_init__(self) -> None:
+        if self.microbatch < 0:
+            raise ConfigurationError("microbatch index must be >= 0")
+
+    def __str__(self) -> str:
+        return f"{self.phase.value}{self.microbatch}"
+
+
+class PipelineSchedule(enum.Enum):
+    """The supported pipeline schedules."""
+
+    GPIPE = "gpipe"
+    ONE_F_ONE_B = "1f1b"
+
+    @classmethod
+    def parse(cls, value: "str | PipelineSchedule") -> "PipelineSchedule":
+        """Accept the enum or its string name."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value.lower())
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown pipeline schedule {value!r} "
+                f"(choose from {[s.value for s in cls]})"
+            ) from None
+
+
+def gpipe_order(
+    num_stages: int, num_micro: int, stage: int
+) -> List[ScheduleStep]:
+    """GPipe: all forwards in order, then all backwards LIFO."""
+    _validate(num_stages, num_micro, stage)
+    steps = [
+        ScheduleStep(StepPhase.FORWARD, m) for m in range(num_micro)
+    ]
+    steps.extend(
+        ScheduleStep(StepPhase.BACKWARD, m)
+        for m in range(num_micro - 1, -1, -1)
+    )
+    return steps
+
+
+def one_f_one_b_order(
+    num_stages: int, num_micro: int, stage: int
+) -> List[ScheduleStep]:
+    """1F1B: warmup forwards, steady 1F1B alternation, cooldown backwards."""
+    _validate(num_stages, num_micro, stage)
+    warmup = min(num_stages - stage - 1, num_micro)
+    steps: List[ScheduleStep] = []
+    forward = 0
+    backward = 0
+    for _ in range(warmup):
+        steps.append(ScheduleStep(StepPhase.FORWARD, forward))
+        forward += 1
+    while forward < num_micro:
+        steps.append(ScheduleStep(StepPhase.FORWARD, forward))
+        forward += 1
+        steps.append(ScheduleStep(StepPhase.BACKWARD, backward))
+        backward += 1
+    while backward < num_micro:
+        steps.append(ScheduleStep(StepPhase.BACKWARD, backward))
+        backward += 1
+    return steps
+
+
+def build_order(
+    schedule: "str | PipelineSchedule",
+    num_stages: int,
+    num_micro: int,
+    stage: int,
+) -> List[ScheduleStep]:
+    """Per-stage step order for the requested schedule."""
+    schedule = PipelineSchedule.parse(schedule)
+    if schedule is PipelineSchedule.GPIPE:
+        return gpipe_order(num_stages, num_micro, stage)
+    return one_f_one_b_order(num_stages, num_micro, stage)
+
+
+def max_live_microbatches(
+    schedule: "str | PipelineSchedule", num_stages: int, num_micro: int
+) -> int:
+    """Peak in-flight microbatches on the most-loaded stage.
+
+    Drives the activation-memory feasibility check: GPipe keeps every
+    microbatch live; 1F1B bounds it by the stage depth.
+    """
+    schedule = PipelineSchedule.parse(schedule)
+    if schedule is PipelineSchedule.GPIPE:
+        return num_micro
+    return min(num_stages, num_micro)
+
+
+def validate_order(steps: List[ScheduleStep], num_micro: int) -> None:
+    """Check a step order is complete and causally sane.
+
+    Every microbatch must run forward exactly once and backward exactly
+    once, with the forward preceding the backward.
+    """
+    fwd_seen = {}
+    bwd_seen = {}
+    for index, step in enumerate(steps):
+        book = fwd_seen if step.phase is StepPhase.FORWARD else bwd_seen
+        if step.microbatch in book:
+            raise ConfigurationError(
+                f"microbatch {step.microbatch} scheduled twice for "
+                f"{step.phase}"
+            )
+        book[step.microbatch] = index
+    expected = set(range(num_micro))
+    if set(fwd_seen) != expected or set(bwd_seen) != expected:
+        raise ConfigurationError("schedule does not cover all microbatches")
+    for micro in expected:
+        if bwd_seen[micro] < fwd_seen[micro]:
+            raise ConfigurationError(
+                f"microbatch {micro}: backward before forward"
+            )
+
+
+def _validate(num_stages: int, num_micro: int, stage: int) -> None:
+    if num_stages < 1:
+        raise ConfigurationError("num_stages must be >= 1")
+    if num_micro < 1:
+        raise ConfigurationError("num_micro must be >= 1")
+    if not 0 <= stage < num_stages:
+        raise ConfigurationError(
+            f"stage {stage} out of range for {num_stages} stages"
+        )

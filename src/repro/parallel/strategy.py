@@ -1,0 +1,68 @@
+"""Strategy dispatch: one entry point over the three plan builders."""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.hw.system import NodeSpec
+from repro.parallel.ddp import build_ddp_plan
+from repro.parallel.fsdp import build_fsdp_plan
+from repro.parallel.pipeline import build_pipeline_plan
+from repro.parallel.plan import ExecutionPlan
+from repro.parallel.tensor_parallel import build_tensor_parallel_plan
+from repro.workloads.spec import ModelSpec
+from repro.workloads.transformer import TrainingShape
+
+
+class Strategy(enum.Enum):
+    """Distribution strategies evaluated in the paper (plus DDP baseline)."""
+
+    FSDP = "fsdp"
+    PIPELINE = "pipeline"
+    DDP = "ddp"
+    TENSOR = "tensor"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @classmethod
+    def parse(cls, value: "str | Strategy") -> "Strategy":
+        """Accept a Strategy or its string name."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value.lower())
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown strategy {value!r} "
+                f"(choose from {[s.value for s in cls]})"
+            ) from None
+
+
+def build_plan(
+    node: NodeSpec,
+    model: ModelSpec,
+    shape: TrainingShape,
+    strategy: "str | Strategy",
+    overlap: bool = True,
+    microbatch_size: Optional[int] = None,
+    pipeline_schedule: str = "gpipe",
+) -> ExecutionPlan:
+    """Build a training-iteration plan for the requested strategy."""
+    strategy = Strategy.parse(strategy)
+    if strategy is Strategy.FSDP:
+        return build_fsdp_plan(node, model, shape, overlap=overlap)
+    if strategy is Strategy.PIPELINE:
+        return build_pipeline_plan(
+            node,
+            model,
+            shape,
+            overlap=overlap,
+            microbatch_size=microbatch_size,
+            schedule=pipeline_schedule,
+        )
+    if strategy is Strategy.TENSOR:
+        return build_tensor_parallel_plan(node, model, shape, overlap=overlap)
+    return build_ddp_plan(node, model, shape, overlap=overlap)

@@ -1,0 +1,273 @@
+"""Tensor-parallel (Megatron-style) execution plans.
+
+Megatron-LM shards every GEMM of a decoder block across GPUs: the QKV
+and MLP-up projections column-wise, the attention-output and MLP-down
+projections row-wise. Each rank computes ``1/world`` of every GEMM on
+the *full* batch, and the block's activations are re-materialized with
+an ``all-reduce`` after the attention block and after the MLP — two
+all-reduces per layer in forward, and two more for the input gradients
+in backward.
+
+The overlap structure differs from both FSDP and pipeline parallelism:
+
+* the *forward* all-reduces sit on the critical path (the next layer's
+  norm consumes their output) and cannot be hidden;
+* the *backward* input-gradient all-reduces can overlap the weight-
+  gradient GEMMs of the same layer (dgrad produces the payload, wgrad
+  needs only forward activations) — the classic Megatron optimization,
+  and the only overlap window this strategy has.
+
+With ``overlap=False`` the backward all-reduces are emitted on the
+compute stream after the wgrad GEMMs, serializing everything — the
+paper's sequential baseline applied to TP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.collectives.primitives import CollectiveKind
+from repro.errors import ConfigurationError
+from repro.hw.system import NodeSpec
+from repro.parallel.plan import ExecutionPlan, PlanBuilder
+from repro.sim.task import COMM_STREAM, COMPUTE_STREAM
+from repro.workloads.kernels import KernelKind, KernelSpec
+from repro.workloads.spec import ModelSpec
+from repro.workloads.transformer import (
+    TrainingShape,
+    build_head_backward,
+    build_head_forward,
+    build_layer_forward,
+    build_optimizer_kernels,
+)
+
+
+def shard_layer_kernels(
+    kernels: List[KernelSpec], world: int
+) -> List[KernelSpec]:
+    """Shard a decoder block's kernels across ``world`` TP ranks.
+
+    GEMMs and attention are partitioned 1/world per rank (columns/rows
+    of the weight matrices, heads for attention); norms, residuals and
+    other elementwise work stay replicated at full size, exactly as in
+    Megatron (each rank holds the full activation tensor between the
+    two all-reduce points).
+    """
+    if world < 1:
+        raise ConfigurationError("world size must be >= 1")
+    sharded: List[KernelSpec] = []
+    for kernel in kernels:
+        if kernel.kind in (KernelKind.GEMM, KernelKind.ATTENTION):
+            sharded.append(kernel.scaled(1.0 / world, name_suffix=".tp"))
+        else:
+            sharded.append(kernel)
+    return sharded
+
+
+def _activation_bytes(model: ModelSpec, shape: TrainingShape) -> float:
+    """Payload of one TP all-reduce: the full activation tensor."""
+    elt = shape.path.precision.bytes_per_element
+    return float(shape.tokens) * model.hidden_dim * elt
+
+
+def build_tensor_parallel_plan(
+    node: NodeSpec,
+    model: ModelSpec,
+    shape: TrainingShape,
+    overlap: bool = True,
+) -> ExecutionPlan:
+    """Build one tensor-parallel training iteration on ``node``."""
+    world = node.num_gpus
+    if world < 2:
+        raise ConfigurationError("tensor parallelism needs at least two GPUs")
+    if model.num_heads % world != 0:
+        raise ConfigurationError(
+            f"{model.name}: {model.num_heads} attention heads do not "
+            f"shard evenly across {world} TP ranks"
+        )
+    gpus = list(range(world))
+    act_bytes = _activation_bytes(model, shape)
+    comm_stream = COMM_STREAM if overlap else COMPUTE_STREAM
+
+    mode = "overlap" if overlap else "sequential"
+    builder = PlanBuilder(name=f"tp-{model.name}-b{shape.batch_size}-{mode}")
+    builder.metadata.update(
+        {
+            "strategy": "tensor",
+            "overlap": overlap,
+            "model": model.name,
+            "batch_size": shape.batch_size,
+            "world_size": world,
+            "activation_payload_bytes": act_bytes,
+        }
+    )
+
+    # ------------------------------------------------------------------
+    # forward
+    # ------------------------------------------------------------------
+    # Embedding and LM head are vocab-sharded in Megatron; each rank
+    # does 1/world of the projection work.
+    head_fwd = [
+        k.scaled(1.0 / world, name_suffix=".tp")
+        for k in build_head_forward(model, shape)
+    ]
+    embed_kernel, lm_head_kernel = head_fwd[0], head_fwd[1]
+
+    last_sync: Dict[int, Optional[int]] = {g: None for g in gpus}
+
+    def deps_of(gpu: int) -> List[int]:
+        tid = last_sync[gpu]
+        return [tid] if tid is not None else []
+
+    for g in gpus:
+        builder.add_compute(g, embed_kernel, phase="forward")
+
+    for layer in range(model.num_layers):
+        layer_kernels = shard_layer_kernels(
+            build_layer_forward(model, shape, layer), world
+        )
+        # Split at the attention-output boundary: kernels up to and
+        # including attn_out form the attention block; the rest the MLP.
+        attn_end = next(
+            i
+            for i, k in enumerate(layer_kernels)
+            if "attn_out" in k.name
+        )
+        attn_block = layer_kernels[: attn_end + 1]
+        mlp_block = layer_kernels[attn_end + 1 :]
+
+        for block_name, block in (("attn", attn_block), ("mlp", mlp_block)):
+            block_last: Dict[int, int] = {}
+            for g in gpus:
+                first = True
+                for kernel in block:
+                    tid = builder.add_compute(
+                        g,
+                        kernel,
+                        deps=deps_of(g) if first else (),
+                        phase="forward",
+                    )
+                    first = False
+                    block_last[g] = tid
+            # Blocking all-reduce re-materializing the activations. It
+            # runs on the compute stream even in overlap mode: the next
+            # kernel depends on it, so a separate stream buys nothing
+            # (Megatron's forward g operator is synchronous).
+            comm_ids = builder.add_collective(
+                CollectiveKind.ALL_REDUCE,
+                act_bytes,
+                gpus,
+                deps_by_gpu={g: [block_last[g]] for g in gpus},
+                stream=COMPUTE_STREAM,
+                phase="forward",
+                label=f"L{layer}.{block_name}.fwd_allreduce",
+            )
+            for g in gpus:
+                last_sync[g] = comm_ids[g]
+
+    for g in gpus:
+        builder.add_compute(g, lm_head_kernel, deps=deps_of(g), phase="forward")
+    logits_sync = builder.add_collective(
+        CollectiveKind.ALL_REDUCE,
+        act_bytes,
+        gpus,
+        stream=COMPUTE_STREAM,
+        phase="forward",
+        label="lm_head.fwd_allreduce",
+    )
+    for g in gpus:
+        last_sync[g] = logits_sync[g]
+
+    # ------------------------------------------------------------------
+    # backward
+    # ------------------------------------------------------------------
+    head_bwd = [
+        k.scaled(1.0 / world, name_suffix=".tp")
+        for k in build_head_backward(model, shape)
+    ]
+    for g in gpus:
+        first = True
+        for kernel in head_bwd:
+            builder.add_compute(
+                g, kernel, deps=deps_of(g) if first else (), phase="backward"
+            )
+            first = False
+            last_sync[g] = None  # chained by stream order from here
+
+    for layer in reversed(range(model.num_layers)):
+        fwd_kernels = shard_layer_kernels(
+            build_layer_forward(model, shape, layer), world
+        )
+        attn_end = next(
+            i for i, k in enumerate(fwd_kernels) if "attn_out" in k.name
+        )
+        # Backward walks the blocks in reverse: MLP first, then attention.
+        blocks = (
+            ("mlp", fwd_kernels[attn_end + 1 :]),
+            ("attn", fwd_kernels[: attn_end + 1]),
+        )
+        for block_name, block in blocks:
+            dgrad_last: Dict[int, int] = {}
+            wgrad_last: Dict[int, int] = {}
+            for g in gpus:
+                first = True
+                for kernel in reversed(block):
+                    if kernel.kind in (KernelKind.GEMM, KernelKind.ATTENTION):
+                        dgrad = kernel.scaled(1.0, name_suffix=".dgrad")
+                        wgrad = kernel.scaled(1.0, name_suffix=".wgrad")
+                        tid = builder.add_compute(
+                            g,
+                            dgrad,
+                            deps=deps_of(g) if first else (),
+                            phase="backward",
+                        )
+                        dgrad_last[g] = tid
+                        wgrad_last[g] = builder.add_compute(
+                            g, wgrad, phase="backward"
+                        )
+                    else:
+                        tid = builder.add_compute(
+                            g,
+                            kernel.scaled(1.0, name_suffix=".bwd"),
+                            deps=deps_of(g) if first else (),
+                            phase="backward",
+                        )
+                        dgrad_last[g] = tid
+                    first = False
+            # Input-gradient all-reduce. In overlap mode it launches as
+            # soon as the last dgrad finishes and runs concurrently with
+            # the block's wgrad GEMMs (Megatron's async grad all-reduce);
+            # sequentially it trails the whole block.
+            if overlap:
+                deps_by_gpu = {g: [dgrad_last[g]] for g in gpus}
+            else:
+                deps_by_gpu = {
+                    g: [wgrad_last.get(g, dgrad_last[g])] for g in gpus
+                }
+            comm_ids = builder.add_collective(
+                CollectiveKind.ALL_REDUCE,
+                act_bytes,
+                gpus,
+                deps_by_gpu=deps_by_gpu,
+                stream=comm_stream,
+                phase="backward",
+                label=f"L{layer}.{block_name}.bwd_allreduce",
+            )
+            for g in gpus:
+                last_sync[g] = comm_ids[g]
+
+    # ------------------------------------------------------------------
+    # optimizer: each rank owns its shard of the weights.
+    # ------------------------------------------------------------------
+    opt_kernels = build_optimizer_kernels(
+        model, shape, params=float(model.num_params) / world
+    )
+    for g in gpus:
+        first = True
+        for kernel in opt_kernels:
+            builder.add_compute(
+                g, kernel, deps=deps_of(g) if first else (), phase="optimizer"
+            )
+            first = False
+
+    return builder.build()

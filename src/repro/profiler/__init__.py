@@ -1,0 +1,27 @@
+"""Profiler-style analysis of simulation results.
+
+Mirrors what the paper's methodology extracts from the PyTorch profiler
+and ``torch.cuda.event``: per-kernel timelines, compute/communication
+interval algebra (overlap windows), per-category summaries and Chrome
+trace export for visual inspection.
+"""
+
+from repro.profiler.timeline import (
+    intersect_total,
+    interval_intersection,
+    interval_union,
+    total_length,
+)
+from repro.profiler.summary import CategorySummary, ProfileSummary, summarize
+from repro.profiler.chrome_trace import to_chrome_trace
+
+__all__ = [
+    "CategorySummary",
+    "ProfileSummary",
+    "intersect_total",
+    "interval_intersection",
+    "interval_union",
+    "summarize",
+    "to_chrome_trace",
+    "total_length",
+]

@@ -1,0 +1,56 @@
+"""Chrome-trace (about://tracing / Perfetto) export of simulations."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from repro.sim.result import SimulationResult
+from repro.units import US
+
+
+def to_chrome_trace(result: SimulationResult) -> List[dict]:
+    """Convert task records to Chrome trace events.
+
+    One "process" per GPU, one "thread" per stream; durations in
+    microseconds, as the format requires. Power segments are attached as
+    counter events so Perfetto plots the power trace alongside kernels.
+    """
+    events: List[dict] = []
+    for rec in result.records:
+        events.append(
+            {
+                "name": rec.label,
+                "cat": rec.category.value,
+                "ph": "X",
+                "ts": rec.start_s / US,
+                "dur": rec.duration_s / US,
+                "pid": rec.gpu,
+                "tid": rec.stream,
+                "args": {
+                    "phase": rec.phase,
+                    "isolated_us": rec.isolated_duration_s / US,
+                    "slowdown": round(rec.slowdown, 4),
+                },
+            }
+        )
+    for gpu, segments in result.power_segments.items():
+        for seg in segments:
+            events.append(
+                {
+                    "name": "power",
+                    "ph": "C",
+                    "ts": seg.start_s / US,
+                    "pid": gpu,
+                    "args": {"watts": round(seg.power_w, 1)},
+                }
+            )
+    return events
+
+
+def write_chrome_trace(
+    result: SimulationResult, path: str, indent: Optional[int] = None
+) -> None:
+    """Write the trace to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(result), fh, indent=indent)

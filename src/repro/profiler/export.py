@@ -1,0 +1,160 @@
+"""Tabular exports of simulation results (CSV/JSON and kernel stats).
+
+Complements :mod:`repro.profiler.chrome_trace`: where the Chrome trace
+is for eyeballing timelines, these exports feed spreadsheets and
+notebooks — kernel records as flat rows, plus a torch-profiler-style
+aggregated kernel-statistics table.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.sim.result import SimulationResult, TaskRecord
+from repro.sim.task import TaskCategory
+
+RECORD_COLUMNS = (
+    "task_id",
+    "gpu",
+    "stream",
+    "label",
+    "category",
+    "phase",
+    "start_s",
+    "end_s",
+    "duration_s",
+    "isolated_duration_s",
+    "slowdown",
+)
+
+
+def record_rows(result: SimulationResult) -> List[Dict[str, object]]:
+    """Flatten task records into export-ready dictionaries."""
+    return [
+        {
+            "task_id": r.task_id,
+            "gpu": r.gpu,
+            "stream": r.stream,
+            "label": r.label,
+            "category": r.category.value,
+            "phase": r.phase,
+            "start_s": r.start_s,
+            "end_s": r.end_s,
+            "duration_s": r.duration_s,
+            "isolated_duration_s": r.isolated_duration_s,
+            "slowdown": r.slowdown,
+        }
+        for r in result.records
+    ]
+
+
+def write_records_csv(result: SimulationResult, path: "str | Path") -> None:
+    """Write every kernel record as one CSV row."""
+    rows = record_rows(result)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=RECORD_COLUMNS)
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def write_power_csv(result: SimulationResult, path: "str | Path") -> None:
+    """Write the power segments of every GPU as CSV."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["gpu", "start_s", "end_s", "power_w", "compute_active",
+             "comm_active", "clock_frac"]
+        )
+        for gpu in sorted(result.power_segments):
+            for seg in result.power_segments[gpu]:
+                writer.writerow(
+                    [
+                        gpu,
+                        seg.start_s,
+                        seg.end_s,
+                        seg.power_w,
+                        int(seg.compute_active),
+                        int(seg.comm_active),
+                        seg.clock_frac,
+                    ]
+                )
+
+
+def _base_name(label: str) -> str:
+    """Strip the per-GPU prefix so identical kernels aggregate."""
+    if "." in label and label.split(".", 1)[0].startswith("g"):
+        prefix = label.split(".", 1)[0]
+        if prefix[1:].isdigit():
+            return label.split(".", 1)[1]
+    return label
+
+
+@dataclass(frozen=True)
+class KernelStat:
+    """Aggregated statistics for one kernel name."""
+
+    name: str
+    category: TaskCategory
+    count: int
+    total_s: float
+    mean_s: float
+    max_s: float
+    mean_slowdown: float
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_s * 1e3
+
+
+def kernel_stats(
+    result: SimulationResult,
+    category: Optional[TaskCategory] = None,
+) -> List[KernelStat]:
+    """Aggregate records by kernel name, sorted by total time."""
+    groups: Dict[str, List[TaskRecord]] = {}
+    for record in result.records:
+        if category is not None and record.category is not category:
+            continue
+        groups.setdefault(_base_name(record.label), []).append(record)
+    stats = []
+    for name, records in groups.items():
+        durations = [r.duration_s for r in records]
+        slowdowns = [r.slowdown for r in records]
+        stats.append(
+            KernelStat(
+                name=name,
+                category=records[0].category,
+                count=len(records),
+                total_s=sum(durations),
+                mean_s=sum(durations) / len(durations),
+                max_s=max(durations),
+                mean_slowdown=sum(slowdowns) / len(slowdowns),
+            )
+        )
+    stats.sort(key=lambda s: s.total_s, reverse=True)
+    return stats
+
+
+def render_kernel_stats(stats: List[KernelStat], top: int = 20) -> str:
+    """torch-profiler-style kernel statistics table."""
+    total = sum(s.total_s for s in stats) or 1.0
+    lines = [
+        f"{'kernel':<34} {'cat':>5} {'count':>6} {'total_ms':>9} "
+        f"{'%':>6} {'mean_us':>9} {'slowdown':>9}"
+    ]
+    for s in stats[:top]:
+        lines.append(
+            f"{s.name:<34} {s.category.value[:5]:>5} {s.count:>6} "
+            f"{s.total_ms:>9.2f} {s.total_s / total * 100:>5.1f}% "
+            f"{s.mean_s * 1e6:>9.1f} {s.mean_slowdown * 100:>8.1f}%"
+        )
+    if len(stats) > top:
+        rest = sum(s.total_s for s in stats[top:])
+        lines.append(
+            f"{'(other ' + str(len(stats) - top) + ' kernels)':<34} "
+            f"{'':>5} {'':>6} {rest * 1e3:>9.2f} {rest / total * 100:>5.1f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Per-category kernel summaries (the profiler tables the paper reads)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.profiler.timeline import (
+    intersect_total,
+    total_length,
+)
+from repro.sim.result import SimulationResult, TaskRecord
+from repro.sim.task import TaskCategory
+
+
+@dataclass(frozen=True)
+class CategorySummary:
+    """Aggregate statistics for one (gpu, category) slice."""
+
+    gpu: int
+    category: TaskCategory
+    kernel_count: int
+    total_kernel_time_s: float
+    busy_time_s: float  # union of intervals (concurrent kernels merged)
+    overlapped_time_s: float  # busy time also covered by the other category
+
+    @property
+    def overlapped_fraction(self) -> float:
+        """Fraction of busy time overlapped with the other category."""
+        if self.busy_time_s <= 0:
+            return 0.0
+        return self.overlapped_time_s / self.busy_time_s
+
+
+@dataclass
+class ProfileSummary:
+    """Per-GPU compute/communication summaries for one simulation."""
+
+    per_gpu: Dict[int, Dict[TaskCategory, CategorySummary]] = field(
+        default_factory=dict
+    )
+    end_time_s: float = 0.0
+
+    def compute(self, gpu: int) -> CategorySummary:
+        return self.per_gpu[gpu][TaskCategory.COMPUTE]
+
+    def comm(self, gpu: int) -> CategorySummary:
+        return self.per_gpu[gpu][TaskCategory.COMM]
+
+    def mean_overlapped_compute_fraction(self) -> float:
+        """Paper Eq. 2 averaged across GPUs."""
+        fractions = [
+            self.compute(g).overlapped_fraction for g in self.per_gpu
+        ]
+        if not fractions:
+            return 0.0
+        return sum(fractions) / len(fractions)
+
+    def mean_overlapped_comm_time(self) -> float:
+        """Communication time hidden under compute, averaged over GPUs
+        (the 'Overlapped Communication' term of the paper's Eq. 5)."""
+        times = [self.comm(g).overlapped_time_s for g in self.per_gpu]
+        if not times:
+            return 0.0
+        return sum(times) / len(times)
+
+
+def _records_by_phase(
+    records: List[TaskRecord], phase: Optional[str]
+) -> List[TaskRecord]:
+    if phase is None:
+        return records
+    return [r for r in records if r.phase == phase]
+
+
+def summarize(
+    result: SimulationResult, phase: Optional[str] = None
+) -> ProfileSummary:
+    """Build a :class:`ProfileSummary` from a simulation result.
+
+    ``phase`` optionally restricts the analysis to one training phase
+    ("forward", "backward", "optimizer").
+    """
+    summary = ProfileSummary(end_time_s=result.end_time_s)
+    for gpu in range(result.num_gpus):
+        records = _records_by_phase(result.records_for(gpu), phase)
+        by_cat: Dict[TaskCategory, List[TaskRecord]] = {
+            TaskCategory.COMPUTE: [],
+            TaskCategory.COMM: [],
+        }
+        for rec in records:
+            by_cat[rec.category].append(rec)
+        intervals = {
+            cat: [(r.start_s, r.end_s) for r in recs]
+            for cat, recs in by_cat.items()
+        }
+        summary.per_gpu[gpu] = {}
+        for cat, recs in by_cat.items():
+            other = (
+                TaskCategory.COMM
+                if cat is TaskCategory.COMPUTE
+                else TaskCategory.COMPUTE
+            )
+            summary.per_gpu[gpu][cat] = CategorySummary(
+                gpu=gpu,
+                category=cat,
+                kernel_count=len(recs),
+                total_kernel_time_s=sum(r.duration_s for r in recs),
+                busy_time_s=total_length(intervals[cat]),
+                overlapped_time_s=intersect_total(
+                    intervals[cat], intervals[other]
+                ),
+            )
+    return summary

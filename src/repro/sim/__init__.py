@@ -1,0 +1,29 @@
+"""Discrete-event simulator of a multi-GPU node.
+
+The engine executes per-GPU stream programs (compute kernels and
+collectives) as *fluid* tasks: each task holds remaining work and a
+rate; whenever machine state changes (a task starts or finishes, the
+DVFS governor moves the clock) progress is banked and rates are
+recomputed from the contention model. This yields exact piecewise-
+linear execution under time-varying contention, and produces the kernel
+timelines and power traces the paper's methodology measures with the
+PyTorch profiler, NVML and AMD-SMI.
+"""
+
+from repro.sim.config import SimConfig
+from repro.sim.engine import Simulator, simulate
+from repro.sim.task import CommTask, ComputeTask, Task, TaskCategory
+from repro.sim.result import PowerSegment, SimulationResult, TaskRecord
+
+__all__ = [
+    "CommTask",
+    "ComputeTask",
+    "PowerSegment",
+    "SimConfig",
+    "SimulationResult",
+    "Simulator",
+    "Task",
+    "TaskCategory",
+    "TaskRecord",
+    "simulate",
+]

@@ -1,0 +1,676 @@
+"""The discrete-event simulation engine.
+
+Executes a set of :class:`~repro.sim.task.Task` objects (per-GPU stream
+programs) on a :class:`~repro.hw.system.NodeSpec`. Tasks are fluids:
+each holds remaining work and a current rate. On every event the engine
+banks progress, applies the state change, relaunches stream heads,
+recomputes all rates from the contention model and reschedules finish
+events. Governor ticks close the DVFS loop against instantaneous power.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.collectives.cost_model import CollectiveCostModel
+from repro.collectives.library import library_for
+from repro.errors import DeadlockError, PlanError, SimulationError
+from repro.hw.datapath import Datapath
+from repro.hw.dvfs import FrequencyGovernor, PowerLimitPolicy
+from repro.hw.power import GpuActivity, gpu_power
+from repro.hw.system import NodeSpec
+from repro.sim.collective_sync import CollectiveInstance
+from repro.sim.config import SimConfig
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.rates import compute_rate, hbm_demand, isolated_duration, sm_utilization
+from repro.sim.result import PowerSegment, SimulationResult, TaskRecord
+from repro.sim.task import CommTask, ComputeTask, Task
+
+#: Floors preventing full starvation (real kernels always trickle).
+_MIN_SM_FRACTION = 0.05
+_MIN_HBM_FRACTION = 0.02
+#: Collectives can never pin more than this much of the GPU.
+_MAX_COMM_SM = 0.45
+
+
+def _stable_unit_uniform(key: str, seed: int) -> float:
+    """Deterministic uniform in (0, 1) from a string key and seed."""
+    h = zlib.crc32(key.encode("utf-8")) ^ (seed * 0x9E3779B9 & 0xFFFFFFFF)
+    h = (h * 2654435761) & 0xFFFFFFFF
+    return (h + 0.5) / 4294967296.0
+
+
+def _lognormal_factor(key: str, seed: int, sigma: float) -> float:
+    """Mean-1 lognormal jitter factor, deterministic in (key, seed)."""
+    if sigma <= 0:
+        return 1.0
+    u = _stable_unit_uniform(key, seed)
+    # Inverse-CDF of the standard normal via Acklam's approximation is
+    # overkill; a logistic approximation is adequate for jitter.
+    z = math.log(u / (1.0 - u)) / 1.702
+    return math.exp(sigma * z - 0.5 * sigma * sigma)
+
+
+@dataclass
+class _RunningCompute:
+    """Bookkeeping for an in-flight compute task."""
+
+    task: ComputeTask
+    work_remaining: float
+    rate: float
+    isolated_s: float
+    started_at: float
+    epoch: int = 0
+
+
+class Simulator:
+    """Simulate one program (e.g. one training iteration) on a node."""
+
+    def __init__(
+        self,
+        node: NodeSpec,
+        tasks: Sequence[Task],
+        config: SimConfig = SimConfig(),
+        cost_model: Optional[CollectiveCostModel] = None,
+    ):
+        self.node = node
+        self.config = config
+        self.gpu = node.gpu
+        if cost_model is None:
+            cost_model = CollectiveCostModel(
+                link=node.link,
+                library=library_for(node.gpu.vendor),
+                calibration=node.calibration,
+                hbm_effective_bandwidth=node.gpu.memory.effective_bandwidth,
+            )
+        self.cost_model = cost_model
+
+        self.tasks: Dict[int, Task] = {}
+        self.streams: Dict[Tuple[int, str], List[int]] = {}
+        self._stream_pos: Dict[Tuple[int, str], int] = {}
+        self.done: set = set()
+        self._validate_and_index(tasks)
+
+        self.time = 0.0
+        self.queue = EventQueue()
+        self.running: Dict[int, _RunningCompute] = {}
+        self.instances: Dict[str, CollectiveInstance] = {}
+        self._waiting: set = set()  # comm tasks posted but not started
+        self._comm_started: set = set()
+
+        self._clock: Dict[int, float] = {
+            g: config.max_clock_frac for g in range(node.num_gpus)
+        }
+        self._governors: Dict[int, FrequencyGovernor] = {}
+        if config.governor_enabled:
+            limit = config.power_limit_w or node.gpu.tdp_w
+            policy = PowerLimitPolicy(
+                limit_w=limit,
+                control_period_s=config.governor_period_s,
+                max_clock_frac=config.max_clock_frac,
+            )
+            for g in range(node.num_gpus):
+                self._governors[g] = FrequencyGovernor(
+                    policy, min_clock_frac=node.gpu.min_clock_frac
+                )
+
+        self._tick_pending: Dict[int, bool] = {
+            g: False for g in range(node.num_gpus)
+        }
+        self._power_now: Dict[int, float] = {}
+        self._segment_open: Dict[int, PowerSegment] = {}
+        self._segments: Dict[int, List[PowerSegment]] = {
+            g: [] for g in range(node.num_gpus)
+        }
+        self.records: List[TaskRecord] = []
+        self._min_clock_seen = config.max_clock_frac
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+
+    def _validate_and_index(self, tasks: Sequence[Task]) -> None:
+        if not tasks:
+            raise PlanError("no tasks to simulate")
+        for task in tasks:
+            if task.task_id in self.tasks:
+                raise PlanError(f"duplicate task id {task.task_id}")
+            if task.gpu >= self.node.num_gpus:
+                raise PlanError(
+                    f"task {task.label}: gpu {task.gpu} out of range for "
+                    f"{self.node.num_gpus}-GPU node"
+                )
+            self.tasks[task.task_id] = task
+            key = (task.gpu, task.stream)
+            self.streams.setdefault(key, []).append(task.task_id)
+        known = set(self.tasks)
+        for task in tasks:
+            missing = task.deps - known
+            if missing:
+                raise PlanError(
+                    f"task {task.label}: unknown deps {sorted(missing)}"
+                )
+        for key in self.streams:
+            self._stream_pos[key] = 0
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute all tasks; returns the populated result."""
+        self._open_segments()
+        self._try_launch()
+        self._recompute()
+        self._ensure_ticks()
+
+        total = len(self.tasks)
+        while len(self.done) < total:
+            event = self.queue.pop()
+            if event is None:
+                raise DeadlockError(self._deadlock_report())
+            if event.time > self.config.max_sim_time_s:
+                raise SimulationError(
+                    f"simulation exceeded {self.config.max_sim_time_s}s"
+                )
+            if self._is_stale(event):
+                continue
+            self._advance_to(event.time)
+            if event.kind is EventKind.TASK_FINISH:
+                self._finish_compute(event.payload)
+            elif event.kind is EventKind.COLLECTIVE_FINISH:
+                self._finish_collective(event.payload)
+            elif event.kind is EventKind.GOVERNOR_TICK:
+                self._governor_tick(event.payload)
+            if len(self.done) >= total:
+                break
+            self._try_launch()
+            self._recompute()
+            self._ensure_ticks()
+
+        self._close_segments()
+        result = SimulationResult(
+            end_time_s=self.time,
+            records=sorted(self.records, key=lambda r: (r.start_s, r.task_id)),
+            power_segments=self._segments if self.config.trace_power else {},
+            num_gpus=self.node.num_gpus,
+            min_clock_frac_seen=self._min_clock_seen,
+        )
+        result.validate()
+        return result
+
+    def _is_stale(self, event: Event) -> bool:
+        if event.kind is EventKind.TASK_FINISH:
+            entry = self.running.get(event.payload)
+            return entry is None or entry.epoch != event.epoch
+        if event.kind is EventKind.COLLECTIVE_FINISH:
+            inst = self.instances.get(event.payload)
+            return inst is None or not inst.active or inst.epoch != event.epoch
+        return False
+
+    def _advance_to(self, t: float) -> None:
+        if t < self.time - 1e-12:
+            raise SimulationError("event time went backwards")
+        t = max(t, self.time)
+        dt = t - self.time
+        if dt > 0:
+            for entry in self.running.values():
+                entry.work_remaining = max(
+                    0.0, entry.work_remaining - entry.rate * dt
+                )
+            for inst in self.instances.values():
+                inst.bank_progress(t)
+        self.time = t
+
+    # ------------------------------------------------------------------
+    # launching
+    # ------------------------------------------------------------------
+
+    def _head(self, key: Tuple[int, str]) -> Optional[int]:
+        order = self.streams[key]
+        pos = self._stream_pos[key]
+        if pos >= len(order):
+            return None
+        return order[pos]
+
+    def _pop_head(self, key: Tuple[int, str], expected: int) -> None:
+        head = self._head(key)
+        if head != expected:
+            raise SimulationError(
+                f"stream {key}: completing task {expected} but head is {head}"
+            )
+        self._stream_pos[key] += 1
+
+    def _deps_met(self, task: Task) -> bool:
+        return task.deps <= self.done
+
+    def _try_launch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            for key in self.streams:
+                tid = self._head(key)
+                if tid is None:
+                    continue
+                task = self.tasks[tid]
+                if tid in self.running or tid in self._waiting:
+                    continue
+                if tid in self._comm_started:
+                    continue
+                if not self._deps_met(task):
+                    continue
+                if isinstance(task, ComputeTask):
+                    self._launch_compute(task)
+                    progressed = True
+                elif isinstance(task, CommTask):
+                    self._post_comm(task)
+                    progressed = True
+                else:  # pragma: no cover - defensive
+                    raise PlanError(f"unknown task type for {task.label}")
+
+    def _launch_compute(self, task: ComputeTask) -> None:
+        factor = _lognormal_factor(
+            f"c{task.task_id}", self.config.seed, self.config.jitter_sigma
+        )
+        kernel = task.kernel
+        iso = isolated_duration(kernel, self.gpu) * factor
+        self.running[task.task_id] = _RunningCompute(
+            task=task,
+            work_remaining=kernel.flops * factor,
+            rate=1.0,  # overwritten by the recompute that follows
+            isolated_s=iso,
+            started_at=self.time,
+        )
+
+    def _post_comm(self, task: CommTask) -> None:
+        op = task.op
+        inst = self.instances.get(op.key)
+        if inst is None:
+            cost = self.cost_model.cost(op)
+            factor = _lognormal_factor(
+                f"k{op.key}", self.config.seed, self.config.jitter_sigma
+            )
+            if factor != 1.0:
+                cost = type(cost)(
+                    duration_s=cost.duration_s * factor,
+                    wire_bytes=cost.wire_bytes,
+                    hbm_bytes_per_s=cost.hbm_bytes_per_s / factor,
+                    sm_fraction=cost.sm_fraction,
+                    link_fraction=cost.link_fraction,
+                    clock_sensitivity=cost.clock_sensitivity,
+                    algorithm=cost.algorithm,
+                )
+            inst = CollectiveInstance(op=op, cost=cost)
+            self.instances[op.key] = inst
+        inst.post(task, self.time)
+        self._waiting.add(task.task_id)
+        if inst.ready:
+            inst.start(self.time)
+            for rank_task in inst.posted.values():
+                self._waiting.discard(rank_task.task_id)
+                self._comm_started.add(rank_task.task_id)
+
+    # ------------------------------------------------------------------
+    # finishing
+    # ------------------------------------------------------------------
+
+    def _finish_compute(self, tid: int) -> None:
+        entry = self.running.pop(tid)
+        task = entry.task
+        self._pop_head((task.gpu, task.stream), tid)
+        self.done.add(tid)
+        self.records.append(
+            TaskRecord(
+                task_id=tid,
+                gpu=task.gpu,
+                stream=task.stream,
+                label=task.label,
+                category=task.category,
+                phase=task.phase,
+                start_s=entry.started_at,
+                end_s=self.time,
+                isolated_duration_s=entry.isolated_s,
+            )
+        )
+
+    def _finish_collective(self, key: str) -> None:
+        inst = self.instances[key]
+        inst.finish(self.time)
+        started = inst.started_at if inst.started_at is not None else self.time
+        for task in inst.posted.values():
+            self._pop_head((task.gpu, task.stream), task.task_id)
+            self._comm_started.discard(task.task_id)
+            self.done.add(task.task_id)
+            self.records.append(
+                TaskRecord(
+                    task_id=task.task_id,
+                    gpu=task.gpu,
+                    stream=task.stream,
+                    label=task.label,
+                    category=task.category,
+                    phase=task.phase,
+                    start_s=started,
+                    end_s=self.time,
+                    isolated_duration_s=inst.cost.duration_s,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # rates / contention
+    # ------------------------------------------------------------------
+
+    def _active_instances_on(self, gpu: int) -> List[CollectiveInstance]:
+        return [
+            inst
+            for inst in self.instances.values()
+            if inst.active and gpu in inst.op.participants
+        ]
+
+    def _spinning_instances_on(self, gpu: int) -> List[CollectiveInstance]:
+        """Collectives whose kernel is resident on ``gpu`` but still
+        waiting for peer ranks (busy-polling its channels' SMs)."""
+        return [
+            inst
+            for inst in self.instances.values()
+            if inst.started_at is None and gpu in inst.posted
+        ]
+
+    def _recompute(self) -> None:
+        # Pass 1: instance rates depend only on participant clocks.
+        for inst in self.instances.values():
+            if not inst.active:
+                continue
+            min_f = min(self._clock[g] for g in inst.op.participants)
+            if not self.config.contention_enabled:
+                min_f = self.config.max_clock_frac
+            new_rate = inst.nominal_rate() * inst.progress_scale(min_f)
+            if new_rate != inst.rate or inst.work_remaining >= 1.0:
+                inst.rate = new_rate
+                inst.epoch += 1
+                finish = self.time + inst.work_remaining / max(new_rate, 1e-12)
+                self.queue.push(
+                    Event(
+                        finish,
+                        EventKind.COLLECTIVE_FINISH,
+                        inst.op.key,
+                        inst.epoch,
+                    )
+                )
+
+        # Pass 2: compute rates under contention from active collectives.
+        per_gpu_running: Dict[int, List[_RunningCompute]] = {}
+        for entry in self.running.values():
+            per_gpu_running.setdefault(entry.task.gpu, []).append(entry)
+
+        hbm_eff = self.gpu.memory.effective_bandwidth
+        for gpu_index in range(self.node.num_gpus):
+            entries = per_gpu_running.get(gpu_index, [])
+            insts = self._active_instances_on(gpu_index)
+            spinning = self._spinning_instances_on(gpu_index)
+            clock = self._clock[gpu_index]
+            if self.config.contention_enabled:
+                spin_scale = self.node.calibration.spin_sm_scale
+                comm_sm = min(
+                    _MAX_COMM_SM,
+                    sum(i.cost.sm_fraction for i in insts)
+                    + spin_scale * sum(i.cost.sm_fraction for i in spinning),
+                )
+                comm_hbm = sum(i.hbm_demand_now() for i in insts)
+                sm_avail = max(_MIN_SM_FRACTION, 1.0 - comm_sm)
+                hbm_avail = max(_MIN_HBM_FRACTION * hbm_eff, hbm_eff - comm_hbm)
+                if insts:
+                    hbm_avail *= 1.0 - self.node.calibration.interference_factor
+                eff_clock = clock
+            else:
+                sm_avail, hbm_avail, eff_clock = 1.0, hbm_eff, self.config.max_clock_frac
+            n = len(entries)
+            for entry in entries:
+                new_rate = compute_rate(
+                    entry.task.kernel,
+                    self.gpu,
+                    sm_fraction=sm_avail / n,
+                    hbm_bytes_per_s=hbm_avail / n,
+                    clock_frac=eff_clock,
+                )
+                if new_rate != entry.rate or entry.epoch == 0:
+                    entry.rate = new_rate
+                    entry.epoch += 1
+                    finish = self.time + entry.work_remaining / new_rate
+                    self.queue.push(
+                        Event(
+                            finish,
+                            EventKind.TASK_FINISH,
+                            entry.task.task_id,
+                            entry.epoch,
+                        )
+                    )
+            self._update_power(gpu_index, entries, insts, spinning, clock)
+
+    def _update_power(
+        self,
+        gpu_index: int,
+        entries: List[_RunningCompute],
+        insts: List[CollectiveInstance],
+        spinning: List[CollectiveInstance],
+        clock: float,
+    ) -> None:
+        sm_util: Dict[Datapath, float] = {}
+        hbm_used = 0.0
+        hbm_eff = self.gpu.memory.effective_bandwidth
+        stall_frac = self.node.calibration.stall_power_frac
+        for entry in entries:
+            kernel = entry.task.kernel
+            util = sm_utilization(kernel, self.gpu, entry.rate, 1.0, clock)
+            # A kernel slowed *by contention* keeps most of its warps
+            # resident and toggling; its power tracks the throughput it
+            # would achieve uncontended, discounted by stall_power_frac,
+            # not the throughput it actually achieves. Intrinsically
+            # memory-bound kernels are unaffected (their uncontended
+            # utilisation is already low).
+            free_rate = compute_rate(
+                kernel,
+                self.gpu,
+                sm_fraction=1.0,
+                hbm_bytes_per_s=hbm_eff,
+                clock_frac=clock,
+            )
+            free_util = sm_utilization(kernel, self.gpu, free_rate, 1.0, clock)
+            if free_util > util:
+                util += stall_frac * (free_util - util)
+            # Short kernels never reach steady-state power: wave ramp-up
+            # and drain clip the average draw (that is why small models
+            # sit well below TDP on real boards).
+            util *= entry.isolated_s / (entry.isolated_s + 50e-6)
+            path = kernel.path.datapath
+            sm_util[path] = sm_util.get(path, 0.0) + util
+            hbm_used += hbm_demand(kernel, entry.rate)
+        link_frac = 0.0
+        for inst in insts:
+            hbm_used += inst.hbm_demand_now()
+            link_frac += inst.link_fraction_now()
+            # Channel copy loops run on the vector pipes.
+            sm_util[Datapath.VECTOR] = (
+                sm_util.get(Datapath.VECTOR, 0.0) + 0.8 * inst.cost.sm_fraction
+            )
+        for inst in spinning:
+            # Busy-polling channels draw some vector power but move no data.
+            sm_util[Datapath.VECTOR] = (
+                sm_util.get(Datapath.VECTOR, 0.0) + 0.4 * inst.cost.sm_fraction
+            )
+        activity = GpuActivity(
+            sm_util=sm_util,
+            hbm_frac=hbm_used / self.gpu.memory.bandwidth_bytes_per_s,
+            link_frac=min(link_frac, 1.0),
+            clock_frac=clock,
+        )
+        power = gpu_power(self.gpu.tdp_w, self.gpu.power, activity)
+        self._power_now[gpu_index] = power
+        self._maybe_roll_segment(
+            gpu_index,
+            power,
+            compute_active=bool(entries),
+            comm_active=bool(insts),
+            clock=clock,
+        )
+
+    # ------------------------------------------------------------------
+    # governor
+    # ------------------------------------------------------------------
+
+    def _has_activity(self) -> bool:
+        """Anything progressing (running kernels or active collectives)."""
+        if self.running:
+            return True
+        return any(inst.active for inst in self.instances.values())
+
+    def _ensure_ticks(self) -> None:
+        """Keep governor ticks scheduled while work is progressing.
+
+        Ticks are NOT scheduled when the machine is fully stalled, so a
+        rendezvous deadlock drains the queue and is reported as such
+        instead of ticking forever.
+        """
+        if not self._governors or not self._has_activity():
+            return
+        for gpu_index, pending in self._tick_pending.items():
+            if not pending:
+                self._tick_pending[gpu_index] = True
+                self.queue.push(
+                    Event(
+                        self.time + self.config.governor_period_s,
+                        EventKind.GOVERNOR_TICK,
+                        gpu_index,
+                    )
+                )
+
+    def _governor_tick(self, gpu_index: int) -> None:
+        self._tick_pending[gpu_index] = False
+        governor = self._governors.get(gpu_index)
+        if governor is None:
+            return
+        power = self._power_now.get(gpu_index)
+        if power is None:
+            power = gpu_power(
+                self.gpu.tdp_w, self.gpu.power, GpuActivity(clock_frac=1.0)
+            )
+        new_clock = governor.observe(power)
+        self._clock[gpu_index] = new_clock
+        self._min_clock_seen = min(self._min_clock_seen, new_clock)
+
+    # ------------------------------------------------------------------
+    # power segments
+    # ------------------------------------------------------------------
+
+    def _open_segments(self) -> None:
+        if not self.config.trace_power:
+            return
+        idle = gpu_power(self.gpu.tdp_w, self.gpu.power, GpuActivity())
+        for g in range(self.node.num_gpus):
+            self._power_now[g] = idle
+            self._segment_open[g] = PowerSegment(
+                gpu=g,
+                start_s=0.0,
+                end_s=0.0,
+                power_w=idle,
+                compute_active=False,
+                comm_active=False,
+                clock_frac=self._clock[g],
+            )
+
+    def _maybe_roll_segment(
+        self,
+        gpu_index: int,
+        power: float,
+        compute_active: bool,
+        comm_active: bool,
+        clock: float,
+    ) -> None:
+        if not self.config.trace_power:
+            return
+        current = self._segment_open.get(gpu_index)
+        if current is None:
+            return
+        unchanged = (
+            abs(current.power_w - power) < 1e-6
+            and current.compute_active == compute_active
+            and current.comm_active == comm_active
+            and abs(current.clock_frac - clock) < 1e-9
+        )
+        if unchanged:
+            return
+        if self.time > current.start_s:
+            self._segments[gpu_index].append(
+                PowerSegment(
+                    gpu=gpu_index,
+                    start_s=current.start_s,
+                    end_s=self.time,
+                    power_w=current.power_w,
+                    compute_active=current.compute_active,
+                    comm_active=current.comm_active,
+                    clock_frac=current.clock_frac,
+                )
+            )
+        self._segment_open[gpu_index] = PowerSegment(
+            gpu=gpu_index,
+            start_s=self.time,
+            end_s=self.time,
+            power_w=power,
+            compute_active=compute_active,
+            comm_active=comm_active,
+            clock_frac=clock,
+        )
+
+    def _close_segments(self) -> None:
+        if not self.config.trace_power:
+            return
+        for g, current in self._segment_open.items():
+            if self.time > current.start_s:
+                self._segments[g].append(
+                    PowerSegment(
+                        gpu=g,
+                        start_s=current.start_s,
+                        end_s=self.time,
+                        power_w=current.power_w,
+                        compute_active=current.compute_active,
+                        comm_active=current.comm_active,
+                        clock_frac=current.clock_frac,
+                    )
+                )
+        self._segment_open.clear()
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+
+    def _deadlock_report(self) -> str:
+        unfinished = [
+            t.label for tid, t in self.tasks.items() if tid not in self.done
+        ]
+        heads = {
+            key: self.tasks[self._head(key)].label
+            for key in self.streams
+            if self._head(key) is not None
+        }
+        waiting_collectives = {
+            key: sorted(inst.posted)
+            for key, inst in self.instances.items()
+            if not inst.active and inst.finished_at is None
+        }
+        return (
+            f"deadlock at t={self.time:.6f}s: "
+            f"{len(unfinished)} tasks unfinished "
+            f"(first: {unfinished[:5]}); stream heads: {heads}; "
+            f"incomplete collectives: {waiting_collectives}"
+        )
+
+
+def simulate(
+    node: NodeSpec,
+    tasks: Sequence[Task],
+    config: SimConfig = SimConfig(),
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    return Simulator(node, tasks, config).run()

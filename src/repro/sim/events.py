@@ -1,0 +1,74 @@
+"""Event queue for the discrete-event engine."""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+class EventKind(enum.Enum):
+    """Engine event types."""
+
+    TASK_FINISH = "task_finish"
+    COLLECTIVE_FINISH = "collective_finish"
+    GOVERNOR_TICK = "governor_tick"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled occurrence.
+
+    ``epoch`` supports lazy invalidation: finish events carry the epoch
+    of the task/instance at scheduling time and are dropped on pop if
+    the epoch has since advanced (i.e. the finish was rescheduled).
+    """
+
+    time: float
+    kind: EventKind
+    payload: Any
+    epoch: int = 0
+
+
+class EventQueue:
+    """A stable min-heap of events keyed by (time, insertion order)."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+
+    def push(self, event: Event) -> None:
+        """Schedule an event; times must be finite and non-negative."""
+        if not (event.time >= 0.0) or event.time != event.time:
+            raise SimulationError(
+                f"event {event.kind} has invalid time {event.time!r}"
+            )
+        if event.time == float("inf"):
+            raise SimulationError(f"event {event.kind} scheduled at infinity")
+        heapq.heappush(self._heap, (event.time, next(self._counter), event))
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest event, or None if empty."""
+        if not self._heap:
+            return None
+        _, _, event = heapq.heappop(self._heap)
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest event without removing it."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

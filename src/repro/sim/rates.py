@@ -1,0 +1,80 @@
+"""Roofline rate computation for compute kernels."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.hw.gpu import GpuSpec
+from repro.workloads.kernels import KernelSpec
+
+
+def compute_rate(
+    kernel: KernelSpec,
+    gpu: GpuSpec,
+    sm_fraction: float,
+    hbm_bytes_per_s: float,
+    clock_frac: float,
+) -> float:
+    """Execution rate of a kernel in FLOP/s under the given resources.
+
+    The classic roofline: the kernel runs at the lesser of its compute
+    ceiling (peak of its datapath, scaled by available SMs, clock and
+    kernel efficiency) and its bandwidth ceiling (arithmetic intensity
+    times available HBM bandwidth).
+    """
+    if sm_fraction < 0 or hbm_bytes_per_s < 0 or clock_frac <= 0:
+        raise SimulationError(
+            f"invalid resources for {kernel.name}: "
+            f"sm={sm_fraction}, bw={hbm_bytes_per_s}, f={clock_frac}"
+        )
+    peak = gpu.peak(kernel.path)
+    flops_ceiling = peak * kernel.efficiency * sm_fraction * clock_frac
+    ai = kernel.arithmetic_intensity
+    if ai == float("inf"):
+        rate = flops_ceiling
+    else:
+        rate = min(flops_ceiling, ai * hbm_bytes_per_s)
+    if rate <= 0:
+        # Starved of both SMs and bandwidth; progress at a trickle so the
+        # simulation still terminates (real kernels never fully stall).
+        rate = max(peak * kernel.efficiency * 1e-4, 1.0)
+    return rate
+
+
+def isolated_duration(kernel: KernelSpec, gpu: GpuSpec) -> float:
+    """Duration with the whole GPU at full clock (no contention)."""
+    rate = compute_rate(
+        kernel,
+        gpu,
+        sm_fraction=1.0,
+        hbm_bytes_per_s=gpu.memory.effective_bandwidth,
+        clock_frac=1.0,
+    )
+    return kernel.flops / rate
+
+
+def hbm_demand(kernel: KernelSpec, rate_flops_per_s: float) -> float:
+    """HBM bandwidth (bytes/s) the kernel consumes at a given rate."""
+    ai = kernel.arithmetic_intensity
+    if ai == float("inf") or ai <= 0:
+        return 0.0
+    return rate_flops_per_s / ai
+
+
+def sm_utilization(
+    kernel: KernelSpec,
+    gpu: GpuSpec,
+    rate_flops_per_s: float,
+    sm_fraction: float,
+    clock_frac: float,
+) -> float:
+    """Fraction of the datapath's full-tilt issue rate actually used.
+
+    Memory-bound kernels occupy SMs but stall on loads, drawing less
+    power than their occupancy suggests; this utilisation drives the SM
+    term of the power model.
+    """
+    peak = gpu.peak(kernel.path) * kernel.efficiency * clock_frac
+    if peak <= 0:
+        return 0.0
+    util = rate_flops_per_s / peak
+    return min(util, sm_fraction if sm_fraction > 0 else 1.0, 1.0)

@@ -1,0 +1,144 @@
+"""Simulation outputs: task records and power segments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.task import TaskCategory
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Execution record of one finished task (a profiler row).
+
+    ``isolated_duration_s`` is the time this task would have taken with
+    the whole GPU at full clock — the reference the paper's Eq. 1 uses
+    via its sequential run; recording it per kernel also enables
+    per-kernel slowdown attribution.
+    """
+
+    task_id: int
+    gpu: int
+    stream: str
+    label: str
+    category: TaskCategory
+    phase: str
+    start_s: float
+    end_s: float
+    isolated_duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.end_s < self.start_s:
+            raise SimulationError(
+                f"task {self.label}: end before start"
+            )
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-clock duration."""
+        return self.end_s - self.start_s
+
+    @property
+    def slowdown(self) -> float:
+        """Per-task slowdown vs isolated execution."""
+        if self.isolated_duration_s <= 0:
+            return 0.0
+        return self.duration_s / self.isolated_duration_s - 1.0
+
+
+@dataclass(frozen=True)
+class PowerSegment:
+    """A constant-power interval on one GPU."""
+
+    gpu: int
+    start_s: float
+    end_s: float
+    power_w: float
+    compute_active: bool
+    comm_active: bool
+    clock_frac: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    @property
+    def overlapped(self) -> bool:
+        """Both compute and communication resident."""
+        return self.compute_active and self.comm_active
+
+    @property
+    def energy_j(self) -> float:
+        return self.power_w * self.duration_s
+
+
+@dataclass
+class SimulationResult:
+    """Everything a simulation run produced."""
+
+    end_time_s: float
+    records: List[TaskRecord] = field(default_factory=list)
+    power_segments: Dict[int, List[PowerSegment]] = field(default_factory=dict)
+    num_gpus: int = 0
+    min_clock_frac_seen: float = 1.0
+
+    def records_for(
+        self, gpu: int = None, category: TaskCategory = None  # type: ignore[assignment]
+    ) -> List[TaskRecord]:
+        """Filter records by GPU and/or category."""
+        out = self.records
+        if gpu is not None:
+            out = [r for r in out if r.gpu == gpu]
+        if category is not None:
+            out = [r for r in out if r.category is category]
+        return out
+
+    def total_time(self, category: TaskCategory, gpu: int = None) -> float:  # type: ignore[assignment]
+        """Summed kernel time of a category (per GPU or averaged).
+
+        With ``gpu=None`` the per-GPU sums are averaged, matching how
+        the paper reports per-GPU kernel times on symmetric workloads.
+        """
+        if gpu is not None:
+            return sum(r.duration_s for r in self.records_for(gpu, category))
+        if self.num_gpus == 0:
+            return 0.0
+        total = sum(
+            r.duration_s for r in self.records if r.category is category
+        )
+        return total / self.num_gpus
+
+    def intervals(
+        self, gpu: int, category: TaskCategory
+    ) -> List[Tuple[float, float]]:
+        """(start, end) tuples for a GPU/category, sorted by start."""
+        return sorted(
+            (r.start_s, r.end_s)
+            for r in self.records
+            if r.gpu == gpu and r.category is category
+        )
+
+    def energy_j(self, gpu: int = None) -> float:  # type: ignore[assignment]
+        """Total energy over the run (one GPU or whole node)."""
+        gpus = [gpu] if gpu is not None else list(self.power_segments)
+        return sum(
+            seg.energy_j for g in gpus for seg in self.power_segments.get(g, [])
+        )
+
+    def validate(self) -> None:
+        """Sanity-check invariants; raises SimulationError on violation."""
+        for rec in self.records:
+            if rec.end_s > self.end_time_s + 1e-9:
+                raise SimulationError(
+                    f"record {rec.label} ends after simulation end"
+                )
+        for gpu, segs in self.power_segments.items():
+            prev_end = 0.0
+            for seg in segs:
+                if seg.start_s < prev_end - 1e-9:
+                    raise SimulationError(
+                        f"gpu {gpu}: overlapping power segments"
+                    )
+                prev_end = seg.end_s

@@ -1,0 +1,40 @@
+"""Workload models: the GPT-3 / LLaMA-2 training workloads of Table II.
+
+Provides per-layer forward/backward kernel decompositions (GEMMs,
+attention, normalization, optimizer) and memory-footprint accounting
+used for feasibility checks (e.g. the paper's A100-40GB limit of
+GPT-3 2.7B).
+"""
+
+from repro.workloads.spec import ModelSpec
+from repro.workloads.registry import get_model, list_models
+from repro.workloads.kernels import KernelKind, KernelSpec, gemm_kernel
+from repro.workloads.transformer import (
+    TrainingShape,
+    build_backward_kernels,
+    build_forward_kernels,
+    build_optimizer_kernels,
+    layer_flops,
+)
+from repro.workloads.memory_footprint import (
+    MemoryFootprint,
+    fsdp_footprint,
+    pipeline_footprint,
+)
+
+__all__ = [
+    "KernelKind",
+    "KernelSpec",
+    "MemoryFootprint",
+    "ModelSpec",
+    "TrainingShape",
+    "build_backward_kernels",
+    "build_forward_kernels",
+    "build_optimizer_kernels",
+    "fsdp_footprint",
+    "gemm_kernel",
+    "get_model",
+    "layer_flops",
+    "list_models",
+    "pipeline_footprint",
+]

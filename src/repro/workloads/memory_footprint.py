@@ -1,0 +1,191 @@
+"""Per-GPU memory accounting for feasibility checks.
+
+Reproduces the constraint the paper reports: the 40 GB A100 cannot host
+models beyond GPT-3 2.7B under FSDP, which is why its slowdowns stay
+small (Section V-A). The accounting follows the standard mixed-precision
+Adam recipe: 2-byte parameters and gradients plus 12 bytes/param of
+fp32 optimizer state, sharded by ZeRO-3 / split by pipeline stage, with
+full activation tensors (34 bytes per token-hidden unit without
+checkpointing; layer inputs only with checkpointing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import GIB
+from repro.workloads.spec import ModelSpec
+from repro.workloads.transformer import TrainingShape
+
+#: fp32 master weight + Adam m + v, bytes per parameter.
+OPTIMIZER_BYTES_PER_PARAM = 12.0
+
+#: Activation bytes per (token x hidden) unit per layer without
+#: checkpointing (Korthikanti et al.'s ~34sbh for FP16 transformers).
+ACTIVATION_BYTES_PER_UNIT = 34.0
+
+#: CUDA/HIP context, framework workspaces and allocator fragmentation.
+FRAMEWORK_RESERVED_BYTES = 2.5 * GIB
+USABLE_FRACTION = 0.94
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Per-GPU memory breakdown in bytes."""
+
+    states_bytes: float
+    activation_bytes: float
+    working_bytes: float
+    reserved_bytes: float = FRAMEWORK_RESERVED_BYTES
+
+    def __post_init__(self) -> None:
+        for field_name in ("states_bytes", "activation_bytes", "working_bytes"):
+            if getattr(self, field_name) < 0:
+                raise ConfigurationError(f"{field_name} must be >= 0")
+
+    @property
+    def total_bytes(self) -> float:
+        """Total per-GPU requirement including reservations."""
+        return (
+            self.states_bytes
+            + self.activation_bytes
+            + self.working_bytes
+            + self.reserved_bytes
+        )
+
+    def fits(self, capacity_bytes: float) -> bool:
+        """Whether this footprint fits in usable device memory."""
+        return self.total_bytes <= capacity_bytes * USABLE_FRACTION
+
+
+def _activation_bytes(
+    model: ModelSpec,
+    shape: TrainingShape,
+    num_layers: int,
+    microbatch_tokens: float = None,  # type: ignore[assignment]
+    live_microbatches: float = 1.0,
+) -> float:
+    """Activation memory for ``num_layers`` layers.
+
+    Without checkpointing, every layer keeps its full ~34*s*b*h of
+    intermediate tensors; with checkpointing only the 2-byte layer
+    inputs survive, and one layer's worth of full activations exists
+    transiently during recompute.
+    """
+    tokens = microbatch_tokens if microbatch_tokens is not None else float(
+        shape.tokens
+    )
+    unit = tokens * model.hidden_dim
+    elt = shape.path.precision.bytes_per_element
+    if shape.activation_checkpointing:
+        saved = elt * unit * num_layers
+        transient = ACTIVATION_BYTES_PER_UNIT * unit
+        per_microbatch = saved + transient
+    else:
+        per_microbatch = ACTIVATION_BYTES_PER_UNIT * unit * num_layers
+    logits = 0.0
+    # The LM-head logits tensor is large (tokens x vocab) and live
+    # during loss computation; only the last pipeline stage holds it.
+    logits = elt * tokens * model.vocab_size
+    return per_microbatch * live_microbatches + logits
+
+
+def fsdp_footprint(
+    model: ModelSpec, shape: TrainingShape, num_gpus: int
+) -> MemoryFootprint:
+    """Per-GPU footprint under ZeRO-3 style FSDP.
+
+    Parameters, gradients and optimizer states are sharded 1/N; the
+    working set holds up to two unsharded layers (current + prefetched
+    all-gather target).
+    """
+    if num_gpus < 1:
+        raise ConfigurationError("num_gpus must be >= 1")
+    elt = shape.path.precision.bytes_per_element
+    params = float(model.num_params)
+    per_param = 2.0 * elt + OPTIMIZER_BYTES_PER_PARAM  # param + grad + states
+    states = params * per_param / num_gpus
+    working = 2.0 * model.params_per_layer * elt * 2.0  # two gathered layers
+    working += model.embedding_params * elt  # gathered embedding/LM head
+    activations = _activation_bytes(model, shape, model.num_layers)
+    return MemoryFootprint(
+        states_bytes=states,
+        activation_bytes=activations,
+        working_bytes=working,
+    )
+
+
+def tensor_parallel_footprint(
+    model: ModelSpec, shape: TrainingShape, num_gpus: int
+) -> MemoryFootprint:
+    """Per-GPU footprint under Megatron-style tensor parallelism.
+
+    Weights, gradients and optimizer states shard 1/N (every GEMM is
+    split). Activations do *not* shard as well: the residual stream and
+    norm inputs are replicated on every rank between the two all-reduce
+    points of each layer, and only the GEMM-internal tensors (QKV
+    projections, MLP hidden) are 1/N — roughly half the ~34sbh budget
+    scales with 1/N, half is replicated (Korthikanti et al.'s
+    tensor-parallel activation analysis).
+    """
+    if num_gpus < 1:
+        raise ConfigurationError("num_gpus must be >= 1")
+    elt = shape.path.precision.bytes_per_element
+    params = float(model.num_params)
+    per_param = 2.0 * elt + OPTIMIZER_BYTES_PER_PARAM
+    states = params * per_param / num_gpus
+    full_activations = _activation_bytes(model, shape, model.num_layers)
+    sharded_share = 0.5
+    activations = full_activations * (
+        (1.0 - sharded_share) + sharded_share / num_gpus
+    )
+    working = 2.0 * model.params_per_layer * elt / num_gpus
+    return MemoryFootprint(
+        states_bytes=states,
+        activation_bytes=activations,
+        working_bytes=working,
+    )
+
+
+def pipeline_footprint(
+    model: ModelSpec,
+    shape: TrainingShape,
+    num_stages: int,
+    microbatch_size: int,
+    live_microbatches: int = None,  # type: ignore[assignment]
+) -> MemoryFootprint:
+    """Per-GPU footprint under pipeline parallelism.
+
+    Each stage holds its layer slice's full parameter/optimizer state;
+    activations accumulate for every in-flight microbatch (up to the
+    stage depth under 1F1B, all microbatches under GPipe).
+    """
+    if num_stages < 1:
+        raise ConfigurationError("num_stages must be >= 1")
+    if microbatch_size < 1:
+        raise ConfigurationError("microbatch_size must be >= 1")
+    if live_microbatches is None:
+        live_microbatches = num_stages
+    elt = shape.path.precision.bytes_per_element
+    layers_per_stage = -(-model.num_layers // num_stages)  # ceil
+    stage_params = (
+        float(model.params_per_layer) * layers_per_stage
+        + model.embedding_params  # first/last stages carry embeddings
+    )
+    per_param = 2.0 * elt + OPTIMIZER_BYTES_PER_PARAM
+    states = stage_params * per_param
+    micro_tokens = float(microbatch_size) * shape.seq_len
+    activations = _activation_bytes(
+        model,
+        shape,
+        layers_per_stage,
+        microbatch_tokens=micro_tokens,
+        live_microbatches=float(live_microbatches),
+    )
+    working = 2.0 * model.params_per_layer * elt
+    return MemoryFootprint(
+        states_bytes=states,
+        activation_bytes=activations,
+        working_bytes=working,
+    )

@@ -1,0 +1,190 @@
+"""Mixture-of-Experts workload descriptions (extension).
+
+The paper's related work (Tutel, Lina, Lancet) centres on overlapping
+the ``all-to-all`` exchanges of expert-parallel MoE training with
+expert computation. This module extends the dense Table II registry
+with MoE variants so the same contention analysis can be applied to
+all-to-all-dominated workloads.
+
+An :class:`MoESpec` replaces every dense FFN with ``num_experts``
+expert MLPs of which each token activates ``top_k``; experts shard one
+per rank group (expert parallelism), so each layer requires a dispatch
+all-to-all before expert compute and a combine all-to-all after it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.hw.datapath import ComputePath
+from repro.workloads.kernels import (
+    KernelKind,
+    KernelSpec,
+    elementwise_kernel,
+    gemm_kernel,
+)
+from repro.workloads.spec import ModelSpec
+from repro.workloads.transformer import TrainingShape
+
+
+@dataclass(frozen=True)
+class MoESpec:
+    """An MoE transformer: a dense backbone with expert FFNs.
+
+    Attributes:
+        base: the dense architecture providing attention/hidden dims.
+        num_experts: experts per MoE layer (across the whole node).
+        top_k: experts activated per token.
+        capacity_factor: per-expert buffer slack; >1 means padded
+            dispatch buffers (more all-to-all bytes than useful tokens).
+        moe_every: an MoE FFN replaces the dense FFN every this many
+            layers (1 = every layer, 2 = alternating as in GShard).
+    """
+
+    base: ModelSpec
+    num_experts: int = 8
+    top_k: int = 2
+    capacity_factor: float = 1.25
+    moe_every: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_experts < 2:
+            raise ConfigurationError("MoE needs at least two experts")
+        if not 1 <= self.top_k <= self.num_experts:
+            raise ConfigurationError("top_k must be in [1, num_experts]")
+        if self.capacity_factor < 1.0:
+            raise ConfigurationError("capacity_factor must be >= 1")
+        if self.moe_every < 1:
+            raise ConfigurationError("moe_every must be >= 1")
+
+    @property
+    def name(self) -> str:
+        return (
+            f"{self.base.name}-moe{self.num_experts}e{self.top_k}k"
+        )
+
+    @property
+    def num_moe_layers(self) -> int:
+        """Layers whose FFN is an expert layer."""
+        return len(
+            [
+                layer
+                for layer in range(self.base.num_layers)
+                if self.is_moe_layer(layer)
+            ]
+        )
+
+    def is_moe_layer(self, layer: int) -> bool:
+        """Whether ``layer``'s FFN is a MoE layer (GShard alternation)."""
+        return layer % self.moe_every == (self.moe_every - 1)
+
+    @property
+    def expert_params(self) -> int:
+        """Parameters of one expert MLP."""
+        return 2 * self.base.hidden_dim * self.base.ffn_dim
+
+    @property
+    def num_params(self) -> int:
+        """Total parameters including all experts."""
+        dense = self.base.num_params
+        # Each MoE layer swaps one dense FFN for num_experts expert MLPs.
+        ffn_mats = 3 if self.base.gated_ffn else 2
+        dense_ffn = ffn_mats * self.base.hidden_dim * self.base.ffn_dim
+        extra = self.num_moe_layers * (
+            self.num_experts * self.expert_params - dense_ffn
+        )
+        return dense + extra
+
+    def dispatch_bytes(self, shape: TrainingShape) -> float:
+        """Payload of one all-to-all (dispatch or combine).
+
+        Every token ships ``top_k`` activation vectors, padded by the
+        capacity factor.
+        """
+        elt = shape.path.precision.bytes_per_element
+        return (
+            float(shape.tokens)
+            * self.base.hidden_dim
+            * elt
+            * self.top_k
+            * self.capacity_factor
+        )
+
+
+def gate_kernel(
+    spec: MoESpec, shape: TrainingShape, layer: int
+) -> KernelSpec:
+    """The router: a tokens x experts projection plus top-k selection."""
+    tokens = shape.tokens
+    gemm = gemm_kernel(
+        f"L{layer}.gate",
+        tokens,
+        spec.num_experts,
+        spec.base.hidden_dim,
+        shape.path,
+    )
+    # Top-k selection and the softmax over expert logits are
+    # bandwidth-trivial next to the projection; fold a small elementwise
+    # term into the GEMM's traffic instead of a separate kernel.
+    return gemm
+
+
+def expert_ffn_kernels(
+    spec: MoESpec,
+    shape: TrainingShape,
+    layer: int,
+    experts_per_rank: int,
+    path: ComputePath = None,  # type: ignore[assignment]
+) -> List[KernelSpec]:
+    """Local expert MLPs over the tokens routed to this rank.
+
+    With balanced routing each rank processes ``tokens * top_k *
+    capacity / world`` token-slots; ``experts_per_rank`` experts means
+    the GEMMs are batched but smaller per expert.
+    """
+    if experts_per_rank < 1:
+        raise ConfigurationError("experts_per_rank must be >= 1")
+    if path is None:
+        path = shape.path
+    h = spec.base.hidden_dim
+    ffn = spec.base.ffn_dim
+    world = spec.num_experts // experts_per_rank
+    local_tokens = max(
+        1,
+        int(
+            shape.tokens * spec.top_k * spec.capacity_factor / max(world, 1)
+        ),
+    )
+    per_expert = max(1, local_tokens // experts_per_rank)
+    kernels: List[KernelSpec] = []
+    for e in range(experts_per_rank):
+        kernels.append(
+            gemm_kernel(f"L{layer}.exp{e}.up", per_expert, ffn, h, path)
+        )
+        kernels.append(
+            gemm_kernel(f"L{layer}.exp{e}.down", per_expert, h, ffn, path)
+        )
+    kernels.append(
+        elementwise_kernel(
+            f"L{layer}.exp_act",
+            num_elements=float(local_tokens) * ffn,
+            path=path,
+        )
+    )
+    return kernels
+
+
+def combine_kernel(
+    spec: MoESpec, shape: TrainingShape, layer: int
+) -> KernelSpec:
+    """Weighted combination of the top-k expert outputs per token."""
+    elements = float(shape.tokens) * spec.base.hidden_dim * spec.top_k
+    return elementwise_kernel(
+        f"L{layer}.combine",
+        num_elements=elements,
+        path=shape.path,
+        flops_per_element=2.0,
+        kind=KernelKind.ELEMENTWISE,
+    )

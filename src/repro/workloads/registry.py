@@ -1,0 +1,69 @@
+"""Named registry of the evaluated workloads (paper Table II)."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import UnknownSpecError
+from repro.workloads.spec import ModelSpec
+
+GPT3_XL = ModelSpec(
+    name="gpt3-xl",
+    family="GPT-3",
+    num_layers=24,
+    num_heads=32,
+    hidden_dim=2048,
+)
+
+GPT3_2_7B = ModelSpec(
+    name="gpt3-2.7b",
+    family="GPT-3",
+    num_layers=32,
+    num_heads=32,
+    hidden_dim=2560,
+)
+
+GPT3_6_7B = ModelSpec(
+    name="gpt3-6.7b",
+    family="GPT-3",
+    num_layers=32,
+    num_heads=32,
+    hidden_dim=4096,
+)
+
+GPT3_13B = ModelSpec(
+    name="gpt3-13b",
+    family="GPT-3",
+    num_layers=40,
+    num_heads=40,
+    hidden_dim=5120,
+)
+
+LLAMA2_13B = ModelSpec(
+    name="llama2-13b",
+    family="LLaMA-2",
+    num_layers=40,
+    num_heads=40,
+    hidden_dim=5120,
+    vocab_size=32_000,
+    ffn_multiplier=2.7,  # 13824 / 5120
+    gated_ffn=True,
+)
+
+_MODELS: Dict[str, ModelSpec] = {
+    m.name: m
+    for m in (GPT3_XL, GPT3_2_7B, GPT3_6_7B, GPT3_13B, LLAMA2_13B)
+}
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a model by name (case-insensitive)."""
+    spec = _MODELS.get(name.lower())
+    if spec is None:
+        raise UnknownSpecError("model", name, tuple(_MODELS))
+    return spec
+
+
+def list_models() -> Tuple[str, ...]:
+    """All registered model names, in Table II order."""
+    return tuple(_MODELS)

@@ -1,0 +1,70 @@
+"""Tests for overlap-benefit crossover analysis."""
+
+import pytest
+
+from repro.analysis.crossover import (
+    BenefitPoint,
+    batch_trend,
+    find_cap_crossover,
+    overlap_benefit,
+    trend_slope,
+)
+from repro.core.experiment import ExperimentConfig
+from repro.errors import ConfigurationError
+
+CONFIG = ExperimentConfig(
+    gpu="A100", model="gpt3-xl", batch_size=8, strategy="fsdp", runs=1
+)
+
+
+def test_benefit_point_math():
+    point = BenefitPoint(
+        label="x",
+        e2e_overlapped_s=1.0,
+        e2e_sequential_s=1.2,
+        compute_slowdown=0.1,
+        overlap_ratio=0.3,
+    )
+    assert point.benefit == pytest.approx(0.2)
+
+
+def test_overlap_benefit_positive_uncapped():
+    point = overlap_benefit(CONFIG)
+    assert point.benefit > 0
+    assert point.label  # auto-filled from config
+
+
+def test_cap_crossover_rejects_empty_and_negative():
+    with pytest.raises(ConfigurationError):
+        find_cap_crossover(CONFIG, [])
+    with pytest.raises(ConfigurationError):
+        find_cap_crossover(CONFIG, [-100.0])
+
+
+def test_no_crossover_with_generous_caps():
+    assert find_cap_crossover(CONFIG, [400.0]) is None
+
+
+def test_batch_trend_skips_oom_cells():
+    config = ExperimentConfig(
+        gpu="A100", model="gpt3-2.7b", batch_size=8, strategy="fsdp", runs=1
+    )
+    points = batch_trend(config, [8, 16])
+    assert 1 <= len(points) <= 2
+    assert all(p.label.startswith("b") for p in points)
+
+
+def test_fsdp_slowdown_falls_with_batch():
+    points = batch_trend(CONFIG, [8, 32])
+    assert len(points) == 2
+    assert trend_slope(points, "compute_slowdown") <= 1e-6
+
+
+def test_trend_slope_math():
+    points = [
+        BenefitPoint("a", 1.0, 1.0, 0.1, 0.0),
+        BenefitPoint("b", 1.0, 1.0, 0.2, 0.0),
+        BenefitPoint("c", 1.0, 1.0, 0.3, 0.0),
+    ]
+    assert trend_slope(points, "compute_slowdown") == pytest.approx(0.1)
+    assert trend_slope(points[:1], "compute_slowdown") == 0.0

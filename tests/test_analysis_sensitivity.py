@@ -1,0 +1,84 @@
+"""Tests for calibration sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    SWEEPABLE,
+    mechanism_attribution,
+    render_tornado,
+    sweep_parameter,
+    tornado,
+)
+from repro.core.experiment import ExperimentConfig
+from repro.errors import ConfigurationError
+
+CONFIG = ExperimentConfig(
+    gpu="MI210", model="gpt3-xl", batch_size=8, strategy="fsdp", runs=1
+)
+
+
+def test_unknown_parameter_rejected():
+    with pytest.raises(ConfigurationError, match="unknown calibration"):
+        sweep_parameter(CONFIG, "not_a_knob", [0.1])
+
+
+def test_slowdown_monotone_in_comm_sm_fraction():
+    points = sweep_parameter(CONFIG, "comm_sm_fraction", [0.05, 0.25, 0.45])
+    slowdowns = [p.compute_slowdown for p in points]
+    assert slowdowns == sorted(slowdowns)
+    assert slowdowns[-1] > slowdowns[0]
+
+
+def test_slowdown_monotone_in_interference():
+    points = sweep_parameter(CONFIG, "interference_factor", [0.0, 0.3, 0.6])
+    slowdowns = [p.compute_slowdown for p in points]
+    assert slowdowns == sorted(slowdowns)
+
+
+def test_zero_contention_coefficients_remove_slowdown():
+    import dataclasses
+
+    from repro.hw.calibration import AMD_CALIBRATION
+
+    zero = dataclasses.replace(
+        AMD_CALIBRATION,
+        comm_sm_fraction=0.0,
+        interference_factor=0.0,
+        spin_sm_scale=0.0,
+        hbm_wire_scale=1e-9,
+    )
+    from repro.core.experiment import run_experiment
+    from repro.core.modes import ExecutionMode
+
+    result = run_experiment(
+        CONFIG.with_updates(calibration=zero, jitter_sigma=0.0),
+        modes=(ExecutionMode.OVERLAPPED, ExecutionMode.SEQUENTIAL),
+    )
+    assert result.metrics.compute_slowdown == pytest.approx(0.0, abs=1e-6)
+
+
+def test_tornado_ranks_by_swing():
+    bars = tornado(CONFIG, rel_delta=0.5, parameters=SWEEPABLE[:3])
+    swings = [b.swing for b in bars]
+    assert swings == sorted(swings, reverse=True)
+    assert len(bars) == 3
+
+
+def test_tornado_rejects_bad_delta():
+    with pytest.raises(ConfigurationError):
+        tornado(CONFIG, rel_delta=1.5)
+
+
+def test_render_tornado_mentions_parameters():
+    bars = tornado(CONFIG, rel_delta=0.5, parameters=("comm_sm_fraction",))
+    text = render_tornado(bars)
+    assert "comm_sm_fraction" in text
+    assert "#" in text
+
+
+def test_mechanism_attribution_sums_sanely():
+    attribution = mechanism_attribution(CONFIG)
+    assert attribution["total"] > 0
+    # Every mechanism recovers a non-negative share of the slowdown.
+    for key in ("sm_stealing", "hbm_interference", "hbm_traffic"):
+        assert attribution[key] >= -0.01

@@ -1,0 +1,134 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_knows_all_subcommands():
+    parser = build_parser()
+    for command in (
+        ["list-gpus"],
+        ["list-models"],
+        ["run"],
+        ["figure", "4"],
+        ["table", "1"],
+        ["microbench"],
+        ["roofline"],
+        ["takeaways"],
+        ["trace"],
+    ):
+        args = parser.parse_args(command)
+        assert callable(args.func)
+
+
+def test_run_defaults():
+    args = build_parser().parse_args(["run"])
+    assert args.gpu == "H100"
+    assert args.strategy == "fsdp"
+    assert args.precision == "fp16"
+    assert args.runs == 3
+
+
+def test_list_gpus_prints_table1(capsys):
+    assert main(["list-gpus"]) == 0
+    out = capsys.readouterr().out
+    for gpu in ("A100", "H100", "MI210", "MI250"):
+        assert gpu in out
+
+
+def test_list_models_prints_table2(capsys):
+    assert main(["list-models"]) == 0
+    out = capsys.readouterr().out
+    assert "gpt3-13b" in out
+    assert "llama2-13b" in out
+
+
+def test_table_command(capsys):
+    assert main(["table", "1"]) == 0
+    assert "19.5" in capsys.readouterr().out  # A100 FP32 TFLOPS
+
+
+def test_table_rejects_unknown(capsys):
+    assert main(["table", "9"]) == 2
+
+
+def test_figure_rejects_unknown(capsys):
+    assert main(["figure", "3"]) == 2  # Fig. 3 is a diagram, not data
+
+
+def test_unknown_gpu_is_reported_as_error(capsys):
+    code = main(
+        ["run", "--gpu", "B200", "--model", "gpt3-xl", "--runs", "1"]
+    )
+    assert code == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_run_quick_cell(capsys):
+    code = main(
+        [
+            "run",
+            "--gpu",
+            "A100",
+            "--model",
+            "gpt3-xl",
+            "--batch",
+            "8",
+            "--runs",
+            "1",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "compute slowdown" in out
+    assert "overlapped" in out
+
+
+def test_roofline_command(capsys):
+    code = main(
+        ["roofline", "--gpu", "A100", "--model", "gpt3-xl", "--top", "3"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "ridge" in out
+    assert "compute-bound" in out
+
+
+def test_trace_writes_file(tmp_path, capsys):
+    out_path = tmp_path / "trace.json"
+    code = main(
+        [
+            "trace",
+            "--gpu",
+            "A100",
+            "--model",
+            "gpt3-xl",
+            "--batch",
+            "8",
+            "--runs",
+            "1",
+            "--out",
+            str(out_path),
+        ]
+    )
+    assert code == 0
+    assert out_path.exists()
+
+
+def test_infeasible_run_returns_error(capsys):
+    code = main(
+        [
+            "run",
+            "--gpu",
+            "A100",
+            "--model",
+            "gpt3-13b",
+            "--batch",
+            "8",
+            "--runs",
+            "1",
+        ]
+    )
+    assert code == 1
+    assert "memory" in capsys.readouterr().err

@@ -1,0 +1,53 @@
+"""Tests for the NCCL/RCCL library models."""
+
+import pytest
+
+from repro.collectives.library import NCCL, RCCL, CollectiveLibrary, library_for
+from repro.errors import ConfigurationError
+from repro.hw.gpu import Vendor
+from repro.units import MB
+
+
+def test_vendor_dispatch():
+    assert library_for(Vendor.NVIDIA) is NCCL
+    assert library_for(Vendor.AMD) is RCCL
+
+
+def test_rccl_launches_more_channels():
+    assert RCCL.max_channels > NCCL.max_channels
+
+
+def test_channel_utilization_ramps_with_message_size():
+    tiny = NCCL.channel_utilization(1024)
+    medium = NCCL.channel_utilization(1.0 * MB)
+    huge = NCCL.channel_utilization(1e9)
+    assert 0 < tiny < medium < huge < 1.0
+
+
+def test_channel_utilization_half_point():
+    assert NCCL.channel_utilization(NCCL.channel_half_bytes) == (
+        pytest.approx(0.5)
+    )
+
+
+def test_zero_message_uses_no_channels():
+    assert NCCL.channel_utilization(0) == 0.0
+    assert NCCL.channel_utilization(-5) == 0.0
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        CollectiveLibrary(
+            name="bad", max_channels=0, launch_overhead_s=0,
+            channel_half_bytes=1,
+        )
+    with pytest.raises(ConfigurationError):
+        CollectiveLibrary(
+            name="bad", max_channels=4, launch_overhead_s=-1,
+            channel_half_bytes=1,
+        )
+    with pytest.raises(ConfigurationError):
+        CollectiveLibrary(
+            name="bad", max_channels=4, launch_overhead_s=0,
+            channel_half_bytes=0,
+        )

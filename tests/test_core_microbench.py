@@ -1,0 +1,61 @@
+"""Tests for the Fig. 8 microbenchmark harness."""
+
+import pytest
+
+from repro.core.microbench import MicrobenchResult, run_microbench
+from repro.errors import ConfigurationError
+from repro.hw.system import make_node
+
+NODE = make_node("A100", 4)
+
+
+def test_rejects_bad_inputs():
+    with pytest.raises(ConfigurationError):
+        run_microbench(NODE, 0)
+    with pytest.raises(ConfigurationError):
+        run_microbench(NODE, 1024, repeats=0)
+
+
+def test_result_derived_properties():
+    r = MicrobenchResult(
+        n=1024,
+        gemm_time_overlap_s=1.2,
+        gemm_time_isolated_s=1.0,
+        avg_power_overlap_w=300.0,
+        peak_power_overlap_w=500.0,
+        avg_power_isolated_w=280.0,
+        peak_power_isolated_w=400.0,
+    )
+    assert r.slowdown == pytest.approx(0.2)
+    assert r.peak_power_increase == pytest.approx(0.25)
+
+
+def test_zero_division_guards():
+    r = MicrobenchResult(
+        n=1,
+        gemm_time_overlap_s=1.0,
+        gemm_time_isolated_s=0.0,
+        avg_power_overlap_w=0.0,
+        peak_power_overlap_w=0.0,
+        avg_power_isolated_w=0.0,
+        peak_power_isolated_w=0.0,
+    )
+    assert r.slowdown == 0.0
+    assert r.peak_power_increase == 0.0
+
+
+@pytest.mark.parametrize("n", [2048, 8192])
+def test_overlap_slows_gemm_and_raises_power(n):
+    # Default repeats fill ~100 ms so the sampler sees a steady window;
+    # a handful of sub-ms GEMMs would leave the timeline dominated by
+    # the trailing all-reduce and make averages meaningless.
+    r = run_microbench(NODE, n)
+    assert r.slowdown > 0
+    assert r.peak_power_overlap_w > r.peak_power_isolated_w
+    assert r.avg_power_overlap_w > r.avg_power_isolated_w
+
+
+def test_larger_gemms_contend_harder():
+    small = run_microbench(NODE, 2048)
+    large = run_microbench(NODE, 8192)
+    assert large.slowdown > small.slowdown

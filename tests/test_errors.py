@@ -1,0 +1,41 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    DeadlockError,
+    InfeasibleConfigError,
+    PlanError,
+    ReproError,
+    SimulationError,
+    UnknownSpecError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for exc_type in (
+        ConfigurationError,
+        DeadlockError,
+        InfeasibleConfigError,
+        PlanError,
+        SimulationError,
+        UnknownSpecError,
+    ):
+        assert issubclass(exc_type, ReproError)
+
+
+def test_unknown_spec_error_lists_known_names():
+    err = UnknownSpecError("GPU", "B200", known=("A100", "H100"))
+    message = str(err)
+    assert "B200" in message
+    assert "A100" in message and "H100" in message
+
+
+def test_unknown_spec_error_is_configuration_error():
+    with pytest.raises(ConfigurationError):
+        raise UnknownSpecError("model", "nope")
+
+
+def test_deadlock_is_simulation_error():
+    assert issubclass(DeadlockError, SimulationError)

@@ -1,0 +1,144 @@
+"""Render-path tests for the figure modules (synthetic rows).
+
+The generators themselves run full experiment sweeps and are exercised
+by the benchmark suite; these tests pin the render contracts so a row
+schema change cannot silently break every figure.
+"""
+
+from repro.harness.figures import fig1, fig4, fig5, fig6, fig7, fig8, fig9
+
+
+def test_fig1_render():
+    rows = [
+        {
+            "system": "H100x8",
+            "strategy": "fsdp",
+            "model": "gpt3-xl",
+            "batch": 8,
+            "overlapped_ms": 12.5,
+            "overlap_share_of_iteration": 0.3,
+            "overlap_ratio_eq2": 0.42,
+            "e2e_ms": 55.0,
+        }
+    ]
+    text = fig1.render(rows)
+    assert "Fig. 1" in text
+    assert "H100x8" in text
+
+
+def test_fig4_render_annotates_skips():
+    rows = [
+        {
+            "gpu": "A100",
+            "strategy": "fsdp",
+            "model": "gpt3-xl",
+            "batch": 8,
+            "compute_slowdown": 0.043,
+            "overlap_ratio": 0.21,
+            "skipped": None,
+        },
+        {
+            "gpu": "A100",
+            "strategy": "fsdp",
+            "model": "gpt3-13b",
+            "batch": 8,
+            "compute_slowdown": 0.0,
+            "overlap_ratio": 0.0,
+            "skipped": "out of memory",
+        },
+    ]
+    text = fig4.render(rows)
+    assert "4.3%" in text
+    assert "out of memory" in text
+
+
+def test_fig5_render():
+    rows = [
+        {
+            "gpu": "MI250",
+            "strategy": "fsdp",
+            "model": "gpt3-13b",
+            "batch": 8,
+            "e2e_ideal_ms": 100.0,
+            "e2e_ideal_simulated_ms": 99.0,
+            "e2e_overlapped_ms": 145.0,
+            "e2e_sequential_ms": 160.0,
+            "overlapped_vs_ideal": 0.45,
+            "sequential_vs_overlapped": 0.10,
+        }
+    ]
+    text = fig5.render(rows)
+    assert "+45.0%" in text
+    assert "MI250" in text
+
+
+def test_fig6_render():
+    rows = [
+        {
+            "gpu": "H100",
+            "strategy": "fsdp",
+            "model": "gpt3-6.7b",
+            "batch": 16,
+            "avg_power_overlap_tdp": 0.95,
+            "peak_power_overlap_tdp": 1.40,
+            "avg_power_sequential_tdp": 0.80,
+            "peak_power_sequential_tdp": 1.10,
+            "peak_increase_from_overlap": 0.25,
+        }
+    ]
+    text = fig6.render(rows)
+    assert "1.40x" in text
+    assert "+25.0%" in text
+
+
+def test_fig7_render():
+    data = {
+        "system": "MI250x4",
+        "model": "llama2-13b",
+        "batch": 8,
+        "samples": [
+            {"t_norm": t / 10.0, "power_tdp": 0.5 + 0.05 * t}
+            for t in range(10)
+        ],
+        "peak_power_tdp": 0.95,
+        "overlap_fraction_of_iteration": 0.53,
+    }
+    text = fig7.render(data)
+    assert "MI250x4" in text
+    assert "0.95x TDP" in text
+    assert "53.0%" in text
+
+
+def test_fig8_render():
+    rows = [
+        {
+            "gpu": "A100",
+            "n": 8192,
+            "slowdown": 0.22,
+            "avg_power_overlap_tdp": 0.98,
+            "peak_power_overlap_tdp": 1.17,
+            "avg_power_isolated_tdp": 0.96,
+            "peak_power_isolated_tdp": 0.96,
+            "peak_power_increase": 0.22,
+        }
+    ]
+    text = fig8.render(rows)
+    assert "22.0%" in text
+    assert "8192" in text
+
+
+def test_fig9_render():
+    rows = [
+        {
+            "cap_w": 100.0,
+            "e2e_overlapped_ms": 608.0,
+            "e2e_sequential_ms": 639.0,
+            "compute_slowdown": 0.055,
+            "overlap_slowdown_vs_uncapped": 1.27,
+            "sequential_slowdown_vs_uncapped": 1.05,
+            "min_clock_frac": 0.30,
+        }
+    ]
+    text = fig9.render(rows)
+    assert "+127.0%" in text
+    assert "100" in text

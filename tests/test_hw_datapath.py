@@ -1,0 +1,41 @@
+"""Precision / datapath resolution (the Fig. 10 / Fig. 11 knobs)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.datapath import Datapath, Precision, resolve_path
+
+
+def test_element_sizes():
+    assert Precision.FP32.bytes_per_element == 4
+    assert Precision.TF32.bytes_per_element == 4  # storage stays FP32
+    assert Precision.FP16.bytes_per_element == 2
+    assert Precision.BF16.bytes_per_element == 2
+
+
+def test_fp32_without_tensor_cores_uses_vector_path():
+    path = resolve_path(Precision.FP32, use_tensor_cores=False)
+    assert path.datapath is Datapath.VECTOR
+    assert path.precision is Precision.FP32
+
+
+def test_fp32_with_tensor_cores_becomes_tf32():
+    path = resolve_path(Precision.FP32, use_tensor_cores=True)
+    assert path.datapath is Datapath.TENSOR
+    assert path.precision is Precision.TF32
+
+
+def test_fp16_resolution_respects_tensor_core_flag():
+    tensor = resolve_path(Precision.FP16, use_tensor_cores=True)
+    vector = resolve_path(Precision.FP16, use_tensor_cores=False)
+    assert tensor.datapath is Datapath.TENSOR
+    assert vector.datapath is Datapath.VECTOR
+
+
+def test_tf32_without_tensor_cores_is_rejected():
+    with pytest.raises(ConfigurationError):
+        resolve_path(Precision.TF32, use_tensor_cores=False)
+
+
+def test_path_str_is_readable():
+    assert str(resolve_path(Precision.FP16, True)) == "fp16/tensor"

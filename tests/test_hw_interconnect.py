@@ -1,0 +1,58 @@
+"""Link model: bandwidth derivation and message-size ramp."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.interconnect import LinkSpec
+from repro.units import GB, MB
+
+
+def make_link(**kwargs):
+    defaults = dict(
+        name="test",
+        technology="TestLink",
+        aggregate_bidir_bytes_per_s=600 * GB,
+        efficiency=0.8,
+    )
+    defaults.update(kwargs)
+    return LinkSpec(**defaults)
+
+
+def test_unidirectional_is_half_aggregate():
+    link = make_link()
+    assert link.unidir_bytes_per_s == pytest.approx(300 * GB)
+    assert link.effective_unidir_bytes_per_s == pytest.approx(240 * GB)
+
+
+def test_ramp_is_monotone_in_message_size():
+    link = make_link()
+    half = 8 * MB
+    sizes = [0.1 * MB, 1 * MB, 8 * MB, 64 * MB, 1 * GB]
+    rates = [link.ramp_bandwidth(s, half) for s in sizes]
+    assert rates == sorted(rates)
+
+
+def test_ramp_half_point():
+    link = make_link()
+    assert link.ramp_bandwidth(8 * MB, 8 * MB) == pytest.approx(
+        link.effective_unidir_bytes_per_s / 2
+    )
+
+
+def test_ramp_approaches_peak_for_huge_messages():
+    link = make_link()
+    rate = link.ramp_bandwidth(100 * GB, 8 * MB)
+    assert rate > 0.999 * link.effective_unidir_bytes_per_s
+
+
+def test_zero_message_gets_zero_bandwidth():
+    assert make_link().ramp_bandwidth(0, 8 * MB) == 0.0
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        make_link(aggregate_bidir_bytes_per_s=0)
+    with pytest.raises(ConfigurationError):
+        make_link(efficiency=0.0)
+    with pytest.raises(ConfigurationError):
+        make_link(latency_s=-1.0)

@@ -1,0 +1,134 @@
+"""Tests for CSV/JSON exports and kernel statistics."""
+
+import csv
+import json
+
+import pytest
+
+from repro.profiler.chrome_trace import to_chrome_trace, write_chrome_trace
+from repro.profiler.export import (
+    kernel_stats,
+    record_rows,
+    render_kernel_stats,
+    write_power_csv,
+    write_records_csv,
+)
+from repro.sim.result import PowerSegment, SimulationResult, TaskRecord
+from repro.sim.task import TaskCategory
+
+
+def _record(tid, label, cat=TaskCategory.COMPUTE, gpu=0, start=0.0, end=1.0):
+    return TaskRecord(
+        task_id=tid,
+        gpu=gpu,
+        stream="compute",
+        label=label,
+        category=cat,
+        phase="forward",
+        start_s=start,
+        end_s=end,
+        isolated_duration_s=(end - start) * 0.9,
+    )
+
+
+@pytest.fixture()
+def result():
+    records = [
+        _record(0, "g0.L0.qkv", start=0.0, end=0.4),
+        _record(1, "g1.L0.qkv", gpu=1, start=0.0, end=0.6),
+        _record(2, "g0.ar.grads", cat=TaskCategory.COMM, start=0.4, end=1.0),
+    ]
+    segments = {
+        0: [
+            PowerSegment(
+                gpu=0,
+                start_s=0.0,
+                end_s=1.0,
+                power_w=300.0,
+                compute_active=True,
+                comm_active=False,
+                clock_frac=1.0,
+            )
+        ]
+    }
+    return SimulationResult(
+        end_time_s=1.0, records=records, power_segments=segments, num_gpus=2
+    )
+
+
+def test_record_rows_expose_all_columns(result):
+    rows = record_rows(result)
+    assert len(rows) == 3
+    assert rows[0]["label"] == "g0.L0.qkv"
+    assert rows[0]["duration_s"] == pytest.approx(0.4)
+    assert rows[0]["category"] == "compute"
+
+
+def test_records_csv_round_trip(result, tmp_path):
+    path = tmp_path / "records.csv"
+    write_records_csv(result, path)
+    with open(path) as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == 3
+    assert rows[2]["category"] == "comm"
+    assert float(rows[0]["start_s"]) == 0.0
+
+
+def test_power_csv_round_trip(result, tmp_path):
+    path = tmp_path / "power.csv"
+    write_power_csv(result, path)
+    with open(path) as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == 1
+    assert float(rows[0]["power_w"]) == pytest.approx(300.0)
+
+
+def test_kernel_stats_aggregate_across_gpus(result):
+    stats = kernel_stats(result)
+    names = {s.name for s in stats}
+    # The per-GPU g0./g1. prefixes are stripped, so the two qkv records
+    # aggregate into one row.
+    assert "L0.qkv" in names
+    qkv = next(s for s in stats if s.name == "L0.qkv")
+    assert qkv.count == 2
+    assert qkv.total_s == pytest.approx(1.0)
+    assert qkv.max_s == pytest.approx(0.6)
+
+
+def test_kernel_stats_category_filter(result):
+    comm_only = kernel_stats(result, category=TaskCategory.COMM)
+    assert all(s.category is TaskCategory.COMM for s in comm_only)
+    assert len(comm_only) == 1
+
+
+def test_kernel_stats_sorted_by_total_time(result):
+    stats = kernel_stats(result)
+    totals = [s.total_s for s in stats]
+    assert totals == sorted(totals, reverse=True)
+
+
+def test_render_kernel_stats_is_tabular(result):
+    text = render_kernel_stats(kernel_stats(result))
+    assert "L0.qkv" in text
+    assert "total_ms" in text
+
+
+def test_chrome_trace_event_shape(result):
+    events = to_chrome_trace(result)
+    duration_events = [e for e in events if e["ph"] == "X"]
+    counter_events = [e for e in events if e["ph"] == "C"]
+    assert len(duration_events) == 3
+    assert len(counter_events) == 1
+    first = duration_events[0]
+    assert first["ts"] == pytest.approx(0.0)
+    assert first["dur"] == pytest.approx(0.4e6)  # microseconds
+    assert first["pid"] == 0
+
+
+def test_chrome_trace_file_is_valid_json(result, tmp_path):
+    path = tmp_path / "trace.json"
+    write_chrome_trace(result, str(path))
+    with open(path) as fh:
+        payload = json.load(fh)
+    assert isinstance(payload, list)
+    assert len(payload) == 4

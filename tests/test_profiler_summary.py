@@ -1,0 +1,106 @@
+"""Tests for per-GPU profile summaries (Eq. 2 inputs)."""
+
+import pytest
+
+from repro.profiler.summary import summarize
+from repro.sim.result import SimulationResult, TaskRecord
+from repro.sim.task import TaskCategory
+
+
+def _record(tid, gpu, cat, start, end, phase=""):
+    return TaskRecord(
+        task_id=tid,
+        gpu=gpu,
+        stream="s",
+        label=f"t{tid}",
+        category=cat,
+        phase=phase,
+        start_s=start,
+        end_s=end,
+        isolated_duration_s=end - start,
+    )
+
+
+def _result(records, num_gpus=1, end=None):
+    end = end if end is not None else max(r.end_s for r in records)
+    return SimulationResult(
+        end_time_s=end, records=records, power_segments={}, num_gpus=num_gpus
+    )
+
+
+def test_fully_overlapped_comm():
+    result = _result(
+        [
+            _record(0, 0, TaskCategory.COMPUTE, 0.0, 1.0),
+            _record(1, 0, TaskCategory.COMM, 0.2, 0.8),
+        ]
+    )
+    summary = summarize(result)
+    assert summary.comm(0).overlapped_fraction == pytest.approx(1.0)
+    assert summary.compute(0).overlapped_fraction == pytest.approx(0.6)
+
+
+def test_no_overlap_when_serialized():
+    result = _result(
+        [
+            _record(0, 0, TaskCategory.COMPUTE, 0.0, 1.0),
+            _record(1, 0, TaskCategory.COMM, 1.0, 2.0),
+        ]
+    )
+    summary = summarize(result)
+    assert summary.comm(0).overlapped_fraction == 0.0
+    assert summary.compute(0).overlapped_fraction == 0.0
+
+
+def test_concurrent_kernels_merge_into_busy_time():
+    result = _result(
+        [
+            _record(0, 0, TaskCategory.COMPUTE, 0.0, 1.0),
+            _record(1, 0, TaskCategory.COMPUTE, 0.5, 1.5),
+        ]
+    )
+    summary = summarize(result)
+    comp = summary.compute(0)
+    assert comp.total_kernel_time_s == pytest.approx(2.0)
+    assert comp.busy_time_s == pytest.approx(1.5)
+
+
+def test_per_gpu_isolation():
+    result = _result(
+        [
+            _record(0, 0, TaskCategory.COMPUTE, 0.0, 1.0),
+            _record(1, 1, TaskCategory.COMM, 0.0, 1.0),
+        ],
+        num_gpus=2,
+    )
+    summary = summarize(result)
+    # Comm on gpu1 does not overlap compute on gpu0.
+    assert summary.compute(0).overlapped_fraction == 0.0
+    assert summary.comm(1).overlapped_fraction == 0.0
+
+
+def test_mean_overlapped_compute_fraction_averages_gpus():
+    result = _result(
+        [
+            _record(0, 0, TaskCategory.COMPUTE, 0.0, 1.0),
+            _record(1, 0, TaskCategory.COMM, 0.0, 1.0),
+            _record(2, 1, TaskCategory.COMPUTE, 0.0, 1.0),
+        ],
+        num_gpus=2,
+    )
+    summary = summarize(result)
+    # GPU0 fully overlapped, GPU1 not at all -> mean 0.5.
+    assert summary.mean_overlapped_compute_fraction() == pytest.approx(0.5)
+
+
+def test_kernel_counts():
+    result = _result(
+        [
+            _record(0, 0, TaskCategory.COMPUTE, 0.0, 0.1),
+            _record(1, 0, TaskCategory.COMPUTE, 0.1, 0.2),
+            _record(2, 0, TaskCategory.COMM, 0.0, 0.2),
+        ]
+    )
+    summary = summarize(result)
+    assert summary.compute(0).kernel_count == 2
+    assert summary.comm(0).kernel_count == 1

@@ -1,0 +1,81 @@
+"""Tests for the event queue."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventKind, EventQueue
+
+
+def _event(t, payload=0, epoch=0):
+    return Event(t, EventKind.TASK_FINISH, payload, epoch)
+
+
+def test_pop_orders_by_time():
+    q = EventQueue()
+    q.push(_event(3.0, "c"))
+    q.push(_event(1.0, "a"))
+    q.push(_event(2.0, "b"))
+    assert [q.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_ties_broken_by_insertion_order():
+    q = EventQueue()
+    q.push(_event(1.0, "first"))
+    q.push(_event(1.0, "second"))
+    assert q.pop().payload == "first"
+    assert q.pop().payload == "second"
+
+
+def test_pop_empty_returns_none():
+    assert EventQueue().pop() is None
+
+
+def test_peek_does_not_remove():
+    q = EventQueue()
+    q.push(_event(0.5))
+    assert q.peek_time() == pytest.approx(0.5)
+    assert len(q) == 1
+
+
+def test_peek_empty_returns_none():
+    assert EventQueue().peek_time() is None
+
+
+def test_len_and_bool():
+    q = EventQueue()
+    assert not q
+    q.push(_event(1.0))
+    assert q and len(q) == 1
+
+
+def test_rejects_negative_time():
+    with pytest.raises(SimulationError):
+        EventQueue().push(_event(-1.0))
+
+
+def test_rejects_nan_time():
+    with pytest.raises(SimulationError):
+        EventQueue().push(_event(float("nan")))
+
+
+def test_rejects_infinite_time():
+    with pytest.raises(SimulationError):
+        EventQueue().push(_event(float("inf")))
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_pop_sequence_is_sorted(times):
+    q = EventQueue()
+    for t in times:
+        q.push(_event(t))
+    popped = []
+    while q:
+        popped.append(q.pop().time)
+    assert popped == sorted(times)

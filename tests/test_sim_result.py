@@ -1,0 +1,116 @@
+"""Tests for SimulationResult accessors and validation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.result import PowerSegment, SimulationResult, TaskRecord
+from repro.sim.task import TaskCategory
+
+
+def _record(tid, gpu, cat, start, end, iso=None):
+    return TaskRecord(
+        task_id=tid,
+        gpu=gpu,
+        stream="s",
+        label=f"t{tid}",
+        category=cat,
+        phase="",
+        start_s=start,
+        end_s=end,
+        isolated_duration_s=iso if iso is not None else end - start,
+    )
+
+
+def _segment(gpu, start, end, power):
+    return PowerSegment(
+        gpu=gpu,
+        start_s=start,
+        end_s=end,
+        power_w=power,
+        compute_active=True,
+        comm_active=False,
+        clock_frac=1.0,
+    )
+
+
+def test_record_duration_and_slowdown():
+    r = _record(0, 0, TaskCategory.COMPUTE, 1.0, 2.0, iso=0.8)
+    assert r.duration_s == pytest.approx(1.0)
+    assert r.slowdown == pytest.approx(1.0 / 0.8 - 1.0)
+
+
+def test_record_rejects_reversed_times():
+    with pytest.raises(SimulationError):
+        _record(0, 0, TaskCategory.COMPUTE, 2.0, 1.0)
+
+
+def test_records_for_filters():
+    result = SimulationResult(
+        end_time_s=1.0,
+        records=[
+            _record(0, 0, TaskCategory.COMPUTE, 0.0, 0.5),
+            _record(1, 1, TaskCategory.COMM, 0.0, 0.5),
+        ],
+        power_segments={},
+        num_gpus=2,
+    )
+    assert len(result.records_for(gpu=0)) == 1
+    assert len(result.records_for(category=TaskCategory.COMM)) == 1
+    assert len(result.records_for(gpu=0, category=TaskCategory.COMM)) == 0
+
+
+def test_total_time_specific_gpu_and_mean():
+    result = SimulationResult(
+        end_time_s=1.0,
+        records=[
+            _record(0, 0, TaskCategory.COMPUTE, 0.0, 0.6),
+            _record(1, 1, TaskCategory.COMPUTE, 0.0, 0.2),
+        ],
+        power_segments={},
+        num_gpus=2,
+    )
+    assert result.total_time(TaskCategory.COMPUTE, gpu=0) == pytest.approx(0.6)
+    # Node-level view averages across GPUs.
+    assert result.total_time(TaskCategory.COMPUTE) == pytest.approx(0.4)
+
+
+def test_intervals_sorted():
+    result = SimulationResult(
+        end_time_s=1.0,
+        records=[
+            _record(1, 0, TaskCategory.COMM, 0.5, 0.7),
+            _record(0, 0, TaskCategory.COMM, 0.0, 0.2),
+        ],
+        power_segments={},
+        num_gpus=1,
+    )
+    assert result.intervals(0, TaskCategory.COMM) == [(0.0, 0.2), (0.5, 0.7)]
+
+
+def test_energy_sums_segments():
+    result = SimulationResult(
+        end_time_s=1.0,
+        records=[_record(0, 0, TaskCategory.COMPUTE, 0.0, 1.0)],
+        power_segments={
+            0: [_segment(0, 0.0, 1.0, 100.0)],
+            1: [_segment(1, 0.0, 0.5, 200.0)],
+        },
+        num_gpus=2,
+    )
+    assert result.energy_j(gpu=0) == pytest.approx(100.0)
+    assert result.energy_j() == pytest.approx(200.0)
+
+
+def test_segment_energy_and_overlap_flags():
+    seg = PowerSegment(
+        gpu=0,
+        start_s=0.0,
+        end_s=2.0,
+        power_w=50.0,
+        compute_active=True,
+        comm_active=True,
+        clock_frac=0.9,
+    )
+    assert seg.energy_j == pytest.approx(100.0)
+    assert seg.duration_s == pytest.approx(2.0)
+    assert seg.overlapped

@@ -1,0 +1,96 @@
+"""Kernel specs: GEMMs, elementwise, efficiency ramps."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.datapath import FP16_TENSOR, FP32_VECTOR, Precision, TF32_TENSOR
+from repro.workloads.kernels import (
+    KernelKind,
+    KernelSpec,
+    elementwise_kernel,
+    gemm_kernel,
+)
+
+
+def test_gemm_flop_count():
+    k = gemm_kernel("g", 128, 256, 512, FP16_TENSOR)
+    assert k.flops == 2.0 * 128 * 256 * 512
+    assert k.kind is KernelKind.GEMM
+
+
+def test_gemm_bytes_scale_with_precision():
+    fp16 = gemm_kernel("g", 128, 128, 128, FP16_TENSOR)
+    fp32 = gemm_kernel("g", 128, 128, 128, FP32_VECTOR)
+    assert fp32.bytes_moved == 2 * fp16.bytes_moved
+
+
+def test_tf32_stores_fp32_sized_tensors():
+    tf32 = gemm_kernel("g", 128, 128, 128, TF32_TENSOR)
+    fp32 = gemm_kernel("g", 128, 128, 128, FP32_VECTOR)
+    assert tf32.bytes_moved == fp32.bytes_moved
+
+
+def test_bigger_gemms_are_more_efficient():
+    small = gemm_kernel("s", 64, 64, 64, FP16_TENSOR)
+    large = gemm_kernel("l", 8192, 8192, 8192, FP16_TENSOR)
+    assert large.efficiency > small.efficiency
+    assert large.efficiency <= 0.55
+
+
+def test_arithmetic_intensity_grows_with_size():
+    small = gemm_kernel("s", 256, 256, 256, FP16_TENSOR)
+    large = gemm_kernel("l", 4096, 4096, 4096, FP16_TENSOR)
+    assert large.arithmetic_intensity > small.arithmetic_intensity
+
+
+def test_elementwise_is_bandwidth_dominated():
+    k = elementwise_kernel("e", 1_000_000, FP16_TENSOR)
+    assert k.arithmetic_intensity < 1.0
+    assert k.kind is KernelKind.ELEMENTWISE
+
+
+def test_scaled_preserves_intensity():
+    k = gemm_kernel("g", 512, 512, 512, FP16_TENSOR)
+    doubled = k.scaled(2.0, name_suffix=".x2")
+    assert doubled.flops == 2 * k.flops
+    assert doubled.bytes_moved == 2 * k.bytes_moved
+    assert doubled.arithmetic_intensity == pytest.approx(
+        k.arithmetic_intensity
+    )
+    assert doubled.name.endswith(".x2")
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        gemm_kernel("g", 0, 128, 128, FP16_TENSOR)
+    with pytest.raises(ConfigurationError):
+        KernelSpec(
+            name="nothing",
+            kind=KernelKind.GEMM,
+            flops=0.0,
+            bytes_moved=0.0,
+            path=FP16_TENSOR,
+        )
+    with pytest.raises(ConfigurationError):
+        KernelSpec(
+            name="bad-eff",
+            kind=KernelKind.GEMM,
+            flops=10.0,
+            bytes_moved=10.0,
+            path=FP16_TENSOR,
+            efficiency=1.5,
+        )
+    k = gemm_kernel("g", 128, 128, 128, FP16_TENSOR)
+    with pytest.raises(ConfigurationError):
+        k.scaled(0.0)
+
+
+def test_traffic_free_kernel_has_infinite_intensity():
+    k = KernelSpec(
+        name="reg-only",
+        kind=KernelKind.GEMM,
+        flops=100.0,
+        bytes_moved=0.0,
+        path=FP16_TENSOR,
+    )
+    assert k.arithmetic_intensity == float("inf")

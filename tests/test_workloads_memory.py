@@ -1,0 +1,88 @@
+"""Memory footprint accounting and the paper's feasibility cuts."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.registry import get_gpu
+from repro.units import GIB
+from repro.workloads.memory_footprint import (
+    MemoryFootprint,
+    fsdp_footprint,
+    pipeline_footprint,
+)
+from repro.workloads.registry import get_model
+from repro.workloads.transformer import TrainingShape
+
+
+def per_gpu_shape(batch, world=4, **kwargs):
+    return TrainingShape(batch_size=max(1, batch // world), **kwargs)
+
+
+def test_fsdp_states_shard_with_world_size():
+    model = get_model("gpt3-6.7b")
+    shape = per_gpu_shape(8)
+    f4 = fsdp_footprint(model, shape, 4)
+    f8 = fsdp_footprint(model, shape, 8)
+    assert f8.states_bytes == pytest.approx(f4.states_bytes / 2)
+
+
+def test_a100_runs_2_7b_but_not_6_7b_under_fsdp():
+    """The paper: 'the A100 was constrained to models up to GPT-3 2.7B'."""
+    a100 = get_gpu("A100")
+    shape = per_gpu_shape(8)
+    ok = fsdp_footprint(get_model("gpt3-2.7b"), shape, 4)
+    too_big = fsdp_footprint(get_model("gpt3-6.7b"), shape, 4)
+    assert ok.fits(a100.memory.capacity_bytes)
+    assert not too_big.fits(a100.memory.capacity_bytes)
+
+
+def test_h100_runs_13b_under_fsdp():
+    h100 = get_gpu("H100")
+    footprint = fsdp_footprint(get_model("gpt3-13b"), per_gpu_shape(8), 4)
+    assert footprint.fits(h100.memory.capacity_bytes)
+
+
+def test_checkpointing_shrinks_activations():
+    model = get_model("gpt3-13b")
+    plain = fsdp_footprint(model, per_gpu_shape(8), 4)
+    ckpt = fsdp_footprint(
+        model, per_gpu_shape(8, activation_checkpointing=True), 4
+    )
+    assert ckpt.activation_bytes < plain.activation_bytes
+
+
+def test_activations_scale_with_batch():
+    model = get_model("gpt3-2.7b")
+    small = fsdp_footprint(model, TrainingShape(batch_size=2), 4)
+    large = fsdp_footprint(model, TrainingShape(batch_size=8), 4)
+    assert large.activation_bytes > 2 * small.activation_bytes
+
+
+def test_pipeline_footprint_holds_stage_slice():
+    model = get_model("gpt3-2.7b")
+    shape = TrainingShape(batch_size=16)
+    fp = pipeline_footprint(model, shape, num_stages=4, microbatch_size=4)
+    # A stage holds ~1/4 of the layers' states plus embeddings, unsharded.
+    per_param = 2 * 2 + 12.0
+    expected_min = model.params_per_layer * 8 * per_param
+    assert fp.states_bytes >= expected_min
+
+
+def test_footprint_total_includes_reserved():
+    fp = MemoryFootprint(
+        states_bytes=GIB, activation_bytes=GIB, working_bytes=GIB
+    )
+    assert fp.total_bytes > 3 * GIB
+
+
+def test_validation():
+    model = get_model("gpt3-xl")
+    shape = TrainingShape(batch_size=8)
+    with pytest.raises(ConfigurationError):
+        fsdp_footprint(model, shape, 0)
+    with pytest.raises(ConfigurationError):
+        pipeline_footprint(model, shape, num_stages=0, microbatch_size=2)
+    with pytest.raises(ConfigurationError):
+        pipeline_footprint(model, shape, num_stages=4, microbatch_size=0)
+    with pytest.raises(ConfigurationError):
+        MemoryFootprint(states_bytes=-1, activation_bytes=0, working_bytes=0)

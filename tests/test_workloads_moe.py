@@ -1,0 +1,91 @@
+"""Tests for the MoE workload extension."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.moe import (
+    MoESpec,
+    combine_kernel,
+    expert_ffn_kernels,
+    gate_kernel,
+)
+from repro.workloads.registry import get_model
+from repro.workloads.transformer import TrainingShape
+
+BASE = get_model("gpt3-xl")
+SHAPE = TrainingShape(batch_size=8)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        MoESpec(base=BASE, num_experts=1)
+    with pytest.raises(ConfigurationError):
+        MoESpec(base=BASE, num_experts=8, top_k=9)
+    with pytest.raises(ConfigurationError):
+        MoESpec(base=BASE, num_experts=8, capacity_factor=0.5)
+    with pytest.raises(ConfigurationError):
+        MoESpec(base=BASE, num_experts=8, moe_every=0)
+
+
+def test_name_encodes_configuration():
+    spec = MoESpec(base=BASE, num_experts=16, top_k=2)
+    assert spec.name == "gpt3-xl-moe16e2k"
+
+
+def test_alternating_moe_layers():
+    spec = MoESpec(base=BASE, num_experts=8, moe_every=2)
+    moe_layers = [
+        layer for layer in range(BASE.num_layers) if spec.is_moe_layer(layer)
+    ]
+    assert len(moe_layers) == BASE.num_layers // 2
+    assert all(layer % 2 == 1 for layer in moe_layers)
+
+
+def test_every_layer_moe():
+    spec = MoESpec(base=BASE, num_experts=8, moe_every=1)
+    assert spec.num_moe_layers == BASE.num_layers
+
+
+def test_params_grow_with_experts():
+    small = MoESpec(base=BASE, num_experts=4)
+    large = MoESpec(base=BASE, num_experts=16)
+    assert large.num_params > small.num_params > BASE.num_params
+
+
+def test_dispatch_bytes_scale_with_topk_and_capacity():
+    top1 = MoESpec(base=BASE, num_experts=8, top_k=1, capacity_factor=1.0)
+    top2 = MoESpec(base=BASE, num_experts=8, top_k=2, capacity_factor=1.0)
+    padded = MoESpec(base=BASE, num_experts=8, top_k=1, capacity_factor=2.0)
+    b1 = top1.dispatch_bytes(SHAPE)
+    assert top2.dispatch_bytes(SHAPE) == pytest.approx(2 * b1)
+    assert padded.dispatch_bytes(SHAPE) == pytest.approx(2 * b1)
+
+
+def test_gate_kernel_projects_to_expert_count():
+    spec = MoESpec(base=BASE, num_experts=8)
+    kernel = gate_kernel(spec, SHAPE, layer=3)
+    # 2 * tokens * experts * hidden FLOPs.
+    assert kernel.flops == pytest.approx(
+        2.0 * SHAPE.tokens * 8 * BASE.hidden_dim
+    )
+
+
+def test_expert_ffn_kernels_per_rank():
+    spec = MoESpec(base=BASE, num_experts=8)
+    kernels = expert_ffn_kernels(spec, SHAPE, layer=0, experts_per_rank=2)
+    gemms = [k for k in kernels if "exp" in k.name and "act" not in k.name]
+    assert len(gemms) == 4  # up + down per local expert
+
+
+def test_expert_ffn_rejects_bad_rank_count():
+    spec = MoESpec(base=BASE, num_experts=8)
+    with pytest.raises(ConfigurationError):
+        expert_ffn_kernels(spec, SHAPE, layer=0, experts_per_rank=0)
+
+
+def test_combine_kernel_scales_with_topk():
+    spec1 = MoESpec(base=BASE, num_experts=8, top_k=1)
+    spec2 = MoESpec(base=BASE, num_experts=8, top_k=2)
+    k1 = combine_kernel(spec1, SHAPE, 0)
+    k2 = combine_kernel(spec2, SHAPE, 0)
+    assert k2.flops == pytest.approx(2 * k1.flops)
