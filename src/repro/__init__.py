@@ -37,6 +37,15 @@ from repro.core.experiment import (
     run_experiment,
 )
 from repro.core.modes import ExecutionMode
+from repro.exec import (
+    ExecutionService,
+    JobOutcome,
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+    SimJob,
+    default_service,
+)
 
 __all__ = [
     "ComputePath",
@@ -44,16 +53,22 @@ __all__ = [
     "Datapath",
     "DeadlockError",
     "ExecutionMode",
+    "ExecutionService",
     "ExperimentConfig",
     "ExperimentResult",
     "GpuSpec",
     "InfeasibleConfigError",
+    "JobOutcome",
     "ModelSpec",
     "NodeSpec",
+    "ParallelExecutor",
     "PlanError",
     "Precision",
     "ReproError",
+    "ResultCache",
+    "SerialExecutor",
     "SimConfig",
+    "SimJob",
     "SimulationError",
     "SimulationResult",
     "Strategy",
@@ -62,6 +77,7 @@ __all__ = [
     "Vendor",
     "__version__",
     "build_plan",
+    "default_service",
     "get_gpu",
     "get_model",
     "list_gpus",

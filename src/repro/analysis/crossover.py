@@ -10,9 +10,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.experiment import ExperimentConfig
 from repro.core.modes import ExecutionMode
 from repro.errors import ConfigurationError, InfeasibleConfigError
+from repro.exec.service import default_service
 
 
 @dataclass(frozen=True)
@@ -35,8 +36,8 @@ class BenefitPoint:
 
 
 def overlap_benefit(config: ExperimentConfig, label: str = "") -> BenefitPoint:
-    """Measure the overlap benefit for one configuration."""
-    result = run_experiment(
+    """Measure the overlap benefit for one configuration (cached)."""
+    result = default_service().run_config(
         config, modes=(ExecutionMode.OVERLAPPED, ExecutionMode.SEQUENTIAL)
     )
     m = result.metrics

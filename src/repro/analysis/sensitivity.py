@@ -14,9 +14,11 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.experiment import ExperimentConfig
 from repro.core.modes import ExecutionMode
 from repro.errors import ConfigurationError
+from repro.exec.job import SimJob
+from repro.exec.service import default_service
 from repro.hw.calibration import ContentionCalibration, calibration_for
 
 #: Coefficients worth sweeping (all floats of ContentionCalibration).
@@ -68,7 +70,9 @@ def sweep_parameter(
         calibrated = config.with_updates(
             calibration=_with_value(base, parameter, value)
         )
-        result = run_experiment(
+        # The calibration override is part of the job's cache key, so
+        # every sweep point is cached independently.
+        result = default_service().run_config(
             calibrated,
             modes=(ExecutionMode.OVERLAPPED, ExecutionMode.SEQUENTIAL),
         )
@@ -118,11 +122,7 @@ def tornado(
     if not 0.0 < rel_delta < 1.0:
         raise ConfigurationError("rel_delta must be in (0, 1)")
     base = config.node().calibration
-    baseline = run_experiment(
-        config, modes=(ExecutionMode.OVERLAPPED, ExecutionMode.SEQUENTIAL)
-    ).metrics.compute_slowdown
-
-    bars: List[TornadoBar] = []
+    spans = []
     for parameter in parameters:
         center = getattr(base, parameter)
         low = center * (1.0 - rel_delta)
@@ -130,6 +130,31 @@ def tornado(
         # Fractional coefficients live in [0, 1); clamp the excursion.
         if parameter != "hbm_wire_scale":
             high = min(high, 0.99)
+        spans.append((parameter, low, high))
+
+    # Prefetch every excursion in one batch so --jobs N runs them in
+    # parallel; the per-point reads below resolve from cache.
+    modes = (ExecutionMode.OVERLAPPED, ExecutionMode.SEQUENTIAL)
+    default_service().prefetch(
+        [SimJob(config=config, modes=modes)]
+        + [
+            SimJob(
+                config=config.with_updates(
+                    calibration=_with_value(base, parameter, value)
+                ),
+                modes=modes,
+            )
+            for parameter, low, high in spans
+            for value in (low, high)
+        ]
+    )
+
+    baseline = default_service().run_config(
+        config, modes=modes
+    ).metrics.compute_slowdown
+
+    bars: List[TornadoBar] = []
+    for parameter, low, high in spans:
         low_point = sweep_parameter(config, parameter, [low], base=base)[0]
         high_point = sweep_parameter(config, parameter, [high], base=base)[0]
         bars.append(
@@ -175,9 +200,6 @@ def mechanism_attribution(
     off (larger = that mechanism explains more of the contention).
     """
     base = calibration_for(config.node().gpu.vendor)
-    full = run_experiment(
-        config, modes=(ExecutionMode.OVERLAPPED, ExecutionMode.SEQUENTIAL)
-    ).metrics.compute_slowdown
     zeroed = {
         "sm_stealing": dataclasses.replace(
             base, comm_sm_fraction=0.0, spin_sm_scale=0.0
@@ -185,9 +207,24 @@ def mechanism_attribution(
         "hbm_interference": dataclasses.replace(base, interference_factor=0.0),
         "hbm_traffic": dataclasses.replace(base, hbm_wire_scale=1e-6),
     }
+    modes = (ExecutionMode.OVERLAPPED, ExecutionMode.SEQUENTIAL)
+    # Prefetch all four cells so --jobs N runs them in parallel.
+    default_service().prefetch(
+        [SimJob(config=config, modes=modes)]
+        + [
+            SimJob(
+                config=config.with_updates(calibration=calibration),
+                modes=modes,
+            )
+            for calibration in zeroed.values()
+        ]
+    )
+    full = default_service().run_config(
+        config, modes=modes
+    ).metrics.compute_slowdown
     attribution: Dict[str, float] = {"total": full}
     for name, calibration in zeroed.items():
-        result = run_experiment(
+        result = default_service().run_config(
             config.with_updates(calibration=calibration),
             modes=(ExecutionMode.OVERLAPPED, ExecutionMode.SEQUENTIAL),
         )

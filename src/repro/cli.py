@@ -18,10 +18,60 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.experiment import ExperimentConfig
 from repro.core.modes import ExecutionMode
 from repro.errors import ReproError
 from repro.hw.datapath import Precision
+
+
+def _add_execution_args(parser: argparse.ArgumentParser) -> None:
+    """Flags controlling the execution service (repro.exec)."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for grid cells "
+        "(default: $REPRO_JOBS or 1 = in-process serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always simulate; do not reuse or record cached results",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist the result cache as JSON under DIR "
+        "(default: in-memory only, or $REPRO_CACHE_DIR)",
+    )
+
+
+def _configure_execution(args: argparse.Namespace) -> None:
+    from repro.exec.service import configure
+
+    kwargs = {
+        "cache": not getattr(args, "no_cache", False),
+        # None explicitly clears any directory a previous invocation
+        # set, falling back to $REPRO_CACHE_DIR / in-memory only.
+        "cache_dir": getattr(args, "cache_dir", None),
+    }
+    if getattr(args, "jobs", None) is not None:
+        kwargs["jobs"] = args.jobs  # flag beats $REPRO_JOBS
+    configure(**kwargs)
+
+
+def _print_execution_stats() -> None:
+    from repro.exec.service import default_service
+
+    stats = default_service().stats
+    if stats.submitted:
+        print(
+            f"[exec] {stats.submitted} jobs: {stats.simulated} simulated, "
+            f"{stats.cache_hits} from cache, {stats.skipped} infeasible",
+            file=sys.stderr,
+        )
 
 
 def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
@@ -96,9 +146,12 @@ def _cmd_list_models(_: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.exec.service import default_service
+
+    _configure_execution(args)
     config = _config_from_args(args)
     print(f"running: {config.describe()} ({config.runs} runs)")
-    result = run_experiment(config)
+    result = default_service().run_config(config)
     m = result.metrics
     print()
     print(f"compute slowdown (Eq. 1):   {m.compute_slowdown * 100:7.1f} %")
@@ -117,6 +170,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"min clock {stats.min_clock_frac:4.2f}"
         )
     print(f"\nfeasibility: {result.feasibility.reason}")
+    _print_execution_stats()
     return 0
 
 
@@ -136,6 +190,7 @@ _FIGURES = {
 def _cmd_figure(args: argparse.Namespace) -> int:
     import importlib
 
+    _configure_execution(args)
     name = _FIGURES.get(args.number)
     if name is None:
         print(
@@ -147,6 +202,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     module = importlib.import_module(f"repro.harness.figures.{name}")
     data = module.generate(quick=not args.full)
     print(module.render(data))
+    _print_execution_stats()
     if args.out:
         from repro.harness.io import write_json
 
@@ -224,14 +280,17 @@ def _cmd_roofline(args: argparse.Namespace) -> int:
 def _cmd_takeaways(args: argparse.Namespace) -> int:
     from repro.analysis.takeaways import render_takeaways, validate_takeaways
 
+    _configure_execution(args)
     checks = validate_takeaways(runs=args.runs)
     print(render_takeaways(checks))
+    _print_execution_stats()
     return 0 if all(c.holds for c in checks) else 1
 
 
 def _cmd_sensitivity(args: argparse.Namespace) -> int:
     from repro.analysis.sensitivity import render_tornado, tornado
 
+    _configure_execution(args)
     config = ExperimentConfig(
         gpu=args.gpu,
         model=args.model,
@@ -245,6 +304,7 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     )
     bars = tornado(config, rel_delta=args.delta)
     print(render_tornado(bars))
+    _print_execution_stats()
     return 0
 
 
@@ -289,6 +349,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = sub.add_parser("run", help="run one experiment cell")
     _add_experiment_args(run_parser)
+    _add_execution_args(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
     fig_parser = sub.add_parser("figure", help="regenerate a paper figure")
@@ -297,6 +358,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--full", action="store_true", help="full paper-scale sweep"
     )
     fig_parser.add_argument("--out", default=None, help="write JSON data here")
+    _add_execution_args(fig_parser)
     fig_parser.set_defaults(func=_cmd_figure)
 
     table_parser = sub.add_parser("table", help="regenerate a paper table")
@@ -331,6 +393,7 @@ def build_parser() -> argparse.ArgumentParser:
         "takeaways", help="validate the paper's seven takeaways"
     )
     take_parser.add_argument("--runs", type=int, default=1)
+    _add_execution_args(take_parser)
     take_parser.set_defaults(func=_cmd_takeaways)
 
     sens_parser = sub.add_parser(
@@ -342,6 +405,7 @@ def build_parser() -> argparse.ArgumentParser:
     sens_parser.add_argument("--batch", type=int, default=8)
     sens_parser.add_argument("--strategy", default="fsdp")
     sens_parser.add_argument("--delta", type=float, default=0.5)
+    _add_execution_args(sens_parser)
     sens_parser.set_defaults(func=_cmd_sensitivity)
 
     trace_parser = sub.add_parser(

@@ -15,7 +15,7 @@ from repro.core.experiment import (
     ModeStats,
     run_experiment,
 )
-from repro.core.sweep import GridRow, run_grid
+from repro.core.sweep import GridRow, grid_configs, run_grid
 from repro.core.microbench import MicrobenchResult, run_microbench
 
 __all__ = [
@@ -29,6 +29,7 @@ __all__ = [
     "OverlapMetrics",
     "check_feasibility",
     "compute_metrics",
+    "grid_configs",
     "run_experiment",
     "run_grid",
     "run_microbench",

@@ -10,7 +10,7 @@ reports averaged metrics plus vendor-sampled power statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.feasibility import FeasibilityReport, check_feasibility
 from repro.core.metrics import OverlapMetrics, compute_metrics
@@ -19,7 +19,6 @@ from repro.errors import InfeasibleConfigError
 from repro.hw.calibration import ContentionCalibration
 from repro.hw.datapath import Precision, resolve_path
 from repro.hw.system import NodeSpec, make_node
-from repro.parallel.strategy import Strategy, build_plan
 from repro.power.sampling import sampler_for
 from repro.sim.config import SimConfig
 from repro.sim.engine import simulate
@@ -28,6 +27,9 @@ from repro.sim.task import TaskCategory
 from repro.workloads.registry import get_model
 from repro.workloads.spec import ModelSpec
 from repro.workloads.transformer import TrainingShape
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.exec.planning import Planner
 
 
 @dataclass(frozen=True)
@@ -191,14 +193,24 @@ def run_experiment(
         ExecutionMode.SEQUENTIAL,
         ExecutionMode.IDEAL,
     ),
+    planner: Optional["Planner"] = None,
 ) -> ExperimentResult:
     """Run one grid cell: all requested modes, ``config.runs`` times.
+
+    Plans, nodes and collective cost models come from ``planner``
+    (default: the process-wide shared one), so cells that agree on
+    (node, model, shape, strategy) never rebuild them.
 
     Raises :class:`InfeasibleConfigError` when the workload does not fit
     in device memory (mirroring the OOM the paper's sweeps hit on the
     A100 beyond GPT-3 2.7B).
     """
-    node = config.node()
+    if planner is None:
+        # Function-level import: repro.exec sits above the core layer.
+        from repro.exec.planning import default_planner
+
+        planner = default_planner()
+    node = planner.node_for(config)
     model = config.model_spec()
     shape = config.shape()
     feasibility = check_feasibility(
@@ -210,17 +222,9 @@ def run_experiment(
     plans = {}
     for mode in modes:
         overlap = mode is not ExecutionMode.SEQUENTIAL
-        key = overlap
-        if key not in plans:
-            plans[key] = build_plan(
-                node,
-                model,
-                shape,
-                config.strategy,
-                overlap=overlap,
-                microbatch_size=config.microbatch_size,
-                pipeline_schedule=config.pipeline_schedule,
-            )
+        if overlap not in plans:
+            plans[overlap] = planner.plan_for(config, overlap=overlap)
+    cost_model = planner.cost_model_for(config)
 
     per_mode_runs: Dict[ExecutionMode, List[SimulationResult]] = {
         mode: [] for mode in modes
@@ -232,7 +236,9 @@ def run_experiment(
             sim_config = config.sim_config(
                 seed, ideal=mode is ExecutionMode.IDEAL
             )
-            result = simulate(node, plans[overlap].tasks, sim_config)
+            result = simulate(
+                node, plans[overlap].tasks, sim_config, cost_model=cost_model
+            )
             per_mode_runs[mode].append(result)
 
     stats: Dict[ExecutionMode, ModeStats] = {}

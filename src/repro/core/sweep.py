@@ -1,17 +1,22 @@
-"""Grid sweeps over (GPU, model, batch, strategy) with feasibility cuts."""
+"""Grid sweeps over (GPU, model, batch, strategy) with feasibility cuts.
+
+Sweeps are expressed as batches of :class:`~repro.exec.job.SimJob`
+submitted to an :class:`~repro.exec.service.ExecutionService`: cells
+already in the result cache are served without simulating, the rest
+fan out across the configured executor (``--jobs N``), and infeasible
+cells come back as skipped rows rather than exceptions.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.experiment import (
-    ExperimentConfig,
-    ExperimentResult,
-    run_experiment,
-)
+from repro.core.experiment import ExperimentConfig, ExperimentResult
 from repro.core.modes import ExecutionMode
-from repro.errors import InfeasibleConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.exec.service import ExecutionService
 
 
 @dataclass
@@ -27,6 +32,31 @@ class GridRow:
         return self.result is not None
 
 
+def grid_configs(
+    gpus: Sequence[str],
+    models: Sequence[str],
+    batch_sizes: Sequence[int],
+    strategies: Sequence[str] = ("fsdp",),
+    base: Optional[ExperimentConfig] = None,
+) -> List[ExperimentConfig]:
+    """The cross-product of configs a grid sweep covers.
+
+    ``base`` supplies the non-swept fields (runs, precision, seq_len,
+    power limits, ...); its gpu/model/batch/strategy fields are ignored.
+    """
+    if base is None:
+        base = ExperimentConfig(gpu="H100", model="gpt3-xl", batch_size=8)
+    return [
+        base.with_updates(
+            gpu=gpu, model=model, batch_size=batch, strategy=strategy
+        )
+        for gpu in gpus
+        for strategy in strategies
+        for model in models
+        for batch in batch_sizes
+    ]
+
+
 def run_grid(
     gpus: Sequence[str],
     models: Sequence[str],
@@ -38,37 +68,31 @@ def run_grid(
         ExecutionMode.SEQUENTIAL,
         ExecutionMode.IDEAL,
     ),
+    service: Optional["ExecutionService"] = None,
 ) -> List[GridRow]:
     """Run the full cross-product, skipping infeasible cells.
 
-    ``base`` supplies the non-swept fields (runs, precision, seq_len,
-    power limits, ...); its gpu/model/batch/strategy fields are ignored.
+    Jobs go through ``service`` (default: the process-wide one, which
+    the CLI's ``--jobs``/``--no-cache`` flags configure), so repeated
+    grids hit the result cache and wide grids run in parallel.
     """
-    if base is None:
-        base = ExperimentConfig(gpu="H100", model="gpt3-xl", batch_size=8)
-    rows: List[GridRow] = []
-    for gpu in gpus:
-        for strategy in strategies:
-            for model in models:
-                for batch in batch_sizes:
-                    config = base.with_updates(
-                        gpu=gpu,
-                        model=model,
-                        batch_size=batch,
-                        strategy=strategy,
-                    )
-                    rows.append(_run_cell(config, modes))
-    return rows
+    # Function-level import: repro.exec sits above the core layer.
+    from repro.exec.job import SimJob
+    from repro.exec.service import default_service
 
-
-def _run_cell(
-    config: ExperimentConfig, modes: Tuple[ExecutionMode, ...]
-) -> GridRow:
-    try:
-        result = run_experiment(config, modes=modes)
-    except InfeasibleConfigError as exc:
-        return GridRow(config=config, result=None, skipped_reason=str(exc))
-    return GridRow(config=config, result=result)
+    if service is None:
+        service = default_service()
+    configs = grid_configs(gpus, models, batch_sizes, strategies, base)
+    jobs = [SimJob(config=config, modes=modes) for config in configs]
+    outcomes = service.run_jobs(jobs)
+    return [
+        GridRow(
+            config=config,
+            result=outcome.result,
+            skipped_reason=outcome.skipped_reason,
+        )
+        for config, outcome in zip(configs, outcomes)
+    ]
 
 
 def feasible_rows(rows: Iterable[GridRow]) -> List[GridRow]:

@@ -1,0 +1,223 @@
+"""Result caching keyed on :meth:`SimJob.cache_key`.
+
+Two tiers behind one interface:
+
+* an in-memory dict, always on, which deduplicates repeated cells
+  within one process (e.g. the same baseline config appearing in
+  several takeaway checks);
+* an optional on-disk JSON store (one file per job hash), which lets a
+  figure rerun or a follow-up analysis session skip every cell an
+  earlier run already simulated.
+
+Infeasible cells are cached too — re-deriving "does not fit" is cheap,
+but caching it keeps warm grid reruns at exactly zero executor
+submissions, which the equivalence tests assert.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.core.feasibility import FeasibilityReport
+from repro.core.metrics import OverlapMetrics
+from repro.core.modes import ExecutionMode
+from repro.errors import ConfigurationError
+from repro.exec.job import CACHE_SCHEMA_VERSION, JobOutcome, SimJob
+from repro.workloads.memory_footprint import MemoryFootprint
+
+#: Environment variable supplying a default on-disk cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def result_to_payload(result) -> dict:
+    """JSON payload for one :class:`ExperimentResult` (minus config).
+
+    The config is not serialized: the cache key already pins it, and on
+    load the caller supplies the live config object from the job.
+    """
+    return {
+        "modes": {
+            mode.value: {
+                "e2e_s": stats.e2e_s,
+                "compute_s": stats.compute_s,
+                "comm_s": stats.comm_s,
+                "avg_power_w": stats.avg_power_w,
+                "peak_power_w": stats.peak_power_w,
+                "energy_j": stats.energy_j,
+                "min_clock_frac": stats.min_clock_frac,
+                "e2e_samples": list(stats.e2e_samples),
+            }
+            for mode, stats in result.modes.items()
+        },
+        "metrics": {
+            "compute_overlapping_s": result.metrics.compute_overlapping_s,
+            "compute_sequential_s": result.metrics.compute_sequential_s,
+            "comm_total_s": result.metrics.comm_total_s,
+            "overlapped_comm_s": result.metrics.overlapped_comm_s,
+            "overlap_ratio": result.metrics.overlap_ratio,
+            "e2e_overlapping_s": result.metrics.e2e_overlapping_s,
+            "e2e_sequential_measured_s": (
+                result.metrics.e2e_sequential_measured_s
+            ),
+            "e2e_ideal_simulated_s": result.metrics.e2e_ideal_simulated_s,
+        },
+        "feasibility": {
+            "fits": result.feasibility.fits,
+            "reason": result.feasibility.reason,
+            "capacity_bytes": result.feasibility.capacity_bytes,
+            "footprint": {
+                "states_bytes": result.feasibility.footprint.states_bytes,
+                "activation_bytes": (
+                    result.feasibility.footprint.activation_bytes
+                ),
+                "working_bytes": result.feasibility.footprint.working_bytes,
+                "reserved_bytes": result.feasibility.footprint.reserved_bytes,
+            },
+        },
+    }
+
+
+def result_from_payload(config, payload: dict):
+    """Rebuild an :class:`ExperimentResult` for ``config``."""
+    from repro.core.experiment import ExperimentResult, ModeStats
+
+    modes = {}
+    for mode_value, stats in payload["modes"].items():
+        mode = ExecutionMode(mode_value)
+        modes[mode] = ModeStats(
+            mode=mode,
+            e2e_s=stats["e2e_s"],
+            compute_s=stats["compute_s"],
+            comm_s=stats["comm_s"],
+            avg_power_w=stats["avg_power_w"],
+            peak_power_w=stats["peak_power_w"],
+            energy_j=stats["energy_j"],
+            min_clock_frac=stats["min_clock_frac"],
+            e2e_samples=list(stats["e2e_samples"]),
+        )
+    feas = payload["feasibility"]
+    feasibility = FeasibilityReport(
+        fits=feas["fits"],
+        footprint=MemoryFootprint(**feas["footprint"]),
+        capacity_bytes=feas["capacity_bytes"],
+        reason=feas["reason"],
+    )
+    return ExperimentResult(
+        config=config,
+        modes=modes,
+        metrics=OverlapMetrics(**payload["metrics"]),
+        feasibility=feasibility,
+    )
+
+
+def outcome_to_payload(outcome: JobOutcome) -> dict:
+    """Versioned JSON payload for one job outcome."""
+    payload = {"schema": CACHE_SCHEMA_VERSION}
+    if outcome.ran:
+        payload["result"] = result_to_payload(outcome.result)
+    else:
+        payload["infeasible"] = outcome.skipped_reason or "infeasible"
+    return payload
+
+
+def outcome_from_payload(job: SimJob, payload: dict) -> Optional[JobOutcome]:
+    """Rebuild a cached outcome; ``None`` when the payload is unusable."""
+    if payload.get("schema") != CACHE_SCHEMA_VERSION:
+        return None
+    if "infeasible" in payload:
+        return JobOutcome(
+            job=job, skipped_reason=payload["infeasible"], from_cache=True
+        )
+    try:
+        result = result_from_payload(job.config, payload["result"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    return JobOutcome(job=job, result=result, from_cache=True)
+
+
+class ResultCache:
+    """In-memory + optional on-disk cache of job outcomes."""
+
+    def __init__(self, directory: "Optional[str | Path]" = None):
+        if directory is None:
+            directory = os.environ.get(CACHE_DIR_ENV) or None
+        self.directory = Path(directory) if directory else None
+        if (
+            self.directory is not None
+            and self.directory.exists()
+            and not self.directory.is_dir()
+        ):
+            raise ConfigurationError(
+                f"cache path {self.directory} exists and is not a directory"
+            )
+        self._memory: Dict[str, JobOutcome] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _path_for(self, key: str) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / f"{key}.json"
+
+    def get(self, job: SimJob) -> Optional[JobOutcome]:
+        """Cached outcome for ``job``, or ``None`` on a miss."""
+        key = job.cache_key()
+        cached = self._memory.get(key)
+        if cached is not None:
+            self.hits += 1
+            return JobOutcome(
+                job=job,
+                result=cached.result,
+                skipped_reason=cached.skipped_reason,
+                from_cache=True,
+            )
+        path = self._path_for(key)
+        if path is not None and path.exists():
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                payload = None
+            if payload is not None:
+                outcome = outcome_from_payload(job, payload)
+                if outcome is not None:
+                    self._memory[key] = outcome
+                    self.hits += 1
+                    return outcome
+        self.misses += 1
+        return None
+
+    def put(self, outcome: JobOutcome) -> None:
+        """Record one outcome in both tiers."""
+        key = outcome.job.cache_key()
+        self._memory[key] = outcome
+        path = self._path_for(key)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Unique temp name per writer: concurrent processes sharing the
+        # directory must not interleave into each other's file. The
+        # rename is atomic, so readers only ever see complete entries.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(outcome_to_payload(outcome), handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory tier (the disk tier survives)."""
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)

@@ -1,0 +1,140 @@
+"""Shared planning caches for the execution service.
+
+Building an :class:`~repro.parallel.plan.ExecutionPlan` and a
+:class:`~repro.collectives.cost_model.CollectiveCostModel` is pure in
+the configuration, yet the monolithic experiment path rebuilt both for
+every cell and every repeat. The :class:`Planner` memoizes them across
+all cells that agree on the relevant key — in a paper-scale grid most
+cells share a node and many share a whole plan (the same model/shape
+swept across power caps or seeds), so a sweep touches each distinct
+plan exactly once.
+
+The cached objects are treated as immutable by the simulator (task
+progress is tracked in per-run bookkeeping, never on the tasks
+themselves), which is what makes sharing them safe.
+
+This module deliberately avoids importing :mod:`repro.core.experiment`
+— configs are duck-typed on the ``ExperimentConfig`` fields — so the
+core layer can call into it without an import cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.collectives.cost_model import CollectiveCostModel
+from repro.collectives.library import library_for
+from repro.hw.system import NodeSpec, make_node
+from repro.parallel.plan import ExecutionPlan
+from repro.parallel.strategy import build_plan
+
+#: Hashable key identifying a node: (gpu, num_gpus, calibration).
+_NodeKey = Tuple[object, ...]
+#: Node key plus every field that shapes the plan.
+_PlanKey = Tuple[object, ...]
+
+
+def _node_key(config) -> _NodeKey:
+    return (config.gpu, config.num_gpus, config.calibration)
+
+
+def _plan_key(config, overlap: bool) -> _PlanKey:
+    return _node_key(config) + (
+        config.model,
+        config.batch_size,
+        config.seq_len,
+        config.precision,
+        config.use_tensor_cores,
+        config.activation_checkpointing,
+        config.strategy,
+        overlap,
+        config.microbatch_size,
+        config.pipeline_schedule,
+    )
+
+
+class Planner:
+    """Memoizing factory for nodes, plans and collective cost models.
+
+    ``max_plans`` bounds the plan cache (plans are the big objects:
+    one task list per layer per microbatch); calibration sweeps mint a
+    distinct key per sweep point, so without a bound a long
+    sensitivity session would retain every plan ever built. Eviction
+    is FIFO — sweeps revisit recent keys, not ancient ones.
+    """
+
+    def __init__(self, max_plans: int = 256) -> None:
+        self._nodes: Dict[_NodeKey, NodeSpec] = {}
+        self._plans: Dict[_PlanKey, ExecutionPlan] = {}
+        self._cost_models: Dict[_NodeKey, CollectiveCostModel] = {}
+        self.max_plans = max_plans
+        self.plan_builds = 0
+
+    def node_for(self, config) -> NodeSpec:
+        """The (cached) target system for one experiment config."""
+        key = _node_key(config)
+        node = self._nodes.get(key)
+        if node is None:
+            node = make_node(
+                config.gpu, config.num_gpus, calibration=config.calibration
+            )
+            self._nodes[key] = node
+        return node
+
+    def plan_for(self, config, overlap: bool) -> ExecutionPlan:
+        """The (cached) execution plan for one config and overlap flag."""
+        key = _plan_key(config, overlap)
+        plan = self._plans.get(key)
+        if plan is None:
+            while len(self._plans) >= self.max_plans:
+                self._plans.pop(next(iter(self._plans)))
+            plan = build_plan(
+                self.node_for(config),
+                config.model_spec(),
+                config.shape(),
+                config.strategy,
+                overlap=overlap,
+                microbatch_size=config.microbatch_size,
+                pipeline_schedule=config.pipeline_schedule,
+            )
+            self._plans[key] = plan
+            self.plan_builds += 1
+        return plan
+
+    def cost_model_for(self, config) -> CollectiveCostModel:
+        """The (cached) collective cost model for one config's node."""
+        key = _node_key(config)
+        model = self._cost_models.get(key)
+        if model is None:
+            node = self.node_for(config)
+            model = CollectiveCostModel(
+                link=node.link,
+                library=library_for(node.gpu.vendor),
+                calibration=node.calibration,
+                hbm_effective_bandwidth=node.gpu.memory.effective_bandwidth,
+            )
+            self._cost_models[key] = model
+        return model
+
+    def clear(self) -> None:
+        """Drop all cached objects (tests and calibration sweeps)."""
+        self._nodes.clear()
+        self._plans.clear()
+        self._cost_models.clear()
+
+
+_default_planner: Optional[Planner] = None
+
+
+def default_planner() -> Planner:
+    """The process-wide shared planner."""
+    global _default_planner
+    if _default_planner is None:
+        _default_planner = Planner()
+    return _default_planner
+
+
+def reset_default_planner() -> None:
+    """Replace the shared planner with a fresh one."""
+    global _default_planner
+    _default_planner = None

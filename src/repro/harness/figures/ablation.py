@@ -1,0 +1,63 @@
+"""Shared row assembly for the datapath ablation figures (10 and 11).
+
+Both figures sweep (model, batch) workloads across one binary knob —
+numeric precision for Fig. 10, tensor-core usage for Fig. 11 — and
+report the same slowdown/overlap/power columns per cell. This helper
+owns the batch submission and row shape; the figure modules supply the
+knob-to-config mapping and the label column.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.modes import ExecutionMode
+from repro.harness.figures.grid import run_cell_batch
+
+#: One ablation cell: (model, batch, knob value).
+Cell = Tuple[str, int, object]
+
+
+def ablation_rows(
+    gpu: str,
+    cells: Sequence[Cell],
+    make_config: Callable[[str, int, object], ExperimentConfig],
+    label_field: str,
+    label_for: Callable[[object], str],
+) -> List[Dict[str, object]]:
+    """Simulate ``cells`` as one batch and shape the figure rows.
+
+    ``label_field``/``label_for`` name and render the knob column
+    (``precision`` for Fig. 10, ``datapath`` for Fig. 11). Infeasible
+    cells become rows with a ``skipped`` reason, like the grid figures.
+    """
+    outcomes = run_cell_batch(
+        [make_config(model, batch, knob) for model, batch, knob in cells]
+    )
+    rows: List[Dict[str, object]] = []
+    for (model, batch, knob), outcome in zip(cells, outcomes):
+        row: Dict[str, object] = {
+            "gpu": gpu,
+            "model": model,
+            "batch": batch,
+            label_field: label_for(knob),
+        }
+        if not outcome.ran:
+            row["skipped"] = outcome.skipped_reason
+            rows.append(row)
+            continue
+        result = outcome.result
+        avg, peak = result.power_vs_tdp(ExecutionMode.OVERLAPPED)
+        row.update(
+            {
+                "compute_slowdown": result.metrics.compute_slowdown,
+                "overlap_ratio": result.metrics.overlap_ratio,
+                "avg_power_tdp": avg,
+                "peak_power_tdp": peak,
+                "e2e_ms": result.metrics.e2e_overlapping_s * 1e3,
+                "skipped": None,
+            }
+        )
+        rows.append(row)
+    return rows

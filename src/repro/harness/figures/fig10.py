@@ -10,9 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.core.experiment import ExperimentConfig, run_experiment
-from repro.core.modes import ExecutionMode
-from repro.errors import InfeasibleConfigError
+from repro.core.experiment import ExperimentConfig
+from repro.harness.figures.ablation import ablation_rows
 from repro.harness.report import render_table
 from repro.hw.datapath import Precision
 
@@ -33,55 +32,31 @@ def generate(
     quick: bool = True, gpu: str = "H100", runs: int = 1
 ) -> List[Dict[str, object]]:
     """Rows: workload x {fp32, fp16} with slowdown and power columns."""
-    rows: List[Dict[str, object]] = []
-    for model, batch in QUICK_WORKLOADS if quick else WORKLOADS:
-        for precision in (Precision.FP32, Precision.FP16):
-            config = ExperimentConfig(
-                gpu=gpu,
-                model=model,
-                batch_size=batch,
-                strategy="fsdp",
-                precision=precision,
-                # FP32 runs on the general (vector) datapath in this
-                # ablation; tensor-core FP32 (TF32) is Fig. 11's knob.
-                use_tensor_cores=precision is not Precision.FP32,
-                runs=runs,
-            )
-            try:
-                result = run_experiment(
-                    config,
-                    modes=(
-                        ExecutionMode.OVERLAPPED,
-                        ExecutionMode.SEQUENTIAL,
-                    ),
-                )
-            except InfeasibleConfigError as exc:
-                rows.append(
-                    {
-                        "gpu": gpu,
-                        "model": model,
-                        "batch": batch,
-                        "precision": precision.value,
-                        "skipped": str(exc),
-                    }
-                )
-                continue
-            avg, peak = result.power_vs_tdp(ExecutionMode.OVERLAPPED)
-            rows.append(
-                {
-                    "gpu": gpu,
-                    "model": model,
-                    "batch": batch,
-                    "precision": precision.value,
-                    "compute_slowdown": result.metrics.compute_slowdown,
-                    "overlap_ratio": result.metrics.overlap_ratio,
-                    "avg_power_tdp": avg,
-                    "peak_power_tdp": peak,
-                    "e2e_ms": result.metrics.e2e_overlapping_s * 1e3,
-                    "skipped": None,
-                }
-            )
-    return rows
+
+    def make_config(model: str, batch: int, precision) -> ExperimentConfig:
+        return ExperimentConfig(
+            gpu=gpu,
+            model=model,
+            batch_size=batch,
+            strategy="fsdp",
+            precision=precision,
+            # FP32 runs on the general (vector) datapath in this
+            # ablation; tensor-core FP32 (TF32) is Fig. 11's knob.
+            use_tensor_cores=precision is not Precision.FP32,
+            runs=runs,
+        )
+
+    return ablation_rows(
+        gpu=gpu,
+        cells=[
+            (model, batch, precision)
+            for model, batch in (QUICK_WORKLOADS if quick else WORKLOADS)
+            for precision in (Precision.FP32, Precision.FP16)
+        ],
+        make_config=make_config,
+        label_field="precision",
+        label_for=lambda precision: precision.value,
+    )
 
 
 def render(rows: List[Dict[str, object]]) -> str:

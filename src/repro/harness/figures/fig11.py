@@ -9,9 +9,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.core.experiment import ExperimentConfig, run_experiment
-from repro.core.modes import ExecutionMode
-from repro.errors import InfeasibleConfigError
+from repro.core.experiment import ExperimentConfig
+from repro.harness.figures.ablation import ablation_rows
 from repro.harness.report import render_table
 from repro.hw.datapath import Precision
 
@@ -31,54 +30,29 @@ def generate(
     quick: bool = True, gpu: str = "H100", runs: int = 1
 ) -> List[Dict[str, object]]:
     """Rows: workload x {vector FP32, tensor-core TF32}."""
-    rows: List[Dict[str, object]] = []
-    for model, batch in QUICK_WORKLOADS if quick else WORKLOADS:
-        for use_tc in (False, True):
-            config = ExperimentConfig(
-                gpu=gpu,
-                model=model,
-                batch_size=batch,
-                strategy="fsdp",
-                precision=Precision.FP32,
-                use_tensor_cores=use_tc,
-                runs=runs,
-            )
-            datapath = "tf32-tensor" if use_tc else "fp32-vector"
-            try:
-                result = run_experiment(
-                    config,
-                    modes=(
-                        ExecutionMode.OVERLAPPED,
-                        ExecutionMode.SEQUENTIAL,
-                    ),
-                )
-            except InfeasibleConfigError as exc:
-                rows.append(
-                    {
-                        "gpu": gpu,
-                        "model": model,
-                        "batch": batch,
-                        "datapath": datapath,
-                        "skipped": str(exc),
-                    }
-                )
-                continue
-            avg, peak = result.power_vs_tdp(ExecutionMode.OVERLAPPED)
-            rows.append(
-                {
-                    "gpu": gpu,
-                    "model": model,
-                    "batch": batch,
-                    "datapath": datapath,
-                    "compute_slowdown": result.metrics.compute_slowdown,
-                    "overlap_ratio": result.metrics.overlap_ratio,
-                    "avg_power_tdp": avg,
-                    "peak_power_tdp": peak,
-                    "e2e_ms": result.metrics.e2e_overlapping_s * 1e3,
-                    "skipped": None,
-                }
-            )
-    return rows
+
+    def make_config(model: str, batch: int, use_tc) -> ExperimentConfig:
+        return ExperimentConfig(
+            gpu=gpu,
+            model=model,
+            batch_size=batch,
+            strategy="fsdp",
+            precision=Precision.FP32,
+            use_tensor_cores=use_tc,
+            runs=runs,
+        )
+
+    return ablation_rows(
+        gpu=gpu,
+        cells=[
+            (model, batch, use_tc)
+            for model, batch in (QUICK_WORKLOADS if quick else WORKLOADS)
+            for use_tc in (False, True)
+        ],
+        make_config=make_config,
+        label_field="datapath",
+        label_for=lambda use_tc: "tf32-tensor" if use_tc else "fp32-vector",
+    )
 
 
 def render(rows: List[Dict[str, object]]) -> str:

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.experiment import ExperimentConfig, run_experiment
+from repro.core.experiment import ExperimentConfig
 from repro.core.modes import ExecutionMode
+from repro.harness.figures.grid import run_cell_batch
 from repro.harness.report import render_table
 from repro.units import MS
 
@@ -27,21 +28,24 @@ def generate(
     runs: int = 1,
 ) -> List[Dict[str, object]]:
     """One row per power cap."""
-    caps = QUICK_CAPS_W if quick else CAPS_W
+    caps = sorted(QUICK_CAPS_W if quick else CAPS_W, reverse=True)
+    outcomes = run_cell_batch(
+        [
+            ExperimentConfig(
+                gpu=gpu,
+                model=model,
+                batch_size=batch,
+                strategy="fsdp",
+                power_limit_w=cap,
+                runs=runs,
+            )
+            for cap in caps
+        ]
+    )
     rows: List[Dict[str, object]] = []
     uncapped: Optional[Dict[ExecutionMode, float]] = None
-    for cap in sorted(caps, reverse=True):
-        config = ExperimentConfig(
-            gpu=gpu,
-            model=model,
-            batch_size=batch,
-            strategy="fsdp",
-            power_limit_w=cap,
-            runs=runs,
-        )
-        result = run_experiment(
-            config, modes=(ExecutionMode.OVERLAPPED, ExecutionMode.SEQUENTIAL)
-        )
+    for cap, outcome in zip(caps, outcomes):
+        result = outcome.unwrap()
         e2e = {
             mode: result.modes[mode].e2e_s
             for mode in (ExecutionMode.OVERLAPPED, ExecutionMode.SEQUENTIAL)

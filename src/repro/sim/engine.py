@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.collectives.cost_model import CollectiveCostModel
@@ -73,9 +73,11 @@ class Simulator:
         self,
         node: NodeSpec,
         tasks: Sequence[Task],
-        config: SimConfig = SimConfig(),
+        config: Optional[SimConfig] = None,
         cost_model: Optional[CollectiveCostModel] = None,
     ):
+        if config is None:
+            config = SimConfig()
         self.node = node
         self.config = config
         self.gpu = node.gpu
@@ -294,14 +296,12 @@ class Simulator:
                 f"k{op.key}", self.config.seed, self.config.jitter_sigma
             )
             if factor != 1.0:
-                cost = type(cost)(
+                # Jitter stretches the duration; the same bytes over a
+                # longer window means proportionally less HBM pressure.
+                cost = replace(
+                    cost,
                     duration_s=cost.duration_s * factor,
-                    wire_bytes=cost.wire_bytes,
                     hbm_bytes_per_s=cost.hbm_bytes_per_s / factor,
-                    sm_fraction=cost.sm_fraction,
-                    link_fraction=cost.link_fraction,
-                    clock_sensitivity=cost.clock_sensitivity,
-                    algorithm=cost.algorithm,
                 )
             inst = CollectiveInstance(op=op, cost=cost)
             self.instances[op.key] = inst
@@ -670,7 +670,14 @@ class Simulator:
 def simulate(
     node: NodeSpec,
     tasks: Sequence[Task],
-    config: SimConfig = SimConfig(),
+    config: Optional[SimConfig] = None,
+    cost_model: Optional[CollectiveCostModel] = None,
 ) -> SimulationResult:
-    """Convenience wrapper: build a :class:`Simulator` and run it."""
-    return Simulator(node, tasks, config).run()
+    """Convenience wrapper: build a :class:`Simulator` and run it.
+
+    ``cost_model`` lets callers share one memoized
+    :class:`CollectiveCostModel` across many simulations of the same
+    node (see :mod:`repro.exec.planning`); it is stateless, so sharing
+    cannot change results.
+    """
+    return Simulator(node, tasks, config, cost_model=cost_model).run()

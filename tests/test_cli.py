@@ -132,3 +132,41 @@ def test_infeasible_run_returns_error(capsys):
     )
     assert code == 1
     assert "memory" in capsys.readouterr().err
+
+
+def test_execution_flags_parse():
+    parser = build_parser()
+    for command in ("run", "figure", "takeaways"):
+        prefix = [command, "4"] if command == "figure" else [command]
+        args = parser.parse_args(prefix + ["--jobs", "4", "--no-cache"])
+        assert args.jobs == 4
+        assert args.no_cache is True
+        assert args.cache_dir is None
+
+
+def test_run_with_jobs_and_cache_dir(tmp_path, capsys):
+    from repro.exec.service import reset_default_service
+
+    try:
+        code = main(
+            [
+                "run",
+                "--gpu",
+                "A100",
+                "--model",
+                "gpt3-xl",
+                "--batch",
+                "8",
+                "--runs",
+                "1",
+                "--jobs",
+                "2",
+                "--cache-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert "compute slowdown" in capsys.readouterr().out
+        assert list(tmp_path.glob("*.json"))  # result persisted on disk
+    finally:
+        reset_default_service()

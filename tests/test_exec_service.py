@@ -1,0 +1,182 @@
+"""Executor equivalence and caching guarantees of the execution service.
+
+The acceptance grid is the issue's: 2 GPUs x 2 models x 2 batches with
+3-run averaging. Serial and parallel executors must agree bit-for-bit,
+and a warm-cache rerun must perform zero new simulations (observed via
+the executor-level job counter).
+"""
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.modes import ExecutionMode
+from repro.core.sweep import grid_configs, run_grid, summarize_slowdowns
+from repro.errors import ConfigurationError
+from repro.exec.cache import ResultCache
+from repro.exec.executors import ParallelExecutor, SerialExecutor
+from repro.exec.job import SimJob
+from repro.exec.service import (
+    ExecutionService,
+    configure,
+    default_service,
+    reset_default_service,
+)
+
+MODES = (ExecutionMode.OVERLAPPED, ExecutionMode.SEQUENTIAL)
+GRID = dict(
+    gpus=("A100", "H100"),
+    models=("gpt3-xl", "gpt3-2.7b"),
+    batch_sizes=(8, 16),
+    base=ExperimentConfig(gpu="A100", model="gpt3-xl", batch_size=8, runs=3),
+    modes=MODES,
+)
+
+
+@pytest.fixture(scope="module")
+def serial_service():
+    return ExecutionService(SerialExecutor(), ResultCache())
+
+
+@pytest.fixture(scope="module")
+def serial_rows(serial_service):
+    return run_grid(service=serial_service, **GRID)
+
+
+@pytest.fixture(scope="module")
+def parallel_rows():
+    service = ExecutionService(ParallelExecutor(max_workers=4), ResultCache())
+    return run_grid(service=service, **GRID)
+
+
+def test_grid_covers_every_cell(serial_rows):
+    assert len(serial_rows) == 8
+
+
+def test_parallel_matches_serial_bit_for_bit(serial_rows, parallel_rows):
+    assert len(parallel_rows) == len(serial_rows)
+    for serial, parallel in zip(serial_rows, parallel_rows):
+        assert serial.config == parallel.config
+        assert serial.ran == parallel.ran
+        if serial.ran:
+            # Dataclass equality compares every float exactly.
+            assert serial.result.metrics == parallel.result.metrics
+            assert serial.result.modes == parallel.result.modes
+            assert serial.result.feasibility == parallel.result.feasibility
+        else:
+            assert serial.skipped_reason == parallel.skipped_reason
+
+
+def test_warm_cache_rerun_simulates_nothing(serial_service, serial_rows):
+    executed_before = serial_service.executor.jobs_executed
+    rerun = run_grid(service=serial_service, **GRID)
+    assert serial_service.executor.jobs_executed == executed_before
+    for original, cached in zip(serial_rows, rerun):
+        if original.ran:
+            assert cached.result.metrics == original.result.metrics
+        else:
+            assert cached.skipped_reason == original.skipped_reason
+
+
+def test_duplicate_jobs_in_one_batch_simulate_once():
+    service = ExecutionService(SerialExecutor(), ResultCache())
+    config = ExperimentConfig(gpu="A100", model="gpt3-xl", batch_size=8, runs=1)
+    jobs = [SimJob(config=config, modes=MODES) for _ in range(3)]
+    outcomes = service.run_jobs(jobs)
+    assert service.executor.jobs_executed == 1
+    assert [o.from_cache for o in outcomes] == [False, True, True]
+    assert outcomes[0].result.metrics == outcomes[2].result.metrics
+
+
+def test_cacheless_service_always_simulates():
+    service = ExecutionService(SerialExecutor(), cache=None)
+    config = ExperimentConfig(gpu="A100", model="gpt3-xl", batch_size=8, runs=1)
+    service.run_config(config, modes=MODES)
+    service.run_config(config, modes=MODES)
+    assert service.executor.jobs_executed == 2
+
+
+def test_summarize_slowdowns_on_all_infeasible_grid():
+    service = ExecutionService(SerialExecutor(), ResultCache())
+    rows = run_grid(
+        gpus=("A100",),
+        models=("gpt3-13b", "llama2-13b"),
+        batch_sizes=(8, 16),
+        base=ExperimentConfig(
+            gpu="A100", model="gpt3-xl", batch_size=8, runs=1
+        ),
+        modes=MODES,
+        service=service,
+    )
+    assert all(not row.ran for row in rows)
+    summary = summarize_slowdowns(rows)
+    assert summary == {
+        "cells": 0,
+        "mean_compute_slowdown": 0.0,
+        "max_compute_slowdown": 0.0,
+        "mean_sequential_penalty": 0.0,
+        "max_sequential_penalty": 0.0,
+    }
+    # Infeasibility is cached too: the rerun submits nothing.
+    executed = service.executor.jobs_executed
+    run_grid(
+        gpus=("A100",),
+        models=("gpt3-13b", "llama2-13b"),
+        batch_sizes=(8, 16),
+        base=ExperimentConfig(
+            gpu="A100", model="gpt3-xl", batch_size=8, runs=1
+        ),
+        modes=MODES,
+        service=service,
+    )
+    assert service.executor.jobs_executed == executed
+
+
+def test_grid_configs_orders_cells_deterministically():
+    configs = grid_configs(
+        gpus=("A100", "H100"), models=("gpt3-xl",), batch_sizes=(8, 16)
+    )
+    labels = [(c.gpu, c.batch_size) for c in configs]
+    assert labels == [("A100", 8), ("A100", 16), ("H100", 8), ("H100", 16)]
+
+
+def test_disk_cache_survives_service_restart(tmp_path):
+    config = ExperimentConfig(gpu="A100", model="gpt3-xl", batch_size=8, runs=1)
+    first = ExecutionService(SerialExecutor(), ResultCache(tmp_path))
+    result = first.run_config(config, modes=MODES)
+    fresh = ExecutionService(SerialExecutor(), ResultCache(tmp_path))
+    reloaded = fresh.run_config(config, modes=MODES)
+    assert fresh.executor.jobs_executed == 0
+    assert reloaded.metrics == result.metrics
+    assert reloaded.modes == result.modes
+
+
+def test_parallel_executor_rejects_bad_worker_count():
+    with pytest.raises(ConfigurationError):
+        ParallelExecutor(max_workers=0)
+
+
+def test_configure_swaps_the_default_service():
+    try:
+        service = configure(jobs=2, cache=False)
+        assert service is default_service()
+        assert isinstance(service.executor, ParallelExecutor)
+        assert service.executor.max_workers == 2
+        assert service.cache is None
+    finally:
+        reset_default_service()
+    assert isinstance(default_service().executor, SerialExecutor)
+    assert default_service().cache is not None
+
+
+def test_repro_jobs_env_sets_default(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    reset_default_service()
+    try:
+        service = default_service()
+        assert isinstance(service.executor, ParallelExecutor)
+        assert service.executor.max_workers == 3
+        # configure() without jobs keeps the env-derived width.
+        assert configure(cache=False).executor.max_workers == 3
+    finally:
+        monkeypatch.delenv("REPRO_JOBS")
+        reset_default_service()
