@@ -46,10 +46,23 @@ from repro.exec import (
     SimJob,
     default_service,
 )
+from repro.scenario import (
+    Constraint,
+    Scenario,
+    ScenarioResult,
+    SweepSpec,
+    get_scenario,
+    list_scenarios,
+    load_spec_file,
+    register_scenario,
+    run_scenario,
+    run_spec,
+)
 
 __all__ = [
     "ComputePath",
     "ConfigurationError",
+    "Constraint",
     "Datapath",
     "DeadlockError",
     "ExecutionMode",
@@ -66,12 +79,15 @@ __all__ = [
     "Precision",
     "ReproError",
     "ResultCache",
+    "Scenario",
+    "ScenarioResult",
     "SerialExecutor",
     "SimConfig",
     "SimJob",
     "SimulationError",
     "SimulationResult",
     "Strategy",
+    "SweepSpec",
     "TrainingShape",
     "UnknownSpecError",
     "Vendor",
@@ -80,9 +96,15 @@ __all__ = [
     "default_service",
     "get_gpu",
     "get_model",
+    "get_scenario",
     "list_gpus",
     "list_models",
+    "list_scenarios",
+    "load_spec_file",
     "make_node",
+    "register_scenario",
     "run_experiment",
+    "run_scenario",
+    "run_spec",
     "simulate",
 ]

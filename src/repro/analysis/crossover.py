@@ -8,12 +8,13 @@ margin. These helpers locate the crossovers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.experiment import ExperimentConfig
 from repro.core.modes import ExecutionMode
 from repro.errors import ConfigurationError, InfeasibleConfigError
 from repro.exec.service import default_service
+from repro.scenario.registry import register_scenario
 
 
 @dataclass(frozen=True)
@@ -114,3 +115,122 @@ def trend_slope(points: List[BenefitPoint], attribute: str) -> float:
     cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, values))
     var = sum((x - mean_x) ** 2 for x in xs)
     return cov / var if var else 0.0
+
+
+# ----------------------------------------------------------------------
+# The "crossover" scenario: where does overlap stop paying off?
+# ----------------------------------------------------------------------
+
+#: Batch axis of the benefit trends (Fig. 4's opposing slopes).
+CROSSOVER_BATCHES = (8, 16, 32, 64)
+QUICK_CROSSOVER_BATCHES = (8, 32)
+#: Power caps probed for the Fig. 9-style benefit crossover.
+CROSSOVER_CAPS_W = (100.0, 150.0, 200.0)
+
+_CROSSOVER_GPU = "A100"
+_CROSSOVER_MODEL = "gpt3-2.7b"
+
+
+def scenario_spec(quick: bool = True, runs: int = 1) -> "SweepSpec":
+    """Strategy x batch benefit trends plus the power-cap excursions."""
+    from repro.scenario.spec import SweepSpec
+
+    batches = QUICK_CROSSOVER_BATCHES if quick else CROSSOVER_BATCHES
+    return SweepSpec(
+        name="crossover",
+        description="overlap-benefit trends and the power-cap crossover",
+        base={"gpu": _CROSSOVER_GPU, "model": _CROSSOVER_MODEL, "runs": runs},
+        axes=[
+            {"strategy": ["fsdp", "pipeline"]},
+            {"batch_size": list(batches)},
+        ],
+        include=[
+            {
+                "strategy": "fsdp",
+                "batch_size": batches[0],
+                "power_limit_w": cap,
+            }
+            for cap in CROSSOVER_CAPS_W
+        ],
+        modes=(ExecutionMode.OVERLAPPED, ExecutionMode.SEQUENTIAL),
+    )
+
+
+def scenario_generate(quick: bool = True) -> Dict[str, object]:
+    """Benefit trend rows per strategy plus the cap crossover point."""
+    spec = scenario_spec(quick=quick)
+    default_service().prefetch(spec.compile())
+    batches = QUICK_CROSSOVER_BATCHES if quick else CROSSOVER_BATCHES
+    trends: List[Dict[str, object]] = []
+    for strategy in ("fsdp", "pipeline"):
+        config = ExperimentConfig(
+            gpu=_CROSSOVER_GPU,
+            model=_CROSSOVER_MODEL,
+            batch_size=batches[0],
+            strategy=strategy,
+            runs=1,
+        )
+        points = batch_trend(config, batches)
+        for point in points:
+            trends.append(
+                {
+                    "strategy": strategy,
+                    "label": point.label,
+                    "benefit": point.benefit,
+                    "compute_slowdown": point.compute_slowdown,
+                    "overlap_ratio": point.overlap_ratio,
+                }
+            )
+        trends.append(
+            {
+                "strategy": strategy,
+                "label": "benefit_slope",
+                "benefit": trend_slope(points, "benefit"),
+                "compute_slowdown": None,
+                "overlap_ratio": None,
+            }
+        )
+    cap = find_cap_crossover(
+        ExperimentConfig(
+            gpu=_CROSSOVER_GPU,
+            model=_CROSSOVER_MODEL,
+            batch_size=batches[0],
+            strategy="fsdp",
+            runs=1,
+        ),
+        CROSSOVER_CAPS_W,
+    )
+    return {"trends": trends, "cap_crossover_w": cap}
+
+
+def scenario_render(data: Dict[str, object]) -> str:
+    lines = ["crossover - overlap benefit trends (A100, gpt3-2.7b)"]
+    for row in data["trends"]:
+        benefit = row["benefit"]
+        if row["label"] == "benefit_slope":
+            lines.append(
+                f"  {row['strategy']:<9} slope of benefit vs batch: "
+                f"{benefit:+.4f}"
+            )
+            continue
+        lines.append(
+            f"  {row['strategy']:<9} {row['label']:<5} "
+            f"benefit {benefit * 100:+6.1f}%  "
+            f"slowdown {row['compute_slowdown'] * 100:5.1f}%"
+        )
+    cap = data["cap_crossover_w"]
+    lines.append(
+        "  overlap wins at every probed cap"
+        if cap is None
+        else f"  overlap stops paying off at a {cap:.0f} W cap"
+    )
+    return "\n".join(lines)
+
+
+register_scenario(
+    "crossover",
+    description="operating points where overlap stops beating sequential",
+    spec=scenario_spec,
+    generate=scenario_generate,
+    render=scenario_render,
+)

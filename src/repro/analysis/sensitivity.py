@@ -17,9 +17,10 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.experiment import ExperimentConfig
 from repro.core.modes import ExecutionMode
 from repro.errors import ConfigurationError
-from repro.exec.job import SimJob
 from repro.exec.service import default_service
 from repro.hw.calibration import ContentionCalibration, calibration_for
+from repro.scenario.registry import register_scenario
+from repro.scenario.spec import SweepSpec
 
 #: Coefficients worth sweeping (all floats of ContentionCalibration).
 SWEEPABLE = (
@@ -108,6 +109,57 @@ class TornadoBar:
         return abs(self.slowdown_at_high - self.slowdown_at_low)
 
 
+def _excursions(
+    base: ContentionCalibration,
+    rel_delta: float,
+    parameters: Sequence[str] = SWEEPABLE,
+) -> List[tuple]:
+    """(parameter, low, high) spans scaled by ``1 +- rel_delta``."""
+    if not 0.0 < rel_delta < 1.0:
+        raise ConfigurationError("rel_delta must be in (0, 1)")
+    spans = []
+    for parameter in parameters:
+        center = getattr(base, parameter)
+        low = center * (1.0 - rel_delta)
+        high = center * (1.0 + rel_delta)
+        # Fractional coefficients live in [0, 1); clamp the excursion.
+        if parameter != "hbm_wire_scale":
+            high = min(high, 0.99)
+        spans.append((parameter, low, high))
+    return spans
+
+
+def tornado_spec(
+    config: ExperimentConfig,
+    rel_delta: float = 0.5,
+    parameters: Sequence[str] = SWEEPABLE,
+) -> SweepSpec:
+    """The tornado's cells as a declarative spec.
+
+    The baseline cell plus every +-excursion, each carrying its full
+    calibration override as a serializable include cell — what
+    :func:`tornado` prefetches and ``scenario run sensitivity`` runs.
+    """
+    base = config.node().calibration
+    base_overrides = {
+        f.name: getattr(config, f.name)
+        for f in dataclasses.fields(config)
+    }
+    include = [{}]  # the baseline cell
+    for parameter, low, high in _excursions(base, rel_delta, parameters):
+        for value in (low, high):
+            include.append(
+                {"calibration": _with_value(base, parameter, value)}
+            )
+    return SweepSpec(
+        name="sensitivity",
+        description="calibration tornado excursions",
+        base=base_overrides,
+        include=include,
+        modes=(ExecutionMode.OVERLAPPED, ExecutionMode.SEQUENTIAL),
+    )
+
+
 def tornado(
     config: ExperimentConfig,
     rel_delta: float = 0.5,
@@ -119,38 +171,17 @@ def tornado(
     clamped to its valid range; bars come back sorted by swing, largest
     first — the mechanisms that matter most for this configuration.
     """
-    if not 0.0 < rel_delta < 1.0:
-        raise ConfigurationError("rel_delta must be in (0, 1)")
     base = config.node().calibration
-    spans = []
-    for parameter in parameters:
-        center = getattr(base, parameter)
-        low = center * (1.0 - rel_delta)
-        high = center * (1.0 + rel_delta)
-        # Fractional coefficients live in [0, 1); clamp the excursion.
-        if parameter != "hbm_wire_scale":
-            high = min(high, 0.99)
-        spans.append((parameter, low, high))
+    spans = _excursions(base, rel_delta, parameters)
 
     # Prefetch every excursion in one batch so --jobs N runs them in
     # parallel; the per-point reads below resolve from cache.
-    modes = (ExecutionMode.OVERLAPPED, ExecutionMode.SEQUENTIAL)
     default_service().prefetch(
-        [SimJob(config=config, modes=modes)]
-        + [
-            SimJob(
-                config=config.with_updates(
-                    calibration=_with_value(base, parameter, value)
-                ),
-                modes=modes,
-            )
-            for parameter, low, high in spans
-            for value in (low, high)
-        ]
+        tornado_spec(config, rel_delta, parameters).compile()
     )
 
     baseline = default_service().run_config(
-        config, modes=modes
+        config, modes=(ExecutionMode.OVERLAPPED, ExecutionMode.SEQUENTIAL)
     ).metrics.compute_slowdown
 
     bars: List[TornadoBar] = []
@@ -209,6 +240,8 @@ def mechanism_attribution(
     }
     modes = (ExecutionMode.OVERLAPPED, ExecutionMode.SEQUENTIAL)
     # Prefetch all four cells so --jobs N runs them in parallel.
+    from repro.exec.job import SimJob
+
     default_service().prefetch(
         [SimJob(config=config, modes=modes)]
         + [
@@ -230,3 +263,58 @@ def mechanism_attribution(
         )
         attribution[name] = full - result.metrics.compute_slowdown
     return attribution
+
+
+#: Default configuration of the CLI's ``sensitivity`` subcommand.
+DEFAULT_TORNADO_CONFIG = dict(
+    gpu="MI210", model="gpt3-xl", batch_size=8, strategy="fsdp", runs=1
+)
+
+
+def scenario_spec(quick: bool = True) -> SweepSpec:
+    """The default tornado's cells (CLI defaults, +-50% excursions)."""
+    return tornado_spec(
+        ExperimentConfig(**DEFAULT_TORNADO_CONFIG), rel_delta=0.5
+    )
+
+
+def scenario_generate(quick: bool = True) -> List[Dict[str, object]]:
+    """JSON-able tornado bars for the default configuration."""
+    bars = tornado(ExperimentConfig(**DEFAULT_TORNADO_CONFIG), rel_delta=0.5)
+    return [
+        {
+            "parameter": bar.parameter,
+            "low_value": bar.low_value,
+            "high_value": bar.high_value,
+            "slowdown_at_low": bar.slowdown_at_low,
+            "slowdown_at_high": bar.slowdown_at_high,
+            "baseline_slowdown": bar.baseline_slowdown,
+            "swing": bar.swing,
+        }
+        for bar in bars
+    ]
+
+
+def scenario_render(rows: List[Dict[str, object]]) -> str:
+    return render_tornado(
+        [
+            TornadoBar(
+                parameter=row["parameter"],
+                low_value=row["low_value"],
+                high_value=row["high_value"],
+                slowdown_at_low=row["slowdown_at_low"],
+                slowdown_at_high=row["slowdown_at_high"],
+                baseline_slowdown=row["baseline_slowdown"],
+            )
+            for row in rows
+        ]
+    )
+
+
+register_scenario(
+    "sensitivity",
+    description="tornado analysis of the contention-calibration coefficients",
+    spec=scenario_spec,
+    generate=scenario_generate,
+    render=scenario_render,
+)

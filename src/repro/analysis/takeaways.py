@@ -14,9 +14,10 @@ from typing import Dict, List, Optional
 from repro.analysis.crossover import batch_trend, overlap_benefit, trend_slope
 from repro.core.experiment import ExperimentConfig
 from repro.core.modes import ExecutionMode
-from repro.exec.job import SimJob
 from repro.exec.service import default_service
 from repro.hw.datapath import Precision
+from repro.scenario.registry import register_scenario
+from repro.scenario.spec import SweepSpec
 
 
 @dataclass(frozen=True)
@@ -277,51 +278,63 @@ def check_takeaway_7(gpu: str = "H100", runs: int = 1) -> TakeawayCheck:
     )
 
 
+def scenario_spec(quick: bool = True, runs: int = 1) -> SweepSpec:
+    """Every cell the seven takeaway checks probe, as explicit includes.
+
+    The checks' logic is pairwise comparisons across heterogeneous
+    cells, so the spec is include-only (no cross-product). Drift
+    between this list and the checks only costs parallelism, never
+    correctness — a missed cell simply simulates serially inside its
+    check.
+    """
+    two = ["overlapped", "sequential"]
+    three = two + ["ideal"]
+    return SweepSpec(
+        name="takeaways",
+        description="cells probed by the seven takeaway checks",
+        base={"runs": runs},
+        include=[
+            # Takeaways 1 and 5 (A100 FSDP/pipeline, power cap).
+            {"gpu": "A100", "model": "gpt3-2.7b", "batch_size": 16,
+             "strategy": "fsdp", "modes": two},
+            {"gpu": "A100", "model": "gpt3-2.7b", "batch_size": 16,
+             "strategy": "pipeline", "modes": two},
+            {"gpu": "A100", "model": "gpt3-2.7b", "batch_size": 16,
+             "strategy": "fsdp", "power_limit_w": 150.0, "modes": two},
+            # Takeaway 2 (MI250 model scaling).
+            {"gpu": "MI250", "model": "gpt3-xl", "batch_size": 8,
+             "strategy": "fsdp", "modes": two},
+            {"gpu": "MI250", "model": "gpt3-13b", "batch_size": 8,
+             "strategy": "fsdp", "modes": two},
+            # Takeaways 3 and 4 (H100 6.7B; 3 checks all three modes).
+            {"gpu": "H100", "model": "gpt3-6.7b", "batch_size": 16,
+             "strategy": "fsdp", "modes": three},
+            {"gpu": "H100", "model": "gpt3-6.7b", "batch_size": 16,
+             "strategy": "fsdp", "modes": two},
+            # Takeaway 7 (precision pairs; the FP16 large cell is above).
+            {"gpu": "H100", "model": "gpt3-xl", "batch_size": 8,
+             "strategy": "fsdp", "precision": "fp32",
+             "use_tensor_cores": False, "modes": two},
+            {"gpu": "H100", "model": "gpt3-xl", "batch_size": 8,
+             "strategy": "fsdp", "precision": "fp16", "modes": two},
+            {"gpu": "H100", "model": "gpt3-6.7b", "batch_size": 16,
+             "strategy": "fsdp", "precision": "fp32",
+             "use_tensor_cores": False, "modes": two},
+        ],
+        modes=two,
+    )
+
+
 def prefetch_takeaway_cells(runs: int = 1) -> None:
     """Warm the result cache for every takeaway check in one batch.
 
     The individual checks submit cells one at a time (their logic is
     pairwise comparisons), which a parallel executor cannot fan out.
-    This mirror of their configurations lets ``--jobs N`` simulate all
-    distinct cells concurrently; the checks then resolve from cache.
-    Drift here only costs parallelism, never correctness — a missed
-    cell simply simulates serially inside its check.
+    Prefetching the scenario spec's compiled jobs lets ``--jobs N``
+    simulate all distinct cells concurrently; the checks then resolve
+    from cache.
     """
-    two = (ExecutionMode.OVERLAPPED, ExecutionMode.SEQUENTIAL)
-    three = two + (ExecutionMode.IDEAL,)
-    cells = [
-        # Takeaways 1 and 5 (A100 FSDP/pipeline, power cap).
-        (ExperimentConfig(gpu="A100", model="gpt3-2.7b", batch_size=16,
-                          strategy="fsdp", runs=runs), two),
-        (ExperimentConfig(gpu="A100", model="gpt3-2.7b", batch_size=16,
-                          strategy="pipeline", runs=runs), two),
-        (ExperimentConfig(gpu="A100", model="gpt3-2.7b", batch_size=16,
-                          strategy="fsdp", power_limit_w=150.0, runs=runs),
-         two),
-        # Takeaway 2 (MI250 model scaling).
-        (ExperimentConfig(gpu="MI250", model="gpt3-xl", batch_size=8,
-                          strategy="fsdp", runs=runs), two),
-        (ExperimentConfig(gpu="MI250", model="gpt3-13b", batch_size=8,
-                          strategy="fsdp", runs=runs), two),
-        # Takeaways 3 and 4 (H100 6.7B; 3 checks all three modes).
-        (ExperimentConfig(gpu="H100", model="gpt3-6.7b", batch_size=16,
-                          strategy="fsdp", runs=runs), three),
-        (ExperimentConfig(gpu="H100", model="gpt3-6.7b", batch_size=16,
-                          strategy="fsdp", runs=runs), two),
-        # Takeaway 7 (precision pairs; the FP16 large cell is above).
-        (ExperimentConfig(gpu="H100", model="gpt3-xl", batch_size=8,
-                          strategy="fsdp", precision=Precision.FP32,
-                          use_tensor_cores=False, runs=runs), two),
-        (ExperimentConfig(gpu="H100", model="gpt3-xl", batch_size=8,
-                          strategy="fsdp", precision=Precision.FP16,
-                          runs=runs), two),
-        (ExperimentConfig(gpu="H100", model="gpt3-6.7b", batch_size=16,
-                          strategy="fsdp", precision=Precision.FP32,
-                          use_tensor_cores=False, runs=runs), two),
-    ]
-    default_service().prefetch(
-        [SimJob(config=config, modes=modes) for config, modes in cells]
-    )
+    default_service().prefetch(scenario_spec(runs=runs).compile())
 
 
 def validate_takeaways(runs: int = 1) -> List[TakeawayCheck]:
@@ -341,3 +354,40 @@ def validate_takeaways(runs: int = 1) -> List[TakeawayCheck]:
 def render_takeaways(checks: List[TakeawayCheck]) -> str:
     """Multi-line report of all takeaway verdicts."""
     return "\n".join(c.render() for c in checks)
+
+
+def scenario_generate(quick: bool = True) -> List[Dict[str, object]]:
+    """JSON-able rows, one per takeaway verdict."""
+    return [
+        {
+            "number": check.number,
+            "statement": check.statement,
+            "holds": check.holds,
+            "evidence": dict(check.evidence),
+        }
+        for check in validate_takeaways(runs=1)
+    ]
+
+
+def scenario_render(rows: List[Dict[str, object]]) -> str:
+    """The same report ``render_takeaways`` prints, from plain rows."""
+    return render_takeaways(
+        [
+            TakeawayCheck(
+                number=row["number"],
+                statement=row["statement"],
+                holds=row["holds"],
+                evidence=dict(row["evidence"]),
+            )
+            for row in rows
+        ]
+    )
+
+
+register_scenario(
+    "takeaways",
+    description="validate the paper's seven takeaways",
+    spec=scenario_spec,
+    generate=scenario_generate,
+    render=scenario_render,
+)

@@ -6,6 +6,9 @@ Subcommands mirror the library's layers:
 * ``run`` — one experiment cell with full Eq. 1-5 metrics;
 * ``figure N`` — regenerate a paper figure (1, 4-11);
 * ``table N`` — regenerate a paper table (1, 2);
+* ``scenario`` — the declarative sweep API: ``list`` the named paper
+  scenarios, ``show`` a spec, ``run`` a scenario (or a JSON/YAML spec
+  file) with manifest-backed incremental re-runs;
 * ``microbench`` — the Fig. 8 matmul-vs-all-reduce microbenchmark;
 * ``roofline`` — per-kernel roofline report for a workload on a GPU;
 * ``takeaways`` — validate the paper's seven takeaways;
@@ -16,7 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.core.experiment import ExperimentConfig
 from repro.core.modes import ExecutionMode
@@ -113,6 +116,27 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _parse_modes(raw: Optional[str]) -> Tuple[ExecutionMode, ...]:
+    """``--modes overlapped,sequential`` -> the mode tuple to simulate.
+
+    Validation is the scenario spec's: the Eq. 1-5 metrics need both
+    the overlapped and sequential runs, so those two are mandatory;
+    dropping ``ideal`` skips one simulation per run.
+    """
+    if raw is None:
+        return (
+            ExecutionMode.OVERLAPPED,
+            ExecutionMode.SEQUENTIAL,
+            ExecutionMode.IDEAL,
+        )
+    from repro.scenario.spec import _coerce_modes
+
+    parts = [part.strip() for part in raw.split(",") if part.strip()]
+    return tuple(
+        ExecutionMode(value) for value in _coerce_modes(parts, "--modes")
+    )
+
+
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     return ExperimentConfig(
         gpu=args.gpu,
@@ -149,18 +173,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.exec.service import default_service
 
     _configure_execution(args)
+    modes = _parse_modes(args.modes)
     config = _config_from_args(args)
     print(f"running: {config.describe()} ({config.runs} runs)")
-    result = default_service().run_config(config)
+    result = default_service().run_config(config, modes=modes)
     m = result.metrics
     print()
     print(f"compute slowdown (Eq. 1):   {m.compute_slowdown * 100:7.1f} %")
     print(f"overlap ratio (Eq. 2):      {m.overlap_ratio * 100:7.1f} %")
-    for mode in (
-        ExecutionMode.OVERLAPPED,
-        ExecutionMode.SEQUENTIAL,
-        ExecutionMode.IDEAL,
-    ):
+    for mode in modes:
         stats = result.modes[mode]
         avg, peak = result.power_vs_tdp(mode)
         print(
@@ -188,7 +209,7 @@ _FIGURES = {
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    import importlib
+    from repro.scenario.registry import get_scenario
 
     _configure_execution(args)
     name = _FIGURES.get(args.number)
@@ -199,14 +220,90 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    module = importlib.import_module(f"repro.harness.figures.{name}")
-    data = module.generate(quick=not args.full)
-    print(module.render(data))
+    scenario = get_scenario(name)
+    data = scenario.generate(quick=not args.full)
+    print(scenario.render(data))
     _print_execution_stats()
     if args.out:
         from repro.harness.io import write_json
 
         write_json(args.out, data)
+        print(f"\ndata written to {args.out}")
+    return 0
+
+
+def _cmd_scenario_list(args: argparse.Namespace) -> int:
+    from repro.harness.report import render_table
+    from repro.scenario.registry import list_scenarios
+
+    rows = []
+    for scenario in list_scenarios():
+        spec = scenario.spec(quick=not args.full)
+        rows.append(
+            [
+                scenario.name,
+                str(len(spec.compile())) if spec is not None else "-",
+                scenario.description,
+            ]
+        )
+    print(render_table(["scenario", "cells", "description"], rows))
+    return 0
+
+
+def _cmd_scenario_show(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.scenario.runner import resolve_target
+
+    scenario, spec = resolve_target(args.name)
+    if scenario is not None:
+        name, spec = scenario.name, scenario.spec(quick=not args.full)
+    else:
+        name = spec.name
+    if spec is None:
+        print(
+            f"{name}: no sweep spec (this artifact does not run through "
+            f"the job service); use 'scenario run {name}' to generate it"
+        )
+        return 0
+    print(json.dumps(spec.to_dict(), indent=2))
+    jobs = spec.compile()
+    print(f"\nspec hash: {spec.spec_hash()}")
+    print(f"compiles to {len(jobs)} job(s):")
+    preview = 10
+    for job in jobs[:preview]:
+        print(f"  {job.describe()}")
+    if len(jobs) > preview:
+        print(f"  ... and {len(jobs) - preview} more")
+    return 0
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    from repro.scenario.runner import run_scenario
+
+    _configure_execution(args)
+    report = run_scenario(args.name, quick=not args.full)
+    print(report.text)
+    # Always printed for spec-backed runs: "0 cell(s)" is the only
+    # signal that constraints filtered the whole sweep away.
+    if report.spec is not None:
+        line = (
+            f"[scenario {report.name}] {report.cells} cell(s): "
+            f"{report.simulated} simulated, {report.cache_hits} from cache, "
+            f"{report.skipped} infeasible"
+        )
+        if report.previously_completed:
+            line += (
+                f"; {report.previously_completed} already in manifest"
+            )
+        print(line, file=sys.stderr)
+    if report.manifest_file is not None:
+        print(f"[scenario] manifest -> {report.manifest_file}", file=sys.stderr)
+    _print_execution_stats()
+    if args.out:
+        from repro.harness.io import write_json
+
+        write_json(args.out, report.rows)
         print(f"\ndata written to {args.out}")
     return 0
 
@@ -288,16 +385,26 @@ def _cmd_takeaways(args: argparse.Namespace) -> int:
 
 
 def _cmd_sensitivity(args: argparse.Namespace) -> int:
-    from repro.analysis.sensitivity import render_tornado, tornado
+    from repro.analysis.sensitivity import (
+        DEFAULT_TORNADO_CONFIG,
+        render_tornado,
+        tornado,
+    )
 
     _configure_execution(args)
-    config = ExperimentConfig(
-        gpu=args.gpu,
-        model=args.model,
-        batch_size=args.batch,
-        strategy=args.strategy,
-        runs=1,
-    )
+    # Unset flags fall back to the scenario's canonical configuration,
+    # so `repro sensitivity` and `scenario run sensitivity` agree.
+    overrides = dict(DEFAULT_TORNADO_CONFIG)
+    for flag, field in (
+        ("gpu", "gpu"),
+        ("model", "model"),
+        ("batch", "batch_size"),
+        ("strategy", "strategy"),
+    ):
+        value = getattr(args, flag)
+        if value is not None:
+            overrides[field] = value
+    config = ExperimentConfig(**overrides)
     print(
         f"tornado analysis around the default {config.node().gpu.vendor} "
         f"calibration ({config.describe()}, +-{args.delta * 100:.0f}%)"
@@ -349,6 +456,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = sub.add_parser("run", help="run one experiment cell")
     _add_experiment_args(run_parser)
+    run_parser.add_argument(
+        "--modes",
+        default=None,
+        metavar="M1,M2",
+        help="comma-separated execution modes to simulate "
+        "(default: overlapped,sequential,ideal; overlapped and "
+        "sequential are mandatory)",
+    )
     _add_execution_args(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
@@ -364,6 +479,38 @@ def build_parser() -> argparse.ArgumentParser:
     table_parser = sub.add_parser("table", help="regenerate a paper table")
     table_parser.add_argument("number", help="table number (1 or 2)")
     table_parser.set_defaults(func=_cmd_table)
+
+    scenario_parser = sub.add_parser(
+        "scenario", help="the declarative sweep-spec API"
+    )
+    scenario_sub = scenario_parser.add_subparsers(
+        dest="scenario_command", required=True
+    )
+    sc_list = scenario_sub.add_parser(
+        "list", help="name every registered paper scenario"
+    )
+    sc_list.add_argument(
+        "--full", action="store_true", help="count paper-scale cells"
+    )
+    sc_list.set_defaults(func=_cmd_scenario_list)
+    sc_show = scenario_sub.add_parser(
+        "show", help="print a scenario's spec and compiled jobs"
+    )
+    sc_show.add_argument("name", help="scenario name or spec file")
+    sc_show.add_argument(
+        "--full", action="store_true", help="paper-scale spec"
+    )
+    sc_show.set_defaults(func=_cmd_scenario_show)
+    sc_run = scenario_sub.add_parser(
+        "run", help="run a named scenario or a JSON/YAML spec file"
+    )
+    sc_run.add_argument("name", help="scenario name or spec file")
+    sc_run.add_argument(
+        "--full", action="store_true", help="full paper-scale sweep"
+    )
+    sc_run.add_argument("--out", default=None, help="write JSON data here")
+    _add_execution_args(sc_run)
+    sc_run.set_defaults(func=_cmd_scenario_run)
 
     micro_parser = sub.add_parser(
         "microbench", help="Fig. 8 matmul vs all-reduce"
@@ -400,10 +547,17 @@ def build_parser() -> argparse.ArgumentParser:
         "sensitivity",
         help="tornado analysis of the contention-calibration coefficients",
     )
-    sens_parser.add_argument("--gpu", default="MI210")
-    sens_parser.add_argument("--model", default="gpt3-xl")
-    sens_parser.add_argument("--batch", type=int, default=8)
-    sens_parser.add_argument("--strategy", default="fsdp")
+    # None = fall back to the sensitivity scenario's canonical cell
+    # (repro.analysis.sensitivity.DEFAULT_TORNADO_CONFIG), imported
+    # lazily so parser construction stays light.
+    sens_parser.add_argument("--gpu", default=None, help="default: MI210")
+    sens_parser.add_argument("--model", default=None, help="default: gpt3-xl")
+    sens_parser.add_argument(
+        "--batch", type=int, default=None, help="default: 8"
+    )
+    sens_parser.add_argument(
+        "--strategy", default=None, help="default: fsdp"
+    )
     sens_parser.add_argument("--delta", type=float, default=0.5)
     _add_execution_args(sens_parser)
     sens_parser.set_defaults(func=_cmd_sensitivity)
@@ -429,6 +583,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `| head`) closed early. Point stdout at
+        # devnull so the interpreter's exit-time flush stays quiet too.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

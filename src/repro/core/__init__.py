@@ -15,7 +15,12 @@ from repro.core.experiment import (
     ModeStats,
     run_experiment,
 )
-from repro.core.sweep import GridRow, grid_configs, run_grid
+from repro.core.sweep import (
+    GridRow,
+    grid_configs,
+    grid_spec_from_args,
+    run_grid,
+)
 from repro.core.microbench import MicrobenchResult, run_microbench
 
 __all__ = [
@@ -30,6 +35,7 @@ __all__ = [
     "check_feasibility",
     "compute_metrics",
     "grid_configs",
+    "grid_spec_from_args",
     "run_experiment",
     "run_grid",
     "run_microbench",

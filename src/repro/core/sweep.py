@@ -1,14 +1,22 @@
 """Grid sweeps over (GPU, model, batch, strategy) with feasibility cuts.
 
-Sweeps are expressed as batches of :class:`~repro.exec.job.SimJob`
-submitted to an :class:`~repro.exec.service.ExecutionService`: cells
-already in the result cache are served without simulating, the rest
-fan out across the configured executor (``--jobs N``), and infeasible
-cells come back as skipped rows rather than exceptions.
+Sweeps are *specified* declaratively as
+:class:`~repro.scenario.spec.SweepSpec` objects and *executed* as
+batches of :class:`~repro.exec.job.SimJob` through an
+:class:`~repro.exec.service.ExecutionService`: cells already in the
+result cache are served without simulating, the rest fan out across
+the configured executor (``--jobs N``), and infeasible cells come back
+as skipped rows rather than exceptions.
+
+:func:`run_grid` survives as a deprecated positional-argument shim over
+the spec path; new code should build a ``SweepSpec`` and call
+:func:`repro.scenario.runner.run_spec`.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
 
@@ -57,6 +65,48 @@ def grid_configs(
     ]
 
 
+def grid_spec_from_args(
+    gpus: Sequence[str],
+    models: Sequence[str],
+    batch_sizes: Sequence[int],
+    strategies: Sequence[str] = ("fsdp",),
+    base: Optional[ExperimentConfig] = None,
+    modes: Tuple[ExecutionMode, ...] = (
+        ExecutionMode.OVERLAPPED,
+        ExecutionMode.SEQUENTIAL,
+        ExecutionMode.IDEAL,
+    ),
+) -> "SweepSpec":
+    """The :class:`SweepSpec` equivalent of ``run_grid``'s arguments.
+
+    Axis nesting matches :func:`grid_configs` exactly
+    (gpu -> strategy -> model -> batch), so the compiled jobs are
+    identical to the historical cross-product.
+    """
+    # Function-level import: repro.scenario sits above the core layer.
+    from repro.scenario.spec import SweepSpec
+
+    if base is None:
+        base = ExperimentConfig(gpu="H100", model="gpt3-xl", batch_size=8)
+    swept = ("gpu", "strategy", "model", "batch_size")
+    base_overrides = {
+        f.name: getattr(base, f.name)
+        for f in dataclasses.fields(base)
+        if f.name not in swept
+    }
+    return SweepSpec(
+        name="grid",
+        base=base_overrides,
+        axes=[
+            {"gpu": list(gpus)},
+            {"strategy": list(strategies)},
+            {"model": list(models)},
+            {"batch_size": list(batch_sizes)},
+        ],
+        modes=modes,
+    )
+
+
 def run_grid(
     gpus: Sequence[str],
     models: Sequence[str],
@@ -70,29 +120,28 @@ def run_grid(
     ),
     service: Optional["ExecutionService"] = None,
 ) -> List[GridRow]:
-    """Run the full cross-product, skipping infeasible cells.
+    """Deprecated positional-argument sweep API.
 
-    Jobs go through ``service`` (default: the process-wide one, which
-    the CLI's ``--jobs``/``--no-cache`` flags configure), so repeated
-    grids hit the result cache and wide grids run in parallel.
+    Kept as a compatibility shim for downstream callers: it builds the
+    equivalent :class:`~repro.scenario.spec.SweepSpec` and delegates to
+    :func:`repro.scenario.runner.run_spec`, producing bit-identical
+    rows. Jobs still go through ``service`` (default: the process-wide
+    one, which the CLI's ``--jobs``/``--no-cache`` flags configure).
     """
-    # Function-level import: repro.exec sits above the core layer.
-    from repro.exec.job import SimJob
-    from repro.exec.service import default_service
+    warnings.warn(
+        "run_grid(gpus, models, ...) is deprecated; build a "
+        "repro.scenario.SweepSpec and use repro.scenario.run_spec "
+        "(or a registered scenario) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    # Function-level import: repro.scenario sits above the core layer.
+    from repro.scenario.runner import run_spec
 
-    if service is None:
-        service = default_service()
-    configs = grid_configs(gpus, models, batch_sizes, strategies, base)
-    jobs = [SimJob(config=config, modes=modes) for config in configs]
-    outcomes = service.run_jobs(jobs)
-    return [
-        GridRow(
-            config=config,
-            result=outcome.result,
-            skipped_reason=outcome.skipped_reason,
-        )
-        for config, outcome in zip(configs, outcomes)
-    ]
+    spec = grid_spec_from_args(
+        gpus, models, batch_sizes, strategies, base, modes
+    )
+    return run_spec(spec, service=service)
 
 
 def feasible_rows(rows: Iterable[GridRow]) -> List[GridRow]:

@@ -12,6 +12,14 @@ Two tiers behind one interface:
 Infeasible cells are cached too — re-deriving "does not fit" is cheap,
 but caching it keeps warm grid reruns at exactly zero executor
 submissions, which the equivalence tests assert.
+
+The in-memory tier can be bounded: ``ResultCache(max_entries=N)`` (or
+``$REPRO_CACHE_MAX``) evicts the least-recently-used outcome once the
+map exceeds ``N`` entries. Eviction only touches the memory tier: with
+a cache directory configured, an evicted cell re-loads from disk
+instead of re-simulating; memory-only caches trade recompute for the
+memory bound (an evicted cell re-simulates on its next read), so pair
+a tight cap with ``--cache-dir`` when simulations are expensive.
 """
 
 from __future__ import annotations
@@ -19,8 +27,9 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.core.feasibility import FeasibilityReport
 from repro.core.metrics import OverlapMetrics
@@ -31,6 +40,26 @@ from repro.workloads.memory_footprint import MemoryFootprint
 
 #: Environment variable supplying a default on-disk cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable bounding the in-memory tier (LRU eviction).
+CACHE_MAX_ENV = "REPRO_CACHE_MAX"
+
+
+def _max_entries_from_env() -> Optional[int]:
+    raw = os.environ.get(CACHE_MAX_ENV)
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        value = 0
+    if value < 1:
+        # Silently treating a typo (or 0) as "unbounded" would defeat
+        # the memory cap the variable exists for.
+        raise ConfigurationError(
+            f"${CACHE_MAX_ENV} must be a positive integer, got {raw!r}"
+        )
+    return value
 
 
 def result_to_payload(result) -> dict:
@@ -140,9 +169,17 @@ def outcome_from_payload(job: SimJob, payload: dict) -> Optional[JobOutcome]:
 
 
 class ResultCache:
-    """In-memory + optional on-disk cache of job outcomes."""
+    """In-memory + optional on-disk cache of job outcomes.
 
-    def __init__(self, directory: "Optional[str | Path]" = None):
+    ``max_entries`` (default: ``$REPRO_CACHE_MAX``, else unbounded)
+    caps the in-memory tier with least-recently-used eviction.
+    """
+
+    def __init__(
+        self,
+        directory: "Optional[str | Path]" = None,
+        max_entries: Optional[int] = None,
+    ):
         if directory is None:
             directory = os.environ.get(CACHE_DIR_ENV) or None
         self.directory = Path(directory) if directory else None
@@ -154,9 +191,24 @@ class ResultCache:
             raise ConfigurationError(
                 f"cache path {self.directory} exists and is not a directory"
             )
-        self._memory: Dict[str, JobOutcome] = {}
+        if max_entries is None:
+            max_entries = _max_entries_from_env()
+        elif max_entries < 1:
+            raise ConfigurationError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._memory: "OrderedDict[str, JobOutcome]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    def _remember(self, key: str, outcome: JobOutcome) -> None:
+        """Insert/refresh one memory entry, evicting the LRU past cap."""
+        self._memory[key] = outcome
+        self._memory.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._memory) > self.max_entries:
+                self._memory.popitem(last=False)
+                self.evictions += 1
 
     def _path_for(self, key: str) -> Optional[Path]:
         if self.directory is None:
@@ -168,6 +220,7 @@ class ResultCache:
         key = job.cache_key()
         cached = self._memory.get(key)
         if cached is not None:
+            self._memory.move_to_end(key)
             self.hits += 1
             return JobOutcome(
                 job=job,
@@ -184,7 +237,7 @@ class ResultCache:
             if payload is not None:
                 outcome = outcome_from_payload(job, payload)
                 if outcome is not None:
-                    self._memory[key] = outcome
+                    self._remember(key, outcome)
                     self.hits += 1
                     return outcome
         self.misses += 1
@@ -193,7 +246,7 @@ class ResultCache:
     def put(self, outcome: JobOutcome) -> None:
         """Record one outcome in both tiers."""
         key = outcome.job.cache_key()
-        self._memory[key] = outcome
+        self._remember(key, outcome)
         path = self._path_for(key)
         if path is None:
             return

@@ -2,46 +2,46 @@
 
 Both figures sweep (model, batch) workloads across one binary knob —
 numeric precision for Fig. 10, tensor-core usage for Fig. 11 — and
-report the same slowdown/overlap/power columns per cell. This helper
-owns the batch submission and row shape; the figure modules supply the
-knob-to-config mapping and the label column.
+report the same slowdown/overlap/power columns per cell. Each figure
+expresses its sweep as a :class:`~repro.scenario.spec.SweepSpec`
+(workload pairs as a zipped axis group, the knob as the inner axis);
+this helper owns compiling the spec, the batch submission and the row
+shape, while the figure modules supply the knob column's name and
+rendering.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List
 
 from repro.core.experiment import ExperimentConfig
 from repro.core.modes import ExecutionMode
-from repro.harness.figures.grid import run_cell_batch
-
-#: One ablation cell: (model, batch, knob value).
-Cell = Tuple[str, int, object]
+from repro.exec.service import default_service
+from repro.scenario.spec import SweepSpec
 
 
 def ablation_rows(
-    gpu: str,
-    cells: Sequence[Cell],
-    make_config: Callable[[str, int, object], ExperimentConfig],
+    spec: SweepSpec,
     label_field: str,
-    label_for: Callable[[object], str],
+    label_for: Callable[[ExperimentConfig], str],
 ) -> List[Dict[str, object]]:
-    """Simulate ``cells`` as one batch and shape the figure rows.
+    """Simulate the spec's cells as one batch and shape the figure rows.
 
     ``label_field``/``label_for`` name and render the knob column
-    (``precision`` for Fig. 10, ``datapath`` for Fig. 11). Infeasible
-    cells become rows with a ``skipped`` reason, like the grid figures.
+    (``precision`` for Fig. 10, ``datapath`` for Fig. 11), reading the
+    knob off each compiled cell's config. Infeasible cells become rows
+    with a ``skipped`` reason, like the grid figures.
     """
-    outcomes = run_cell_batch(
-        [make_config(model, batch, knob) for model, batch, knob in cells]
-    )
+    jobs = spec.compile()
+    outcomes = default_service().run_jobs(jobs)
     rows: List[Dict[str, object]] = []
-    for (model, batch, knob), outcome in zip(cells, outcomes):
+    for job, outcome in zip(jobs, outcomes):
+        config = job.config
         row: Dict[str, object] = {
-            "gpu": gpu,
-            "model": model,
-            "batch": batch,
-            label_field: label_for(knob),
+            "gpu": config.gpu,
+            "model": config.model,
+            "batch": config.batch_size,
+            label_field: label_for(config),
         }
         if not outcome.ran:
             row["skipped"] = outcome.skipped_reason

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.harness.report import render_table
+from repro.scenario.registry import register_scenario
 from repro.hw.system import make_node
 from repro.parallel.strategy import build_plan
 from repro.profiler.summary import summarize
@@ -81,3 +82,14 @@ def render(rows: List[Dict[str, object]]) -> str:
     return "Fig. 1 - overlapping computation/communication\n" + render_table(
         headers, [[row[h] for h in headers] for row in rows]
     )
+
+
+# Fig. 1's cells are single profiled simulations (overlap windows come
+# from the profiler summary, not from ExperimentResult), so the
+# scenario is registered without a sweep spec.
+register_scenario(
+    "fig1",
+    description="Fig. 1: amount of overlapping compute/communication",
+    generate=generate,
+    render=render,
+)

@@ -10,10 +10,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.core.experiment import ExperimentConfig
 from repro.harness.figures.ablation import ablation_rows
 from repro.harness.report import render_table
 from repro.hw.datapath import Precision
+from repro.scenario.registry import register_scenario
+from repro.scenario.spec import SweepSpec
 
 WORKLOADS: Tuple[Tuple[str, int], ...] = (
     ("gpt3-xl", 8),
@@ -28,34 +29,42 @@ QUICK_WORKLOADS: Tuple[Tuple[str, int], ...] = (
 )
 
 
+def scenario_spec(
+    quick: bool = True, gpu: str = "H100", runs: int = 1
+) -> SweepSpec:
+    """Workload pairs (zipped) x precision knob (zipped with datapath).
+
+    FP32 runs on the general (vector) datapath in this ablation;
+    tensor-core FP32 (TF32) is Fig. 11's knob — hence precision and
+    ``use_tensor_cores`` advance together as one zipped group.
+    """
+    workloads = QUICK_WORKLOADS if quick else WORKLOADS
+    return SweepSpec(
+        name="fig10",
+        description="FP32 vs FP16 ablation (Fig. 10)",
+        base={"gpu": gpu, "strategy": "fsdp", "runs": runs},
+        axes=[
+            {
+                "model": [model for model, _ in workloads],
+                "batch_size": [batch for _, batch in workloads],
+            },
+            {
+                "precision": [Precision.FP32, Precision.FP16],
+                "use_tensor_cores": [False, True],
+            },
+        ],
+        modes=("overlapped", "sequential"),
+    )
+
+
 def generate(
     quick: bool = True, gpu: str = "H100", runs: int = 1
 ) -> List[Dict[str, object]]:
     """Rows: workload x {fp32, fp16} with slowdown and power columns."""
-
-    def make_config(model: str, batch: int, precision) -> ExperimentConfig:
-        return ExperimentConfig(
-            gpu=gpu,
-            model=model,
-            batch_size=batch,
-            strategy="fsdp",
-            precision=precision,
-            # FP32 runs on the general (vector) datapath in this
-            # ablation; tensor-core FP32 (TF32) is Fig. 11's knob.
-            use_tensor_cores=precision is not Precision.FP32,
-            runs=runs,
-        )
-
     return ablation_rows(
-        gpu=gpu,
-        cells=[
-            (model, batch, precision)
-            for model, batch in (QUICK_WORKLOADS if quick else WORKLOADS)
-            for precision in (Precision.FP32, Precision.FP16)
-        ],
-        make_config=make_config,
+        scenario_spec(quick=quick, gpu=gpu, runs=runs),
         label_field="precision",
-        label_for=lambda precision: precision.value,
+        label_for=lambda config: config.precision.value,
     )
 
 
@@ -97,3 +106,12 @@ def render(rows: List[Dict[str, object]]) -> str:
     if notes:
         text += "\n" + "\n".join(notes)
     return text
+
+
+register_scenario(
+    "fig10",
+    description="Fig. 10: FP32 vs FP16 slowdown and power",
+    spec=scenario_spec,
+    generate=generate,
+    render=render,
+)

@@ -9,10 +9,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.core.experiment import ExperimentConfig
 from repro.harness.figures.ablation import ablation_rows
 from repro.harness.report import render_table
 from repro.hw.datapath import Precision
+from repro.scenario.registry import register_scenario
+from repro.scenario.spec import SweepSpec
 
 WORKLOADS: Tuple[Tuple[str, int], ...] = (
     ("gpt3-xl", 8),
@@ -26,32 +27,41 @@ QUICK_WORKLOADS: Tuple[Tuple[str, int], ...] = (
 )
 
 
+def scenario_spec(
+    quick: bool = True, gpu: str = "H100", runs: int = 1
+) -> SweepSpec:
+    """Workload pairs (zipped) x the tensor-core toggle at FP32."""
+    workloads = QUICK_WORKLOADS if quick else WORKLOADS
+    return SweepSpec(
+        name="fig11",
+        description="vector FP32 vs tensor-core TF32 ablation (Fig. 11)",
+        base={
+            "gpu": gpu,
+            "strategy": "fsdp",
+            "precision": Precision.FP32,
+            "runs": runs,
+        },
+        axes=[
+            {
+                "model": [model for model, _ in workloads],
+                "batch_size": [batch for _, batch in workloads],
+            },
+            {"use_tensor_cores": [False, True]},
+        ],
+        modes=("overlapped", "sequential"),
+    )
+
+
 def generate(
     quick: bool = True, gpu: str = "H100", runs: int = 1
 ) -> List[Dict[str, object]]:
     """Rows: workload x {vector FP32, tensor-core TF32}."""
-
-    def make_config(model: str, batch: int, use_tc) -> ExperimentConfig:
-        return ExperimentConfig(
-            gpu=gpu,
-            model=model,
-            batch_size=batch,
-            strategy="fsdp",
-            precision=Precision.FP32,
-            use_tensor_cores=use_tc,
-            runs=runs,
-        )
-
     return ablation_rows(
-        gpu=gpu,
-        cells=[
-            (model, batch, use_tc)
-            for model, batch in (QUICK_WORKLOADS if quick else WORKLOADS)
-            for use_tc in (False, True)
-        ],
-        make_config=make_config,
+        scenario_spec(quick=quick, gpu=gpu, runs=runs),
         label_field="datapath",
-        label_for=lambda use_tc: "tf32-tensor" if use_tc else "fp32-vector",
+        label_for=lambda config: (
+            "tf32-tensor" if config.use_tensor_cores else "fp32-vector"
+        ),
     )
 
 
@@ -94,3 +104,12 @@ def render(rows: List[Dict[str, object]]) -> str:
     if notes:
         text += "\n" + "\n".join(notes)
     return text
+
+
+register_scenario(
+    "fig11",
+    description="Fig. 11: tensor-core TF32 vs vector FP32 slowdown and power",
+    spec=scenario_spec,
+    generate=generate,
+    render=render,
+)

@@ -5,7 +5,8 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.core.sweep import feasible_rows, summarize_slowdowns
-from repro.harness.figures.grid import grid_rows
+from repro.harness.figures.grid import grid_rows, grid_spec
+from repro.scenario.registry import register_scenario
 from repro.harness.report import render_table
 
 
@@ -70,3 +71,12 @@ def render(rows: List[Dict[str, object]]) -> str:
     if skipped:
         text += "\nInfeasible cells (memory):\n" + "\n".join(skipped)
     return text
+
+
+register_scenario(
+    "fig4",
+    description="Fig. 4: compute slowdown grid (GPUs x models x batches x strategies)",
+    spec=grid_spec,
+    generate=generate,
+    render=render,
+)

@@ -5,7 +5,8 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.core.modes import ExecutionMode
-from repro.harness.figures.grid import grid_rows
+from repro.harness.figures.grid import grid_rows, grid_spec
+from repro.scenario.registry import register_scenario
 from repro.harness.report import render_table
 from repro.units import MS
 
@@ -65,3 +66,12 @@ def render(rows: List[Dict[str, object]]) -> str:
         for row in rows
     ]
     return "Fig. 5 - E2E latency by scenario\n" + render_table(headers, body)
+
+
+register_scenario(
+    "fig5",
+    description="Fig. 5: e2e latency — ideal vs overlapped vs sequential",
+    spec=grid_spec,
+    generate=generate,
+    render=render,
+)

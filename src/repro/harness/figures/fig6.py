@@ -5,7 +5,8 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.core.modes import ExecutionMode
-from repro.harness.figures.grid import grid_rows
+from repro.harness.figures.grid import grid_rows, grid_spec
+from repro.scenario.registry import register_scenario
 from repro.harness.report import render_table
 
 
@@ -74,3 +75,12 @@ def render(rows: List[Dict[str, object]]) -> str:
         "Fig. 6 - power consumption (fractions of TDP, vendor-sampled)\n"
         + render_table(headers, body)
     )
+
+
+register_scenario(
+    "fig6",
+    description="Fig. 6: average/peak power vs TDP across the grid",
+    spec=grid_spec,
+    generate=generate,
+    render=render,
+)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.harness.ascii_plot import line_plot
+from repro.scenario.registry import register_scenario
 from repro.hw.system import make_node
 from repro.parallel.strategy import build_plan
 from repro.power.sampling import amd_smi_fast_sampler
@@ -77,3 +78,12 @@ def render(data: Dict[str, object]) -> str:
         f"overlap windows cover "
         f"{data['overlap_fraction_of_iteration'] * 100:.1f}% of the iteration"
     )
+
+
+# A single traced iteration sampled at 1 ms — not a job sweep.
+register_scenario(
+    "fig7",
+    description="Fig. 7: MI250 power time-trace during LLaMA2-13B training",
+    generate=generate,
+    render=render,
+)

@@ -6,6 +6,7 @@ from typing import Dict, List
 
 from repro.core.microbench import run_microbench
 from repro.harness.report import render_table
+from repro.scenario.registry import register_scenario
 from repro.hw.system import make_node
 
 SIZES = (1024, 2048, 4096, 8192, 16384)
@@ -65,3 +66,12 @@ def render(rows: List[Dict[str, object]]) -> str:
         "Fig. 8 - NxN matmul overlapped with 1 GB all-reduce\n"
         + render_table(headers, body)
     )
+
+
+# The microbenchmark runs through run_microbench, not SimJobs.
+register_scenario(
+    "fig8",
+    description="Fig. 8: N x N matmul concurrent with a 1 GB all-reduce",
+    generate=generate,
+    render=render,
+)

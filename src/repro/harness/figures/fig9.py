@@ -10,14 +10,39 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.experiment import ExperimentConfig
 from repro.core.modes import ExecutionMode
-from repro.harness.figures.grid import run_cell_batch
+from repro.exec.service import default_service
 from repro.harness.report import render_table
+from repro.scenario.registry import register_scenario
+from repro.scenario.spec import SweepSpec
 from repro.units import MS
 
 CAPS_W: Tuple[float, ...] = (100.0, 150.0, 200.0, 250.0, 300.0, 350.0, 400.0)
 QUICK_CAPS_W: Tuple[float, ...] = (100.0, 200.0, 400.0)
+
+
+def scenario_spec(
+    quick: bool = True,
+    gpu: str = "A100",
+    model: str = "gpt3-2.7b",
+    batch: int = 8,
+    runs: int = 1,
+) -> SweepSpec:
+    """The power-cap sweep, loosest cap first (the uncapped baseline)."""
+    caps = sorted(QUICK_CAPS_W if quick else CAPS_W, reverse=True)
+    return SweepSpec(
+        name="fig9",
+        description="power capping sweep (Fig. 9)",
+        base={
+            "gpu": gpu,
+            "model": model,
+            "batch_size": batch,
+            "strategy": "fsdp",
+            "runs": runs,
+        },
+        axes=[{"power_limit_w": list(caps)}],
+        modes=(ExecutionMode.OVERLAPPED, ExecutionMode.SEQUENTIAL),
+    )
 
 
 def generate(
@@ -28,20 +53,11 @@ def generate(
     runs: int = 1,
 ) -> List[Dict[str, object]]:
     """One row per power cap."""
-    caps = sorted(QUICK_CAPS_W if quick else CAPS_W, reverse=True)
-    outcomes = run_cell_batch(
-        [
-            ExperimentConfig(
-                gpu=gpu,
-                model=model,
-                batch_size=batch,
-                strategy="fsdp",
-                power_limit_w=cap,
-                runs=runs,
-            )
-            for cap in caps
-        ]
-    )
+    jobs = scenario_spec(
+        quick=quick, gpu=gpu, model=model, batch=batch, runs=runs
+    ).compile()
+    outcomes = default_service().run_jobs(jobs)
+    caps = [job.config.power_limit_w for job in jobs]
     rows: List[Dict[str, object]] = []
     uncapped: Optional[Dict[ExecutionMode, float]] = None
     for cap, outcome in zip(caps, outcomes):
@@ -99,3 +115,12 @@ def render(rows: List[Dict[str, object]]) -> str:
         for row in rows
     ]
     return "Fig. 9 - power capping on A100 x 4\n" + render_table(headers, body)
+
+
+register_scenario(
+    "fig9",
+    description="Fig. 9: impact of power capping on A100 x 4",
+    spec=scenario_spec,
+    generate=generate,
+    render=render,
+)

@@ -2,9 +2,11 @@
 
 The paper evaluates the cross-product of four systems, five models,
 batch sizes 8-64 and two strategies (with infeasible cells dropped).
-Running it once and viewing it three ways matches the paper's workflow;
-the grid is memoised per (quick, runs) so co-located benchmarks reuse
-it within a session.
+The grid is specified declaratively as a
+:class:`~repro.scenario.spec.SweepSpec` (:func:`grid_spec`) — the spec
+Figs. 4-6 register with the scenario catalog — and run once, viewed
+three ways, matching the paper's workflow; it is memoised per
+(quick, runs) so co-located benchmarks reuse it within a session.
 
 The cells themselves go through the execution service
 (:mod:`repro.exec`): with ``--jobs N`` they fan out across worker
@@ -15,13 +17,11 @@ processes, and with the result cache warm (in memory or on disk via
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
-from repro.core.experiment import ExperimentConfig
 from repro.core.modes import ExecutionMode
-from repro.core.sweep import GridRow, run_grid
-from repro.exec.job import JobOutcome, SimJob
-from repro.exec.service import default_service
+from repro.core.sweep import GridRow
+from repro.scenario.spec import SweepSpec
 
 ALL_GPUS: Tuple[str, ...] = ("A100", "H100", "MI210", "MI250")
 ALL_MODELS: Tuple[str, ...] = (
@@ -40,49 +40,36 @@ QUICK_BATCHES: Tuple[int, ...] = (8, 32)
 QUICK_STRATEGIES: Tuple[str, ...] = ("fsdp", "pipeline")
 
 
-@lru_cache(maxsize=4)
-def evaluation_grid(quick: bool = True, runs: int = 1) -> Tuple[GridRow, ...]:
-    """Run (or fetch) the canonical evaluation grid."""
-    base = ExperimentConfig(
-        gpu="H100",
-        model="gpt3-xl",
-        batch_size=8,
-        runs=runs,
-        jitter_sigma=0.02,
-    )
-    rows = run_grid(
-        gpus=QUICK_GPUS if quick else ALL_GPUS,
-        models=QUICK_MODELS if quick else ALL_MODELS,
-        batch_sizes=QUICK_BATCHES if quick else ALL_BATCHES,
-        strategies=QUICK_STRATEGIES if quick else ALL_STRATEGIES,
-        base=base,
+def grid_spec(quick: bool = True, runs: int = 1) -> SweepSpec:
+    """The canonical evaluation grid as a declarative sweep spec."""
+    return SweepSpec(
+        name="grid",
+        description="the shared Figs. 4-6 evaluation grid",
+        base={"runs": runs, "jitter_sigma": 0.02},
+        axes=[
+            {"gpu": list(QUICK_GPUS if quick else ALL_GPUS)},
+            {"strategy": list(QUICK_STRATEGIES if quick else ALL_STRATEGIES)},
+            {"model": list(QUICK_MODELS if quick else ALL_MODELS)},
+            {"batch_size": list(QUICK_BATCHES if quick else ALL_BATCHES)},
+        ],
         modes=(
             ExecutionMode.OVERLAPPED,
             ExecutionMode.SEQUENTIAL,
             ExecutionMode.IDEAL,
         ),
     )
-    return tuple(rows)
+
+
+@lru_cache(maxsize=4)
+def evaluation_grid(quick: bool = True, runs: int = 1) -> Tuple[GridRow, ...]:
+    """Run (or fetch) the canonical evaluation grid."""
+    # Function-level import: keeps figure modules importable without
+    # pulling the runner in at module-import time.
+    from repro.scenario.runner import run_spec
+
+    return tuple(run_spec(grid_spec(quick=quick, runs=runs)))
 
 
 def grid_rows(quick: bool = True, runs: int = 1) -> List[GridRow]:
     """Mutable copy of the memoised grid."""
     return list(evaluation_grid(quick=quick, runs=runs))
-
-
-def run_cell_batch(
-    configs: Sequence[ExperimentConfig],
-    modes: Tuple[ExecutionMode, ...] = (
-        ExecutionMode.OVERLAPPED,
-        ExecutionMode.SEQUENTIAL,
-    ),
-) -> List[JobOutcome]:
-    """Submit ad-hoc figure cells as one batch.
-
-    One submission (rather than per-cell ``run_config`` calls) lets
-    ``--jobs N`` fan the cells out in parallel; outcomes come back in
-    ``configs`` order, with infeasible cells as skipped outcomes.
-    """
-    return default_service().run_jobs(
-        [SimJob(config=config, modes=modes) for config in configs]
-    )

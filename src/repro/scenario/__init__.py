@@ -1,0 +1,72 @@
+"""The declarative scenario API.
+
+This package is how experiments are *specified* in this repo:
+
+* :mod:`repro.scenario.spec` — :class:`SweepSpec`, a serializable
+  description of a sweep (cross-product + zipped axes, fixed base
+  overrides, declarative constraints, execution modes) that compiles
+  deterministically to :class:`~repro.exec.job.SimJob` lists;
+* :mod:`repro.scenario.yaml_lite` — a zero-dependency loader so
+  ``examples/scenarios/*.yaml`` (restricted YAML subset) and ``.json``
+  spec files round-trip into :class:`SweepSpec`;
+* :mod:`repro.scenario.registry` — the ``@register_scenario`` registry
+  under which every paper artifact (figures, takeaways, sensitivity,
+  crossover) is a named, runnable scenario;
+* :mod:`repro.scenario.manifest` — :class:`ScenarioResult` manifests
+  persisted next to the result cache, making scenario re-runs
+  incremental;
+* :mod:`repro.scenario.runner` — :func:`run_spec` / :func:`run_scenario`,
+  the execution path behind ``python -m repro scenario run``.
+"""
+
+from repro.scenario.manifest import (
+    ScenarioResult,
+    load_manifest,
+    manifest_path,
+    save_manifest,
+)
+from repro.scenario.registry import (
+    Scenario,
+    get_scenario,
+    list_scenarios,
+    load_catalog,
+    register_scenario,
+)
+from repro.scenario.runner import (
+    ScenarioRunReport,
+    generic_rows,
+    render_generic,
+    run_scenario,
+    run_spec,
+)
+from repro.scenario.spec import (
+    CONFIG_FIELDS,
+    CONSTRAINT_OPS,
+    Constraint,
+    SweepSpec,
+    config_from_overrides,
+)
+from repro.scenario.yaml_lite import load_spec_file
+
+__all__ = [
+    "CONFIG_FIELDS",
+    "CONSTRAINT_OPS",
+    "Constraint",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioRunReport",
+    "SweepSpec",
+    "config_from_overrides",
+    "generic_rows",
+    "get_scenario",
+    "list_scenarios",
+    "load_catalog",
+    "load_manifest",
+    "load_spec_file",
+    "manifest_path",
+    "register_scenario",
+    "render_generic",
+    "run_scenario",
+    "run_spec",
+    "save_manifest",
+]

@@ -1,0 +1,107 @@
+"""Scenario run manifests.
+
+A :class:`ScenarioResult` records what one ``scenario run`` covered:
+the spec hash, the per-cell job cache keys, and a small summary,
+persisted under ``<cache-dir>/manifests/<name>.json`` — next to the
+result cache. The *cache* is what skips recorded cells on a re-run
+(each job key resolves to its stored result); the manifest is the
+durable record of exactly which keys a scenario covered, which lets a
+re-run report how many of its cells a previous run already completed
+and lets tooling audit or diff what a scenario simulated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Subdirectory of the result-cache directory holding manifests.
+MANIFEST_SUBDIR = "manifests"
+
+
+def _safe_name(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]", "_", name) or "scenario"
+
+
+@dataclass
+class ScenarioResult:
+    """Manifest of one scenario run."""
+
+    scenario: str
+    spec_hash: str
+    job_keys: List[str]
+    summary: Dict[str, object] = field(default_factory=dict)
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "schema": MANIFEST_SCHEMA_VERSION,
+            "scenario": self.scenario,
+            "spec_hash": self.spec_hash,
+            "job_keys": list(self.job_keys),
+            "summary": dict(self.summary),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> Optional["ScenarioResult"]:
+        if payload.get("schema") != MANIFEST_SCHEMA_VERSION:
+            return None
+        try:
+            return cls(
+                scenario=str(payload["scenario"]),
+                spec_hash=str(payload["spec_hash"]),
+                job_keys=[str(k) for k in payload["job_keys"]],
+                summary=dict(payload.get("summary", {})),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+
+def manifest_path(directory: "str | Path", name: str) -> Path:
+    return Path(directory) / MANIFEST_SUBDIR / f"{_safe_name(name)}.json"
+
+
+def load_manifest(
+    directory: "Optional[str | Path]", name: str
+) -> Optional[ScenarioResult]:
+    """The persisted manifest for ``name``, or ``None``."""
+    if directory is None:
+        return None
+    path = manifest_path(directory, name)
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    return ScenarioResult.from_payload(payload)
+
+
+def save_manifest(
+    directory: "Optional[str | Path]", result: ScenarioResult
+) -> Optional[Path]:
+    """Atomically persist ``result``; returns the path (or ``None``)."""
+    if directory is None:
+        return None
+    path = manifest_path(directory, result.scenario)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.stem, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(result.to_payload(), handle, indent=2)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path

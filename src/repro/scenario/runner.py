@@ -1,0 +1,255 @@
+"""Compile and run scenarios (registered names or spec files).
+
+Two entry points:
+
+* :func:`run_spec` — the canonical sweep path: compile a
+  :class:`~repro.scenario.spec.SweepSpec` and resolve every job
+  through the execution service, returning
+  :class:`~repro.core.sweep.GridRow` cells in compile order.
+* :func:`run_scenario` — everything ``scenario run`` does: resolve a
+  registered scenario (or load a spec file), prefetch its compiled
+  jobs as one batch (so ``--jobs N`` fans them out), produce the
+  artifact rows, and persist a :class:`ScenarioResult` manifest next
+  to the result cache for incremental re-runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, List, Optional
+
+from repro.core.sweep import GridRow
+from repro.errors import ConfigurationError, UnknownSpecError
+from repro.exec.service import ExecutionService, default_service
+from repro.harness.report import render_table
+from repro.scenario.manifest import (
+    ScenarioResult,
+    load_manifest,
+    save_manifest,
+)
+from repro.scenario.registry import Scenario, get_scenario
+from repro.scenario.spec import SweepSpec
+from repro.scenario.yaml_lite import load_spec_file
+
+
+def _rows_from(jobs, outcomes) -> List[GridRow]:
+    """Pair compiled jobs with their outcomes as sweep rows."""
+    return [
+        GridRow(
+            config=job.config,
+            result=outcome.result,
+            skipped_reason=outcome.skipped_reason,
+        )
+        for job, outcome in zip(jobs, outcomes)
+    ]
+
+
+def run_spec(
+    spec: SweepSpec, service: Optional[ExecutionService] = None
+) -> List[GridRow]:
+    """Run every cell of ``spec``; infeasible cells come back skipped."""
+    if service is None:
+        service = default_service()
+    jobs = spec.compile()
+    return _rows_from(jobs, service.run_jobs(jobs))
+
+
+def generic_rows(rows: List[GridRow]) -> List[dict]:
+    """Figure-style data rows for an ad-hoc (file-based) spec."""
+    out: List[dict] = []
+    for cell in rows:
+        record = {
+            "cell": cell.config.describe(),
+            "gpu": cell.config.gpu,
+            "model": cell.config.model,
+            "batch": cell.config.batch_size,
+            "strategy": cell.config.strategy,
+        }
+        if not cell.ran:
+            record.update(
+                {
+                    "compute_slowdown": None,
+                    "overlap_ratio": None,
+                    "e2e_overlapped_ms": None,
+                    "skipped": cell.skipped_reason,
+                }
+            )
+        else:
+            metrics = cell.result.metrics
+            record.update(
+                {
+                    "compute_slowdown": metrics.compute_slowdown,
+                    "overlap_ratio": metrics.overlap_ratio,
+                    "e2e_overlapped_ms": metrics.e2e_overlapping_s * 1e3,
+                    "skipped": None,
+                }
+            )
+        out.append(record)
+    return out
+
+
+def render_generic(rows: List[dict]) -> str:
+    """Text table for :func:`generic_rows` output."""
+    headers = ["cell", "slowdown", "overlap", "e2e_ms"]
+    body = []
+    skipped = []
+    for row in rows:
+        if row["skipped"]:
+            skipped.append(f"  skipped {row['cell']}: {row['skipped']}")
+            continue
+        body.append(
+            [
+                row["cell"],
+                f"{row['compute_slowdown'] * 100:.1f}%",
+                f"{row['overlap_ratio'] * 100:.1f}%",
+                f"{row['e2e_overlapped_ms']:.1f}",
+            ]
+        )
+    text = render_table(headers, body)
+    if skipped:
+        text += "\nInfeasible cells (memory):\n" + "\n".join(skipped)
+    return text
+
+
+@dataclass
+class ScenarioRunReport:
+    """Everything one ``scenario run`` produced."""
+
+    name: str
+    spec: Optional[SweepSpec]
+    rows: Any
+    text: str
+    cells: int
+    simulated: int
+    cache_hits: int
+    skipped: int
+    #: Cells whose job keys the previous manifest already recorded
+    #: (with a warm cache these are exactly the cells that did not
+    #: simulate again).
+    previously_completed: int
+    manifest: Optional[ScenarioResult] = None
+    manifest_file: Optional[Path] = None
+
+
+def resolve_target(
+    target: str,
+) -> "tuple[Optional[Scenario], Optional[SweepSpec]]":
+    """(registered scenario, file spec) — exactly one is non-None.
+
+    Shared by ``scenario show`` and ``scenario run``: a registered name
+    wins; otherwise an existing path loads as a spec file; otherwise
+    the unknown-scenario error (naming the known scenarios) propagates.
+    """
+    try:
+        return get_scenario(target), None
+    except UnknownSpecError:
+        if os.path.exists(target):
+            return None, load_spec_file(target)
+        if os.sep in target or target.endswith((".yaml", ".yml", ".json")):
+            # Clearly meant as a path: a registry listing would only
+            # mislead.
+            raise ConfigurationError(
+                f"spec file not found: {target}"
+            ) from None
+        raise
+
+
+def run_scenario(target: str, quick: bool = True) -> ScenarioRunReport:
+    """Run a registered scenario by name, or a spec file by path.
+
+    Everything goes through the process-wide default service (the one
+    the CLI's ``--jobs``/``--cache-dir`` flags configure) — registered
+    scenarios' generators resolve their cells through it, so a
+    different service here would just simulate everything twice. With
+    a cache, the compiled jobs are prefetched as one batch first
+    (parallel executors fan them out; the generator then resolves from
+    cache), and the run's manifest is persisted next to the result
+    cache when one is on disk.
+    """
+    scenario, file_spec = resolve_target(target)
+    service = default_service()
+    spec = file_spec if scenario is None else scenario.spec(quick=quick)
+    name = scenario.name if scenario is not None else (
+        file_spec.name or Path(target).stem
+    )
+
+    cache_dir = service.cache.directory if service.cache is not None else None
+    previous = None
+    job_keys: List[str] = []
+    jobs = []
+    if spec is not None:
+        jobs = spec.compile()
+        job_keys = [job.cache_key() for job in jobs]
+        previous = load_manifest(cache_dir, name)
+    # Keys recorded for an older spec version still count: cells the
+    # edit left unchanged remain cached under the same job hash.
+    known = set(previous.job_keys) if previous is not None else set()
+    previously_completed = sum(1 for key in job_keys if key in known)
+
+    before = dataclasses.replace(service.stats)
+    # Resolve the compiled batch once. For a registered scenario this
+    # is the prefetch (the generator then reads from cache), so it is
+    # skipped when caching is off — nothing would be retained and the
+    # generator would simulate every cell a second time. A file spec's
+    # rows come straight from these outcomes, so it always runs (and
+    # an empty compile yields an empty batch, not None).
+    outcomes = None
+    if scenario is None or service.cache is not None:
+        outcomes = service.run_jobs(jobs) if jobs else []
+
+    if scenario is not None:
+        rows = scenario.generate(quick=quick)
+        text = (
+            scenario.render(rows)
+            if scenario.render is not None
+            else repr(rows)
+        )
+    else:
+        rows = generic_rows(_rows_from(jobs, outcomes))
+        text = render_generic(rows)
+    after = service.stats
+
+    # Per-cell accounting comes from the batch outcomes (counted once,
+    # not per re-read); only the no-cache registered-scenario path has
+    # no batch and falls back to service-stat deltas (a single pass,
+    # so the deltas are exact there).
+    simulated = after.simulated - before.simulated
+    if outcomes is not None:
+        cache_hits = sum(1 for o in outcomes if o.from_cache)
+        skipped = sum(1 for o in outcomes if not o.ran)
+    else:
+        cache_hits = after.cache_hits - before.cache_hits
+        skipped = after.skipped - before.skipped
+
+    manifest = None
+    manifest_file = None
+    if spec is not None:
+        manifest = ScenarioResult(
+            scenario=name,
+            spec_hash=spec.spec_hash(),
+            job_keys=job_keys,
+            summary={
+                "cells": len(jobs),
+                "simulated": simulated,
+                "cache_hits": cache_hits,
+                "infeasible": skipped,
+            },
+        )
+        manifest_file = save_manifest(cache_dir, manifest)
+
+    return ScenarioRunReport(
+        name=name,
+        spec=spec,
+        rows=rows,
+        text=text,
+        cells=len(jobs),
+        simulated=simulated,
+        cache_hits=cache_hits,
+        skipped=skipped,
+        previously_completed=previously_completed,
+        manifest=manifest,
+        manifest_file=manifest_file,
+    )

@@ -1,0 +1,303 @@
+"""Zero-dependency loader for scenario spec files.
+
+Spec files may be JSON (always supported) or a *restricted YAML
+subset* — just enough for ``examples/scenarios/*.yaml`` to stay
+readable without pulling in PyYAML:
+
+* block mappings (``key: value`` / ``key:`` + indented block);
+* block sequences (``- item``, including inline-first-key mappings
+  such as ``- field: batch_size``);
+* flow sequences (``[1, 2, three]``) on a single line;
+* scalars: quoted/unquoted strings, ints, floats, ``true``/``false``,
+  ``null``/``~``;
+* full-line and trailing ``#`` comments (outside quotes).
+
+Unsupported YAML (anchors, multi-line strings, flow mappings, tabs)
+raises :class:`~repro.errors.ConfigurationError` rather than parsing
+wrongly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.scenario.spec import SweepSpec
+
+_Line = Tuple[int, int, str]  # (line number, indent, content)
+
+
+def _strip_comment(raw: str) -> str:
+    """Drop a trailing comment, respecting single/double quotes.
+
+    Follows YAML's rules for this subset: a quote only *opens* a string
+    at a value position (start of line, or after a space, ``:``, ``[``
+    or ``,``) — the apostrophe in ``paper's`` is plain content — and
+    ``#`` only starts a comment at the start of the line or after
+    whitespace (``a#b`` is one scalar).
+    """
+    quote = None
+    prev = None
+    for i, ch in enumerate(raw):
+        if quote:
+            if ch == quote:
+                quote = None
+        elif ch in "\"'" and prev in (None, " ", ":", "[", ","):
+            quote = ch
+        elif ch == "#" and prev in (None, " "):
+            return raw[:i]
+        prev = ch
+    return raw
+
+
+def _scalar(token: str, lineno: int) -> Any:
+    token = token.strip()
+    if token.startswith("["):
+        if not token.endswith("]"):
+            raise ConfigurationError(
+                f"line {lineno}: unterminated flow list {token!r} "
+                f"(missing ']')"
+            )
+        return _flow_list(token, lineno)
+    if token.startswith("{"):
+        raise ConfigurationError(
+            f"line {lineno}: flow mappings ({{...}}) are not supported; "
+            f"use an indented block"
+        )
+    if token.startswith("&") or token.startswith("*") or token.startswith("|"):
+        raise ConfigurationError(
+            f"line {lineno}: unsupported YAML syntax {token[:1]!r}"
+        )
+    if len(token) >= 2 and token[0] == token[-1] and token[0] in "\"'":
+        return token[1:-1]
+    lowered = token.lower()
+    if lowered in ("null", "~", ""):
+        return None
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return token
+
+
+def _flow_list(token: str, lineno: int) -> List[Any]:
+    inner = token[1:-1].strip()
+    if not inner:
+        return []
+    items: List[str] = []
+    depth = 0
+    quote = None
+    prev = None
+    current = ""
+    for ch in inner:
+        if quote:
+            current += ch
+            if ch == quote:
+                quote = None
+            prev = ch
+            continue
+        if ch in "\"'" and prev in (None, " ", "[", ","):
+            quote = ch
+            current += ch
+        elif ch == "[":
+            depth += 1
+            current += ch
+        elif ch == "]":
+            depth -= 1
+            current += ch
+        elif ch == "," and depth == 0:
+            items.append(current)
+            current = ""
+        else:
+            current += ch
+        prev = ch
+    items.append(current)
+    if items and not items[-1].strip():
+        # YAML allows a trailing comma: [8, 16,] is [8, 16], not
+        # [8, 16, null].
+        items.pop()
+    out = []
+    for item in items:
+        if item.strip().startswith("["):
+            out.append(_flow_list(item.strip(), lineno))
+        else:
+            out.append(_scalar(item, lineno))
+    return out
+
+
+def _split_key(content: str, lineno: int) -> Tuple[str, str]:
+    """Split ``key: rest`` (rest may be empty)."""
+    if content.endswith(":"):
+        return content[:-1].strip(), ""
+    marker = content.find(": ")
+    if marker < 0:
+        raise ConfigurationError(
+            f"line {lineno}: expected 'key: value', got {content!r}"
+        )
+    return content[:marker].strip(), content[marker + 2:].strip()
+
+
+def _is_mapping_line(content: str) -> bool:
+    return content.endswith(":") or ": " in content
+
+
+class _Parser:
+    def __init__(self, lines: List[_Line]):
+        self.lines = lines
+        self.pos = 0
+
+    def peek(self) -> _Line:
+        return self.lines[self.pos]
+
+    def done(self) -> bool:
+        return self.pos >= len(self.lines)
+
+    def parse_block(self, indent: int) -> Any:
+        lineno, line_indent, content = self.peek()
+        if content.startswith("- ") or content == "-":
+            return self.parse_sequence(line_indent)
+        return self.parse_mapping(line_indent)
+
+    def parse_mapping(self, indent: int) -> Any:
+        mapping = {}
+        while not self.done():
+            lineno, line_indent, content = self.peek()
+            if line_indent < indent:
+                break
+            if line_indent > indent:
+                raise ConfigurationError(
+                    f"line {lineno}: unexpected indentation"
+                )
+            if content.startswith("- "):
+                raise ConfigurationError(
+                    f"line {lineno}: sequence item inside a mapping block"
+                )
+            key, rest = _split_key(content, lineno)
+            if key in mapping:
+                raise ConfigurationError(
+                    f"line {lineno}: duplicate key {key!r} — the earlier "
+                    f"value would be silently dropped"
+                )
+            self.pos += 1
+            if rest:
+                mapping[key] = _scalar(rest, lineno)
+                continue
+            if self.done() or self.peek()[1] < indent:
+                mapping[key] = None
+            elif self.peek()[1] == indent:
+                # YAML allows a block sequence at the parent key's own
+                # indent; anything else at this indent is the next key.
+                next_content = self.peek()[2]
+                if next_content.startswith("- ") or next_content == "-":
+                    mapping[key] = self.parse_sequence(indent)
+                else:
+                    mapping[key] = None
+            else:
+                mapping[key] = self.parse_block(self.peek()[1])
+        return mapping
+
+    def parse_sequence(self, indent: int) -> List[Any]:
+        items: List[Any] = []
+        while not self.done():
+            lineno, line_indent, content = self.peek()
+            if line_indent < indent:
+                break
+            if line_indent > indent:
+                raise ConfigurationError(
+                    f"line {lineno}: unexpected indentation"
+                )
+            if not (content.startswith("- ") or content == "-"):
+                break
+            rest = content[2:].strip() if content != "-" else ""
+            if rest.startswith("{"):
+                raise ConfigurationError(
+                    f"line {lineno}: flow mappings ({{...}}) are not "
+                    f"supported; use an indented block"
+                )
+            if rest.startswith("- ") or rest == "-":
+                raise ConfigurationError(
+                    f"line {lineno}: inline nested sequences ('- - x') "
+                    f"are not supported; put the inner sequence on its "
+                    f"own indented lines"
+                )
+            if not rest:
+                # Item value is the following indented block.
+                self.pos += 1
+                if self.done() or self.peek()[1] <= indent:
+                    items.append(None)
+                else:
+                    items.append(self.parse_block(self.peek()[1]))
+            elif _is_mapping_line(rest):
+                # Inline first key: rewrite this line as the first line
+                # of a mapping whose indent is where the key starts.
+                child_indent = line_indent + (len(content) - len(rest))
+                self.lines[self.pos] = (lineno, child_indent, rest)
+                items.append(self.parse_mapping(child_indent))
+            else:
+                self.pos += 1
+                items.append(_scalar(rest, lineno))
+        return items
+
+
+def parse(text: str) -> Any:
+    """Parse the restricted YAML subset into plain Python objects."""
+    lines: List[_Line] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        if "\t" in raw:
+            raise ConfigurationError(
+                f"line {lineno}: tabs are not allowed; indent with spaces"
+            )
+        stripped = _strip_comment(raw).rstrip()
+        if not stripped.strip():
+            continue
+        if stripped.strip() == "---":
+            continue
+        indent = len(stripped) - len(stripped.lstrip(" "))
+        lines.append((lineno, indent, stripped.strip()))
+    if not lines:
+        return {}
+    parser = _Parser(lines)
+    value = parser.parse_block(lines[0][1])
+    if not parser.done():
+        lineno = parser.peek()[0]
+        raise ConfigurationError(
+            f"line {lineno}: trailing content outside the document block"
+        )
+    return value
+
+
+def load_file(path: "str | Path") -> Any:
+    """Plain data from a JSON or restricted-YAML file."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read spec file {path}: {exc}")
+    stripped = text.lstrip()
+    if path.suffix == ".json" or stripped.startswith("{"):
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"bad JSON in {path}: {exc}")
+    return parse(text)
+
+
+def load_spec_file(path: "str | Path") -> SweepSpec:
+    """A :class:`SweepSpec` from a JSON or restricted-YAML file.
+
+    An unnamed spec takes the file's stem as its name.
+    """
+    payload = load_file(path)
+    if isinstance(payload, dict) and not payload.get("name"):
+        payload = {**payload, "name": Path(path).stem}
+    return SweepSpec.from_dict(payload)

@@ -170,3 +170,108 @@ def test_run_with_jobs_and_cache_dir(tmp_path, capsys):
         assert list(tmp_path.glob("*.json"))  # result persisted on disk
     finally:
         reset_default_service()
+
+
+def test_scenario_subcommands_parse():
+    parser = build_parser()
+    assert callable(parser.parse_args(["scenario", "list"]).func)
+    assert callable(parser.parse_args(["scenario", "show", "fig9"]).func)
+    args = parser.parse_args(
+        ["scenario", "run", "fig9", "--jobs", "2", "--cache-dir", "d"]
+    )
+    assert callable(args.func)
+    assert args.jobs == 2
+    assert args.cache_dir == "d"
+
+
+def test_scenario_list_names_every_artifact(capsys):
+    assert main(["scenario", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in (
+        "fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+        "fig10", "fig11", "takeaways", "sensitivity", "crossover",
+    ):
+        assert name in out
+
+
+def test_scenario_show_prints_spec(capsys):
+    assert main(["scenario", "show", "fig9"]) == 0
+    out = capsys.readouterr().out
+    assert '"power_limit_w"' in out
+    assert "spec hash:" in out
+    assert "compiles to 3 job(s)" in out
+
+
+def test_scenario_show_specless_artifact(capsys):
+    assert main(["scenario", "show", "fig8"]) == 0
+    assert "no sweep spec" in capsys.readouterr().out
+
+
+def test_scenario_unknown_name_is_an_error(capsys):
+    assert main(["scenario", "run", "fig99"]) == 1
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_scenario_run_spec_file(tmp_path, capsys):
+    from repro.exec.service import reset_default_service
+
+    spec_file = tmp_path / "cell.yaml"
+    spec_file.write_text(
+        "base:\n"
+        "  gpu: A100\n"
+        "  model: gpt3-xl\n"
+        "  batch_size: 8\n"
+        "  runs: 1\n"
+        "modes: [overlapped, sequential]\n"
+        "include:\n"
+        "  - batch_size: 8\n"
+    )
+    try:
+        code = main(
+            ["scenario", "run", str(spec_file), "--cache-dir", str(tmp_path)]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "A100x4 gpt3-xl b8" in captured.out
+        assert "manifest ->" in captured.err
+        assert (tmp_path / "manifests" / "cell.json").exists()
+    finally:
+        reset_default_service()
+
+
+def test_run_modes_flag_skips_ideal(capsys):
+    code = main(
+        [
+            "run",
+            "--gpu", "A100",
+            "--model", "gpt3-xl",
+            "--batch", "8",
+            "--runs", "1",
+            "--modes", "overlapped,sequential",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "overlapped" in out
+    assert "sequential" in out
+    assert "ideal" not in out
+
+
+def test_run_modes_flag_requires_core_pair(capsys):
+    code = main(
+        [
+            "run",
+            "--gpu", "A100",
+            "--model", "gpt3-xl",
+            "--runs", "1",
+            "--modes", "overlapped",
+        ]
+    )
+    assert code == 1
+    assert "must include both" in capsys.readouterr().err
+
+
+def test_run_modes_flag_rejects_unknown_mode(capsys):
+    code = main(["run", "--runs", "1", "--modes", "warp"])
+    assert code == 1
+    assert "unknown mode" in capsys.readouterr().err

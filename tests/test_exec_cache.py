@@ -1,0 +1,95 @@
+"""ResultCache size policy: LRU eviction and the $REPRO_CACHE_MAX override."""
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.modes import ExecutionMode
+from repro.errors import ConfigurationError
+from repro.exec.cache import ResultCache
+from repro.exec.job import JobOutcome, SimJob
+
+MODES = (ExecutionMode.OVERLAPPED, ExecutionMode.SEQUENTIAL)
+
+
+def _job(batch: int) -> SimJob:
+    return SimJob(
+        config=ExperimentConfig(
+            gpu="A100", model="gpt3-xl", batch_size=batch, runs=1
+        ),
+        modes=MODES,
+    )
+
+
+def _outcome(batch: int) -> JobOutcome:
+    # A skipped outcome is enough for cache bookkeeping tests.
+    return JobOutcome(job=_job(batch), skipped_reason="test entry")
+
+
+def test_unbounded_by_default():
+    cache = ResultCache()
+    for batch in range(1, 6):
+        cache.put(_outcome(batch))
+    assert len(cache) == 5
+    assert cache.evictions == 0
+
+
+def test_lru_eviction_drops_oldest():
+    cache = ResultCache(max_entries=2)
+    cache.put(_outcome(1))
+    cache.put(_outcome(2))
+    cache.put(_outcome(3))
+    assert len(cache) == 2
+    assert cache.evictions == 1
+    assert cache.get(_job(1)) is None  # evicted
+    assert cache.get(_job(2)) is not None
+    assert cache.get(_job(3)) is not None
+
+
+def test_get_refreshes_recency():
+    cache = ResultCache(max_entries=2)
+    cache.put(_outcome(1))
+    cache.put(_outcome(2))
+    assert cache.get(_job(1)) is not None  # 1 becomes most-recent
+    cache.put(_outcome(3))  # evicts 2, not 1
+    assert cache.get(_job(1)) is not None
+    assert cache.get(_job(2)) is None
+    assert cache.get(_job(3)) is not None
+
+
+def test_eviction_only_touches_memory_tier(tmp_path):
+    cache = ResultCache(directory=tmp_path, max_entries=1)
+    cache.put(_outcome(1))
+    cache.put(_outcome(2))  # evicts batch 1 from memory
+    assert len(cache) == 1
+    # The evicted entry reloads from disk instead of missing.
+    reloaded = cache.get(_job(1))
+    assert reloaded is not None
+    assert reloaded.skipped_reason == "test entry"
+
+
+def test_invalid_max_entries_rejected():
+    with pytest.raises(ConfigurationError, match="max_entries"):
+        ResultCache(max_entries=0)
+
+
+def test_env_override_bounds_cache(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_MAX", "2")
+    cache = ResultCache()
+    assert cache.max_entries == 2
+    for batch in range(1, 5):
+        cache.put(_outcome(batch))
+    assert len(cache) == 2
+
+
+def test_bad_env_override_is_rejected(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_MAX", "lots")
+    with pytest.raises(ConfigurationError, match="REPRO_CACHE_MAX"):
+        ResultCache()
+    monkeypatch.setenv("REPRO_CACHE_MAX", "0")
+    with pytest.raises(ConfigurationError, match="REPRO_CACHE_MAX"):
+        ResultCache()
+
+
+def test_explicit_argument_beats_env(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_MAX", "7")
+    assert ResultCache(max_entries=3).max_entries == 3

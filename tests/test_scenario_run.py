@@ -1,0 +1,228 @@
+"""Registry completeness, scenario runs, manifests, and the run_grid shim.
+
+The acceptance criteria of the scenario API redesign:
+
+* ``scenario list`` names every paper figure/analysis artifact;
+* ``scenario run fig4`` reproduces byte-identical rows to ``figure 4``;
+* re-running a scenario against a warm on-disk cache + manifest
+  performs zero new simulations.
+"""
+
+import json
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.modes import ExecutionMode
+from repro.core.sweep import run_grid
+from repro.errors import UnknownSpecError
+from repro.exec.service import configure, default_service, reset_default_service
+from repro.scenario import (
+    get_scenario,
+    list_scenarios,
+    load_manifest,
+    run_scenario,
+    run_spec,
+)
+from repro.scenario.spec import SweepSpec
+
+EXPECTED_SCENARIOS = {
+    "fig1",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "takeaways",
+    "sensitivity",
+    "crossover",
+}
+
+
+def test_every_paper_artifact_is_registered():
+    names = {scenario.name for scenario in list_scenarios()}
+    assert EXPECTED_SCENARIOS <= names
+
+
+def test_unknown_scenario_lists_known_names():
+    with pytest.raises(UnknownSpecError, match="fig4"):
+        get_scenario("fig99")
+
+
+def test_spec_backed_scenarios_compile():
+    for scenario in list_scenarios():
+        spec = scenario.spec(quick=True)
+        if spec is None:
+            assert scenario.name in {"fig1", "fig7", "fig8"}
+            continue
+        jobs = spec.compile()
+        assert jobs, scenario.name
+        # Specs must survive a serialization round-trip unchanged.
+        clone = SweepSpec.from_dict(spec.to_dict())
+        assert [j.cache_key() for j in clone.compile()] == [
+            j.cache_key() for j in jobs
+        ]
+
+
+def test_scenario_run_fig4_matches_figure_generate():
+    from repro.harness.figures import fig4
+
+    # Generate first: it warms the default service's cache, so the
+    # scenario run's prefetch of the same 48 jobs resolves without
+    # re-simulating (cheap even when this file runs standalone).
+    direct = fig4.generate(quick=True)
+    report = run_scenario("fig4")
+    assert json.dumps(report.rows, sort_keys=True) == json.dumps(
+        direct, sort_keys=True
+    )
+    assert report.text == fig4.render(direct)
+
+
+def test_scenario_rerun_with_manifest_simulates_nothing(tmp_path):
+    try:
+        configure(cache=True, cache_dir=str(tmp_path))
+        first = run_scenario("fig9")
+        assert first.cells == 3
+        assert first.simulated == 3
+        assert first.previously_completed == 0
+        assert first.manifest_file is not None
+        manifest = load_manifest(tmp_path, "fig9")
+        assert manifest is not None
+        assert manifest.spec_hash == first.spec.spec_hash()
+        assert manifest.job_keys == [
+            job.cache_key() for job in first.spec.compile()
+        ]
+
+        # A fresh service (empty memory tier) against the same disk
+        # cache: the manifest knows every cell and nothing simulates.
+        configure(cache=True, cache_dir=str(tmp_path))
+        second = run_scenario("fig9")
+        assert second.simulated == 0
+        assert second.previously_completed == second.cells == 3
+    finally:
+        reset_default_service()
+
+
+def test_file_spec_runs_and_only_new_cells_simulate(tmp_path):
+    spec_file = tmp_path / "sweep.yaml"
+    spec_file.write_text(
+        "name: sweep\n"
+        "base:\n"
+        "  gpu: A100\n"
+        "  model: gpt3-xl\n"
+        "  runs: 1\n"
+        "axes:\n"
+        "  - batch_size: [8]\n"
+        "modes: [overlapped, sequential]\n"
+    )
+    cache_dir = tmp_path / "cache"
+    try:
+        configure(cache=True, cache_dir=str(cache_dir))
+        first = run_scenario(str(spec_file))
+        assert first.name == "sweep"
+        assert first.simulated == 1
+        assert first.rows[0]["compute_slowdown"] is not None
+
+        # Growing the spec re-simulates only the new cell.
+        spec_file.write_text(
+            spec_file.read_text().replace("[8]", "[8, 16]")
+        )
+        configure(cache=True, cache_dir=str(cache_dir))
+        second = run_scenario(str(spec_file))
+        assert second.cells == 2
+        assert second.simulated == 1
+        assert second.previously_completed == 1
+    finally:
+        reset_default_service()
+
+
+def test_run_grid_shim_warns_and_matches_spec_path():
+    base = ExperimentConfig(gpu="A100", model="gpt3-xl", batch_size=8, runs=1)
+    modes = (ExecutionMode.OVERLAPPED, ExecutionMode.SEQUENTIAL)
+    with pytest.warns(DeprecationWarning, match="run_grid"):
+        legacy = run_grid(
+            gpus=("A100",),
+            models=("gpt3-xl",),
+            batch_sizes=(8, 16),
+            base=base,
+            modes=modes,
+        )
+    spec = SweepSpec(
+        base={"runs": 1},
+        axes=[
+            {"gpu": ["A100"]},
+            {"strategy": ["fsdp"]},
+            {"model": ["gpt3-xl"]},
+            {"batch_size": [8, 16]},
+        ],
+        modes=modes,
+    )
+    direct = run_spec(spec)
+    assert [row.config for row in legacy] == [row.config for row in direct]
+    for legacy_row, direct_row in zip(legacy, direct):
+        assert legacy_row.ran == direct_row.ran
+        if legacy_row.ran:
+            assert (
+                legacy_row.result.metrics.compute_slowdown
+                == direct_row.result.metrics.compute_slowdown
+            )
+
+
+def test_infeasible_cells_come_back_skipped():
+    spec = SweepSpec(
+        base={"gpu": "A100", "runs": 1},
+        axes=[{"model": ["gpt3-xl", "gpt3-13b"]}, {"batch_size": [8]}],
+        modes=("overlapped", "sequential"),
+    )
+    rows = run_spec(spec)
+    assert rows[0].ran
+    assert not rows[1].ran
+    assert "memory" in rows[1].skipped_reason
+
+
+def test_specless_scenarios_report_no_manifest():
+    scenario = get_scenario("fig8")
+    assert scenario.spec(quick=True) is None
+    report = run_scenario("fig8")
+    assert report.cells == 0
+    assert report.manifest is None
+    assert "Fig. 8" in report.text
+
+
+def test_file_spec_compiling_to_zero_jobs_reports_cleanly(tmp_path):
+    spec_file = tmp_path / "empty.yaml"
+    spec_file.write_text(
+        "base:\n"
+        "  gpu: A100\n"
+        "axes:\n"
+        "  - batch_size: [8]\n"
+        "constraints:\n"
+        "  - field: batch_size\n"
+        "    op: ge\n"
+        "    value: 16\n"
+    )
+    report = run_scenario(str(spec_file))
+    assert report.cells == 0
+    assert report.simulated == 0
+    assert report.rows == []
+
+
+def test_duplicate_registration_is_rejected():
+    from repro.errors import ConfigurationError
+    from repro.scenario.registry import load_catalog, register_scenario
+
+    load_catalog()  # fig9's real registration must exist first
+    with pytest.raises(ConfigurationError, match="already registered"):
+        register_scenario("fig9", generate=lambda quick=True: [])
+
+
+def test_missing_spec_file_path_reports_file_not_found():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError, match="spec file not found"):
+        run_scenario("no/such/dir/sweep.yaml")
+    with pytest.raises(ConfigurationError, match="spec file not found"):
+        run_scenario("missing.yaml")
