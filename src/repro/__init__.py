@@ -14,6 +14,7 @@ from repro.errors import (
     InfeasibleConfigError,
     PlanError,
     ReproError,
+    ShardMergeError,
     SimulationError,
     UnknownSpecError,
 )
@@ -38,11 +39,13 @@ from repro.core.experiment import (
 )
 from repro.core.modes import ExecutionMode
 from repro.exec import (
+    AsyncExecutor,
     ExecutionService,
     JobOutcome,
     ParallelExecutor,
     ResultCache,
     SerialExecutor,
+    ShardPlan,
     SimJob,
     default_service,
 )
@@ -54,12 +57,14 @@ from repro.scenario import (
     get_scenario,
     list_scenarios,
     load_spec_file,
+    merge_scenario,
     register_scenario,
     run_scenario,
     run_spec,
 )
 
 __all__ = [
+    "AsyncExecutor",
     "ComputePath",
     "ConfigurationError",
     "Constraint",
@@ -82,6 +87,8 @@ __all__ = [
     "Scenario",
     "ScenarioResult",
     "SerialExecutor",
+    "ShardMergeError",
+    "ShardPlan",
     "SimConfig",
     "SimJob",
     "SimulationError",
@@ -102,6 +109,7 @@ __all__ = [
     "list_scenarios",
     "load_spec_file",
     "make_node",
+    "merge_scenario",
     "register_scenario",
     "run_experiment",
     "run_scenario",

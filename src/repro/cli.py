@@ -8,7 +8,9 @@ Subcommands mirror the library's layers:
 * ``table N`` — regenerate a paper table (1, 2);
 * ``scenario`` — the declarative sweep API: ``list`` the named paper
   scenarios, ``show`` a spec, ``run`` a scenario (or a JSON/YAML spec
-  file) with manifest-backed incremental re-runs;
+  file) with manifest-backed incremental re-runs — optionally one
+  shard of it (``--shard i/N``) — and ``merge`` per-shard manifests
+  into the canonical run record;
 * ``microbench`` — the Fig. 8 matmul-vs-all-reduce microbenchmark;
 * ``roofline`` — per-kernel roofline report for a workload on a GPU;
 * ``takeaways`` — validate the paper's seven takeaways;
@@ -49,6 +51,14 @@ def _add_execution_args(parser: argparse.ArgumentParser) -> None:
         help="persist the result cache as JSON under DIR "
         "(default: in-memory only, or $REPRO_CACHE_DIR)",
     )
+    parser.add_argument(
+        "--executor",
+        default=None,
+        choices=("serial", "process", "async"),
+        help="how to fan out grid cells (default: process pool when "
+        "--jobs > 1, serial otherwise; async drives an event loop "
+        "with --jobs concurrent worker threads)",
+    )
 
 
 def _configure_execution(args: argparse.Namespace) -> None:
@@ -59,6 +69,7 @@ def _configure_execution(args: argparse.Namespace) -> None:
         # None explicitly clears any directory a previous invocation
         # set, falling back to $REPRO_CACHE_DIR / in-memory only.
         "cache_dir": getattr(args, "cache_dir", None),
+        "executor": getattr(args, "executor", None),
     }
     if getattr(args, "jobs", None) is not None:
         kwargs["jobs"] = args.jobs  # flag beats $REPRO_JOBS
@@ -279,16 +290,24 @@ def _cmd_scenario_show(args: argparse.Namespace) -> int:
 
 
 def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    from repro.exec.shard import ShardPlan
     from repro.scenario.runner import run_scenario
 
     _configure_execution(args)
-    report = run_scenario(args.name, quick=not args.full)
+    shard = ShardPlan.parse(args.shard) if args.shard else None
+    report = run_scenario(args.name, quick=not args.full, shard=shard)
     print(report.text)
     # Always printed for spec-backed runs: "0 cell(s)" is the only
     # signal that constraints filtered the whole sweep away.
     if report.spec is not None:
+        scope = f"{report.cells} cell(s)"
+        if report.shard is not None:
+            scope = (
+                f"shard {report.shard.describe()}: {report.cells} of "
+                f"{report.total_cells} cell(s)"
+            )
         line = (
-            f"[scenario {report.name}] {report.cells} cell(s): "
+            f"[scenario {report.name}] {scope}: "
             f"{report.simulated} simulated, {report.cache_hits} from cache, "
             f"{report.skipped} infeasible"
         )
@@ -299,12 +318,32 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
         print(line, file=sys.stderr)
     if report.manifest_file is not None:
         print(f"[scenario] manifest -> {report.manifest_file}", file=sys.stderr)
+    if report.merged_manifest_file is not None:
+        print(
+            f"[scenario] all {report.shard.count} shards complete; "
+            f"merged manifest -> {report.merged_manifest_file}",
+            file=sys.stderr,
+        )
     _print_execution_stats()
     if args.out:
         from repro.harness.io import write_json
 
         write_json(args.out, report.rows)
         print(f"\ndata written to {args.out}")
+    return 0
+
+
+def _cmd_scenario_merge(args: argparse.Namespace) -> int:
+    from repro.scenario.runner import merge_scenario
+
+    _configure_execution(args)
+    report = merge_scenario(args.name, quick=not args.full)
+    print(
+        f"[scenario {report.name}] merged {report.shard_count} shard "
+        f"manifest(s) covering {report.cells} cell(s)"
+    )
+    if report.manifest_file is not None:
+        print(f"[scenario] manifest -> {report.manifest_file}")
     return 0
 
 
@@ -509,8 +548,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--full", action="store_true", help="full paper-scale sweep"
     )
     sc_run.add_argument("--out", default=None, help="write JSON data here")
+    sc_run.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help="run only shard I of N (deterministic partition of the "
+        "compiled jobs; persists a per-shard manifest and auto-merges "
+        "when the last shard lands)",
+    )
     _add_execution_args(sc_run)
     sc_run.set_defaults(func=_cmd_scenario_run)
+    sc_merge = scenario_sub.add_parser(
+        "merge",
+        help="validate and union per-shard manifests into the "
+        "canonical scenario manifest",
+    )
+    sc_merge.add_argument("name", help="scenario name or spec file")
+    sc_merge.add_argument(
+        "--full",
+        action="store_true",
+        help="the shards ran the full paper-scale spec",
+    )
+    _add_execution_args(sc_merge)
+    sc_merge.set_defaults(func=_cmd_scenario_merge)
 
     micro_parser = sub.add_parser(
         "microbench", help="Fig. 8 matmul vs all-reduce"

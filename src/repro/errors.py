@@ -32,6 +32,12 @@ class InfeasibleConfigError(ConfigurationError):
     """A workload does not fit on the target system (e.g. out of memory)."""
 
 
+class ShardMergeError(ReproError):
+    """Shard manifests cannot be merged into one canonical run record
+    (missing shards, mismatched spec hashes, overlapping or incomplete
+    job-key sets)."""
+
+
 class SimulationError(ReproError):
     """The discrete-event simulation reached an invalid state."""
 

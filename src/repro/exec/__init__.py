@@ -13,11 +13,15 @@ job-based service:
   on the job hash, so repeated figure/analysis runs skip cells that
   were already simulated;
 * :mod:`repro.exec.executors` — pluggable executors behind one
-  interface: :class:`SerialExecutor` and a process-pool backed
-  :class:`ParallelExecutor` (``--jobs N``);
+  interface: :class:`SerialExecutor`, a process-pool backed
+  :class:`ParallelExecutor` (``--jobs N``) and an asyncio-driven
+  :class:`AsyncExecutor` (``--executor async``);
+* :mod:`repro.exec.shard` — :class:`ShardPlan`, the deterministic
+  round-robin partition (sorted cache keys) that splits a compiled job
+  list across independent workers (``--shard i/N``);
 * :mod:`repro.exec.service` — :class:`ExecutionService` tying the
-  three together, plus the process-wide default service the CLI
-  configures via ``--jobs`` / ``--no-cache``.
+  pieces together, plus the process-wide default service the CLI
+  configures via ``--jobs`` / ``--executor`` / ``--no-cache``.
 
 Executors are interchangeable: the simulator's deterministic jitter
 seeding guarantees bit-for-bit identical results regardless of how the
@@ -28,11 +32,13 @@ from repro.exec.job import JobOutcome, SimJob
 from repro.exec.planning import Planner, default_planner, reset_default_planner
 from repro.exec.cache import ResultCache
 from repro.exec.executors import (
+    AsyncExecutor,
     Executor,
     ParallelExecutor,
     SerialExecutor,
     execute_job,
 )
+from repro.exec.shard import ShardPlan
 from repro.exec.service import (
     ExecutionService,
     configure,
@@ -41,6 +47,7 @@ from repro.exec.service import (
 )
 
 __all__ = [
+    "AsyncExecutor",
     "ExecutionService",
     "Executor",
     "JobOutcome",
@@ -48,6 +55,7 @@ __all__ = [
     "Planner",
     "ResultCache",
     "SerialExecutor",
+    "ShardPlan",
     "SimJob",
     "configure",
     "default_planner",

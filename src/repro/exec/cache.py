@@ -155,15 +155,20 @@ def outcome_to_payload(outcome: JobOutcome) -> dict:
 
 def outcome_from_payload(job: SimJob, payload: dict) -> Optional[JobOutcome]:
     """Rebuild a cached outcome; ``None`` when the payload is unusable."""
+    if not isinstance(payload, dict):
+        return None
     if payload.get("schema") != CACHE_SCHEMA_VERSION:
         return None
     if "infeasible" in payload:
         return JobOutcome(
             job=job, skipped_reason=payload["infeasible"], from_cache=True
         )
+    # AttributeError covers structurally wrong payloads (a list where
+    # the modes mapping should be, ...): a corrupted entry must read as
+    # a miss — and be re-simulated and overwritten — never as a crash.
     try:
         result = result_from_payload(job.config, payload["result"])
-    except (KeyError, TypeError, ValueError):
+    except (AttributeError, KeyError, TypeError, ValueError):
         return None
     return JobOutcome(job=job, result=result, from_cache=True)
 

@@ -1,21 +1,24 @@
 """Pluggable job executors.
 
-One interface, two implementations:
+One interface, three implementations:
 
 * :class:`SerialExecutor` runs jobs in-process, in order;
 * :class:`ParallelExecutor` fans out over a
-  :class:`concurrent.futures.ProcessPoolExecutor` (``--jobs N``).
+  :class:`concurrent.futures.ProcessPoolExecutor` (``--jobs N``);
+* :class:`AsyncExecutor` drives the batch from an asyncio event loop,
+  offloading each job to a worker thread (``--executor async``).
 
-Both return outcomes in submission order and both count every job they
+All return outcomes in submission order and all count every job they
 actually execute in :attr:`Executor.jobs_executed` — a warm-cache rerun
 must leave that counter untouched, which the equivalence tests assert.
 Because each job is simulated with deterministic jitter seeded from the
-config, the two executors are bit-for-bit interchangeable.
+config, the executors are bit-for-bit interchangeable.
 """
 
 from __future__ import annotations
 
 import abc
+import asyncio
 from concurrent.futures import ProcessPoolExecutor
 from typing import List, Optional, Sequence
 
@@ -90,3 +93,56 @@ class ParallelExecutor(Executor):
             return [execute_job(job) for job in jobs]
         with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
             return list(pool.map(execute_job, jobs))
+
+
+class AsyncExecutor(Executor):
+    """Event-loop driven execution with per-job thread offload.
+
+    Each job runs in a worker thread via :func:`asyncio.to_thread`, so
+    the loop stays free to interleave I/O-bound work (remote backends,
+    progress reporting) with the simulation batch; ``max_concurrency``
+    bounds the in-flight jobs. The simulator is pure Python, so unlike
+    :class:`ParallelExecutor` this gives no CPU parallelism — its value
+    is the asyncio submission surface, which a future remote/RPC
+    executor can share unchanged.
+
+    The batch entry point is synchronous (it owns its own event loop),
+    keeping the :class:`Executor` interface identical for all three
+    implementations; :meth:`run_async` is the awaitable form for
+    callers that already run a loop.
+    """
+
+    def __init__(self, max_concurrency: Optional[int] = None):
+        super().__init__()
+        if max_concurrency is not None and max_concurrency < 1:
+            raise ConfigurationError("max_concurrency must be >= 1")
+        self.max_concurrency = max_concurrency
+
+    async def _gather(self, jobs: Sequence[SimJob]) -> List[JobOutcome]:
+        semaphore = (
+            asyncio.Semaphore(self.max_concurrency)
+            if self.max_concurrency is not None
+            else None
+        )
+
+        async def one(job: SimJob) -> JobOutcome:
+            if semaphore is None:
+                return await asyncio.to_thread(execute_job, job)
+            async with semaphore:
+                return await asyncio.to_thread(execute_job, job)
+
+        # gather preserves argument order, so outcomes line up with
+        # submission order no matter which thread finishes first.
+        return list(await asyncio.gather(*(one(job) for job in jobs)))
+
+    async def run_async(self, jobs: Sequence[SimJob]) -> List[JobOutcome]:
+        """Awaitable batch execution (with the same accounting)."""
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        outcomes = await self._gather(jobs)
+        self.jobs_executed += len(jobs)
+        return outcomes
+
+    def _run_batch(self, jobs: Sequence[SimJob]) -> List[JobOutcome]:
+        return asyncio.run(self._gather(jobs))

@@ -20,6 +20,7 @@ core layer can call into it without an import cycle.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional, Tuple
 
 from repro.collectives.cost_model import CollectiveCostModel
@@ -69,68 +70,85 @@ class Planner:
         self._cost_models: Dict[_NodeKey, CollectiveCostModel] = {}
         self.max_plans = max_plans
         self.plan_builds = 0
+        # The AsyncExecutor runs jobs on concurrent threads against the
+        # process-wide planner, so cache lookup/insert/evict must be
+        # atomic (the FIFO eviction loop in particular would double-pop
+        # under a race). Reentrant: plan_for calls node_for.
+        self._lock = threading.RLock()
 
     def node_for(self, config) -> NodeSpec:
         """The (cached) target system for one experiment config."""
         key = _node_key(config)
-        node = self._nodes.get(key)
-        if node is None:
-            node = make_node(
-                config.gpu, config.num_gpus, calibration=config.calibration
-            )
-            self._nodes[key] = node
-        return node
+        with self._lock:
+            node = self._nodes.get(key)
+            if node is None:
+                node = make_node(
+                    config.gpu, config.num_gpus, calibration=config.calibration
+                )
+                self._nodes[key] = node
+            return node
 
     def plan_for(self, config, overlap: bool) -> ExecutionPlan:
         """The (cached) execution plan for one config and overlap flag."""
         key = _plan_key(config, overlap)
-        plan = self._plans.get(key)
-        if plan is None:
-            while len(self._plans) >= self.max_plans:
-                self._plans.pop(next(iter(self._plans)))
-            plan = build_plan(
-                self.node_for(config),
-                config.model_spec(),
-                config.shape(),
-                config.strategy,
-                overlap=overlap,
-                microbatch_size=config.microbatch_size,
-                pipeline_schedule=config.pipeline_schedule,
-            )
-            self._plans[key] = plan
-            self.plan_builds += 1
-        return plan
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                while len(self._plans) >= self.max_plans:
+                    self._plans.pop(next(iter(self._plans)))
+                plan = build_plan(
+                    self.node_for(config),
+                    config.model_spec(),
+                    config.shape(),
+                    config.strategy,
+                    overlap=overlap,
+                    microbatch_size=config.microbatch_size,
+                    pipeline_schedule=config.pipeline_schedule,
+                )
+                self._plans[key] = plan
+                self.plan_builds += 1
+            return plan
 
     def cost_model_for(self, config) -> CollectiveCostModel:
         """The (cached) collective cost model for one config's node."""
         key = _node_key(config)
-        model = self._cost_models.get(key)
-        if model is None:
-            node = self.node_for(config)
-            model = CollectiveCostModel(
-                link=node.link,
-                library=library_for(node.gpu.vendor),
-                calibration=node.calibration,
-                hbm_effective_bandwidth=node.gpu.memory.effective_bandwidth,
-            )
-            self._cost_models[key] = model
-        return model
+        with self._lock:
+            model = self._cost_models.get(key)
+            if model is None:
+                node = self.node_for(config)
+                model = CollectiveCostModel(
+                    link=node.link,
+                    library=library_for(node.gpu.vendor),
+                    calibration=node.calibration,
+                    hbm_effective_bandwidth=(
+                        node.gpu.memory.effective_bandwidth
+                    ),
+                )
+                self._cost_models[key] = model
+            return model
 
     def clear(self) -> None:
         """Drop all cached objects (tests and calibration sweeps)."""
-        self._nodes.clear()
-        self._plans.clear()
-        self._cost_models.clear()
+        with self._lock:
+            self._nodes.clear()
+            self._plans.clear()
+            self._cost_models.clear()
 
 
 _default_planner: Optional[Planner] = None
+_default_planner_lock = threading.Lock()
 
 
 def default_planner() -> Planner:
     """The process-wide shared planner."""
     global _default_planner
     if _default_planner is None:
-        _default_planner = Planner()
+        # Locked: concurrent AsyncExecutor threads hitting a cold
+        # planner must all end up sharing one instance, or the losing
+        # thread quietly memoizes into a private copy.
+        with _default_planner_lock:
+            if _default_planner is None:
+                _default_planner = Planner()
     return _default_planner
 
 

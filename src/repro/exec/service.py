@@ -17,11 +17,20 @@ from typing import List, Optional, Sequence, Tuple
 from repro.core.modes import ExecutionMode
 from repro.errors import ConfigurationError
 from repro.exec.cache import ResultCache
-from repro.exec.executors import Executor, ParallelExecutor, SerialExecutor
+from repro.exec.executors import (
+    AsyncExecutor,
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+)
 from repro.exec.job import DEFAULT_MODES, JobOutcome, SimJob
 
 #: Environment variable overriding the default fan-out width.
 JOBS_ENV = "REPRO_JOBS"
+
+#: Executor kinds ``--executor`` / :func:`configure` accept. ``None``
+#: (auto) picks the process pool when ``jobs > 1``, serial otherwise.
+EXECUTOR_KINDS = ("serial", "process", "async")
 
 
 @dataclass
@@ -136,15 +145,33 @@ class ExecutionSettings:
     jobs: int = 1
     cache: bool = True
     cache_dir: Optional[str] = None
+    #: One of :data:`EXECUTOR_KINDS`, or ``None`` for the jobs-driven
+    #: auto choice. ``--jobs N`` doubles as the concurrency bound for
+    #: the async executor.
+    executor: Optional[str] = None
+
+    def build_executor(self) -> Executor:
+        # Validated here, not just in configure(): library code builds
+        # settings directly, and a typo'd kind must not silently fall
+        # through to the auto choice.
+        if self.executor is not None and self.executor not in EXECUTOR_KINDS:
+            raise ConfigurationError(
+                f"unknown executor {self.executor!r} "
+                f"(known: {', '.join(EXECUTOR_KINDS)})"
+            )
+        if self.executor == "serial":
+            return SerialExecutor()
+        if self.executor == "process":
+            return ParallelExecutor(max_workers=self.jobs)
+        if self.executor == "async":
+            return AsyncExecutor(max_concurrency=self.jobs)
+        if self.jobs > 1:
+            return ParallelExecutor(max_workers=self.jobs)
+        return SerialExecutor()
 
     def build_service(self) -> ExecutionService:
-        executor: Executor
-        if self.jobs > 1:
-            executor = ParallelExecutor(max_workers=self.jobs)
-        else:
-            executor = SerialExecutor()
         cache = ResultCache(self.cache_dir) if self.cache else None
-        return ExecutionService(executor=executor, cache=cache)
+        return ExecutionService(executor=self.build_executor(), cache=cache)
 
 
 def _settings_from_env() -> ExecutionSettings:
@@ -169,13 +196,15 @@ def configure(
     jobs=_UNSET,
     cache=_UNSET,
     cache_dir=_UNSET,
+    executor=_UNSET,
 ) -> ExecutionService:
     """Reconfigure and rebuild the process-wide default service.
 
     Omitted arguments keep their current value (``jobs`` therefore
     keeps the ``$REPRO_JOBS`` default unless explicitly overridden);
     ``cache_dir=None`` explicitly clears a previously set directory,
-    falling back to ``$REPRO_CACHE_DIR`` / in-memory only.
+    falling back to ``$REPRO_CACHE_DIR`` / in-memory only, and
+    ``executor=None`` restores the jobs-driven auto choice.
     """
     global _default_service
     if jobs is not _UNSET:
@@ -186,6 +215,13 @@ def configure(
         _settings.cache = bool(cache)
     if cache_dir is not _UNSET:
         _settings.cache_dir = cache_dir
+    if executor is not _UNSET:
+        if executor is not None and executor not in EXECUTOR_KINDS:
+            raise ConfigurationError(
+                f"unknown executor {executor!r} "
+                f"(known: {', '.join(EXECUTOR_KINDS)})"
+            )
+        _settings.executor = executor
     _default_service = _settings.build_service()
     return _default_service
 

@@ -9,9 +9,12 @@ three ways, matching the paper's workflow; it is memoised per
 (quick, runs) so co-located benchmarks reuse it within a session.
 
 The cells themselves go through the execution service
-(:mod:`repro.exec`): with ``--jobs N`` they fan out across worker
-processes, and with the result cache warm (in memory or on disk via
-``--cache-dir``) regenerating a figure performs zero new simulations.
+(:mod:`repro.exec`) and therefore through whichever executor the CLI
+configured: with ``--jobs N`` they fan out across worker processes,
+``--executor async`` drives them from an event loop, ``scenario run
+--shard i/N`` runs one deterministic slice per machine, and with the
+result cache warm (in memory or on disk via ``--cache-dir``)
+regenerating a figure performs zero new simulations.
 """
 
 from __future__ import annotations

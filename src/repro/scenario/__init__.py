@@ -14,16 +14,22 @@ This package is how experiments are *specified* in this repo:
   crossover) is a named, runnable scenario;
 * :mod:`repro.scenario.manifest` — :class:`ScenarioResult` manifests
   persisted next to the result cache, making scenario re-runs
-  incremental;
-* :mod:`repro.scenario.runner` — :func:`run_spec` / :func:`run_scenario`,
-  the execution path behind ``python -m repro scenario run``.
+  incremental, plus the per-shard manifests and the validated
+  shard-manifest merge behind ``--shard i/N``;
+* :mod:`repro.scenario.runner` — :func:`run_spec` /
+  :func:`run_scenario` / :func:`merge_scenario`, the execution paths
+  behind ``python -m repro scenario run`` and ``scenario merge``.
 """
 
 from repro.scenario.manifest import (
     ScenarioResult,
+    find_shard_manifests,
     load_manifest,
+    load_shard_manifest,
     manifest_path,
+    merge_shard_manifests,
     save_manifest,
+    shard_manifest_path,
 )
 from repro.scenario.registry import (
     Scenario,
@@ -33,8 +39,10 @@ from repro.scenario.registry import (
     register_scenario,
 )
 from repro.scenario.runner import (
+    ScenarioMergeReport,
     ScenarioRunReport,
     generic_rows,
+    merge_scenario,
     render_generic,
     run_scenario,
     run_spec,
@@ -53,20 +61,26 @@ __all__ = [
     "CONSTRAINT_OPS",
     "Constraint",
     "Scenario",
+    "ScenarioMergeReport",
     "ScenarioResult",
     "ScenarioRunReport",
     "SweepSpec",
     "config_from_overrides",
+    "find_shard_manifests",
     "generic_rows",
     "get_scenario",
     "list_scenarios",
     "load_catalog",
     "load_manifest",
+    "load_shard_manifest",
     "load_spec_file",
     "manifest_path",
+    "merge_scenario",
+    "merge_shard_manifests",
     "register_scenario",
     "render_generic",
     "run_scenario",
     "run_spec",
     "save_manifest",
+    "shard_manifest_path",
 ]

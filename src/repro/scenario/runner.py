@@ -11,6 +11,13 @@ Two entry points:
   jobs as one batch (so ``--jobs N`` fans them out), produce the
   artifact rows, and persist a :class:`ScenarioResult` manifest next
   to the result cache for incremental re-runs.
+
+Sharded execution rides the same entry points: ``run_scenario(...,
+shard=ShardPlan(i, N))`` compiles the full spec, runs only the
+deterministic shard ``i`` and persists a per-shard manifest; when the
+last shard lands (or via :func:`merge_scenario` / ``scenario merge``)
+the shard manifests union into the canonical manifest after
+validating spec hashes and key-set disjointness/completeness.
 """
 
 from __future__ import annotations
@@ -24,10 +31,14 @@ from typing import Any, List, Optional
 from repro.core.sweep import GridRow
 from repro.errors import ConfigurationError, UnknownSpecError
 from repro.exec.service import ExecutionService, default_service
+from repro.exec.shard import ShardPlan
 from repro.harness.report import render_table
 from repro.scenario.manifest import (
     ScenarioResult,
+    find_shard_manifests,
     load_manifest,
+    load_shard_manifest,
+    merge_shard_manifests,
     save_manifest,
 )
 from repro.scenario.registry import Scenario, get_scenario
@@ -132,6 +143,13 @@ class ScenarioRunReport:
     previously_completed: int
     manifest: Optional[ScenarioResult] = None
     manifest_file: Optional[Path] = None
+    #: Set on sharded runs only.
+    shard: Optional[ShardPlan] = None
+    #: Total compiled cells across all shards (== ``cells`` unsharded).
+    total_cells: int = 0
+    #: Canonical manifest path when this run's shard completed the set
+    #: and the auto-merge fired.
+    merged_manifest_file: Optional[Path] = None
 
 
 def resolve_target(
@@ -157,7 +175,11 @@ def resolve_target(
         raise
 
 
-def run_scenario(target: str, quick: bool = True) -> ScenarioRunReport:
+def run_scenario(
+    target: str,
+    quick: bool = True,
+    shard: Optional[ShardPlan] = None,
+) -> ScenarioRunReport:
     """Run a registered scenario by name, or a spec file by path.
 
     Everything goes through the process-wide default service (the one
@@ -168,6 +190,15 @@ def run_scenario(target: str, quick: bool = True) -> ScenarioRunReport:
     (parallel executors fan them out; the generator then resolves from
     cache), and the run's manifest is persisted next to the result
     cache when one is on disk.
+
+    With ``shard=ShardPlan(i, N)`` only the deterministic shard ``i``
+    of the compiled job list runs (see :mod:`repro.exec.shard`) and a
+    per-shard manifest is persisted instead of the canonical one; the
+    rows are the generic per-cell records of that shard (a figure's
+    own generator would simulate every other shard's cells too, which
+    is exactly what sharding exists to avoid). When the run completes
+    the last outstanding shard, the shard manifests auto-merge into
+    the canonical manifest.
     """
     scenario, file_spec = resolve_target(target)
     service = default_service()
@@ -175,6 +206,13 @@ def run_scenario(target: str, quick: bool = True) -> ScenarioRunReport:
     name = scenario.name if scenario is not None else (
         file_spec.name or Path(target).stem
     )
+    if shard is not None:
+        if spec is None:
+            raise ConfigurationError(
+                f"scenario {name!r} has no sweep spec (it does not run "
+                f"through the job service) and cannot be sharded"
+            )
+        return _run_shard(name, spec, shard, service)
 
     cache_dir = service.cache.directory if service.cache is not None else None
     previous = None
@@ -251,5 +289,163 @@ def run_scenario(target: str, quick: bool = True) -> ScenarioRunReport:
         skipped=skipped,
         previously_completed=previously_completed,
         manifest=manifest,
+        manifest_file=manifest_file,
+        total_cells=len(jobs),
+    )
+
+
+def _run_shard(
+    name: str,
+    spec: SweepSpec,
+    shard: ShardPlan,
+    service: ExecutionService,
+) -> ScenarioRunReport:
+    """One shard of a spec: run it, persist its manifest, auto-merge."""
+    jobs = spec.compile()
+    shard_jobs = shard.select(jobs)
+    shard_keys = [job.cache_key() for job in shard_jobs]
+    cache_dir = service.cache.directory if service.cache is not None else None
+
+    previous = load_shard_manifest(cache_dir, name, shard.index, shard.count)
+    known = set(previous.job_keys) if previous is not None else set()
+    previously_completed = sum(1 for key in shard_keys if key in known)
+
+    before = dataclasses.replace(service.stats)
+    outcomes = service.run_jobs(shard_jobs)
+    simulated = service.stats.simulated - before.simulated
+    cache_hits = sum(1 for o in outcomes if o.from_cache)
+    skipped = sum(1 for o in outcomes if not o.ran)
+
+    rows = generic_rows(_rows_from(shard_jobs, outcomes))
+    text = render_generic(rows)
+
+    spec_hash = spec.spec_hash()
+    manifest = ScenarioResult(
+        scenario=name,
+        spec_hash=spec_hash,
+        job_keys=shard_keys,
+        summary={
+            "cells": len(shard_jobs),
+            "simulated": simulated,
+            "cache_hits": cache_hits,
+            "infeasible": skipped,
+            "total_cells": len(jobs),
+        },
+        shard_index=shard.index,
+        shard_count=shard.count,
+    )
+    manifest_file = save_manifest(cache_dir, manifest)
+
+    # Auto-merge once every sibling shard of *this* partitioning and
+    # *this* spec version has landed. Stale manifests (another N, an
+    # edited spec) are ignored here — the explicit `scenario merge` is
+    # the strict path that reports them.
+    merged_manifest_file = None
+    if cache_dir is not None:
+        siblings = {
+            key: m
+            for key, m in find_shard_manifests(cache_dir, name).items()
+            if key[1] == shard.count and m.spec_hash == spec_hash
+        }
+        if all((i, shard.count) in siblings for i in range(shard.count)):
+            merged = merge_shard_manifests(
+                name, spec_hash, [job.cache_key() for job in jobs], siblings
+            )
+            merged_manifest_file = save_manifest(cache_dir, merged)
+
+    return ScenarioRunReport(
+        name=name,
+        spec=spec,
+        rows=rows,
+        text=text,
+        cells=len(shard_jobs),
+        simulated=simulated,
+        cache_hits=cache_hits,
+        skipped=skipped,
+        previously_completed=previously_completed,
+        manifest=manifest,
+        manifest_file=manifest_file,
+        shard=shard,
+        total_cells=len(jobs),
+        merged_manifest_file=merged_manifest_file,
+    )
+
+
+@dataclass
+class ScenarioMergeReport:
+    """What one ``scenario merge`` validated and wrote."""
+
+    name: str
+    shard_count: int
+    cells: int
+    manifest: ScenarioResult
+    manifest_file: Optional[Path]
+
+
+def merge_scenario(target: str, quick: bool = True) -> ScenarioMergeReport:
+    """Union persisted shard manifests into the canonical manifest.
+
+    Recompiles the spec (at the same fidelity the shards ran) to learn
+    the expected job-key set, then merges the first complete,
+    hash-matching partitioning found among the shard manifests next to
+    the result cache (superseded shard sets from an earlier
+    re-partitioning are ignored, keeping the merge idempotent);
+    validation requires no missing shard, matching spec hashes, and
+    pairwise-disjoint key sets whose union is exactly the compiled
+    list. Raises :class:`~repro.errors.ShardMergeError` otherwise.
+    """
+    scenario, file_spec = resolve_target(target)
+    spec = file_spec if scenario is None else scenario.spec(quick=quick)
+    name = scenario.name if scenario is not None else (
+        file_spec.name or Path(target).stem
+    )
+    if spec is None:
+        raise ConfigurationError(
+            f"scenario {name!r} has no sweep spec (it does not run "
+            f"through the job service) and cannot be sharded or merged"
+        )
+    service = default_service()
+    cache_dir = service.cache.directory if service.cache is not None else None
+    if cache_dir is None:
+        raise ConfigurationError(
+            "scenario merge reads shard manifests stored next to the "
+            "on-disk result cache; pass --cache-dir (or set "
+            "$REPRO_CACHE_DIR)"
+        )
+    jobs = spec.compile()
+    spec_hash = spec.spec_hash()
+    shards = find_shard_manifests(cache_dir, name)
+    # A re-partitioned scenario (2-way yesterday, 3-way today) leaves
+    # superseded shard manifests behind; merging must stay possible —
+    # and idempotent — as long as one complete, hash-matching
+    # partitioning exists. Only when none does do we hand the full set
+    # to the merge for its detailed diagnosis (missing shards, stale
+    # hashes, mixed counts).
+    matching = {
+        key: manifest
+        for key, manifest in shards.items()
+        if manifest.spec_hash == spec_hash
+    }
+    complete_counts = sorted(
+        count
+        for count in {key[1] for key in matching}
+        if all((index, count) in matching for index in range(count))
+    )
+    if complete_counts:
+        count = complete_counts[-1]
+        shards = {
+            key: manifest
+            for key, manifest in matching.items()
+            if key[1] == count
+        }
+    merged = merge_shard_manifests(
+        name, spec_hash, [job.cache_key() for job in jobs], shards
+    )
+    manifest_file = save_manifest(cache_dir, merged)
+    return ScenarioMergeReport(
+        name=name,
+        shard_count=int(merged.summary.get("merged_from_shards", 0)),
+        cells=len(jobs),
+        manifest=merged,
         manifest_file=manifest_file,
     )

@@ -1,0 +1,13 @@
+"""Shared pytest configuration for the tier-1 suite."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from the current simulator "
+        "output instead of comparing against it (review the diff "
+        "before committing — these snapshots exist so refactors "
+        "cannot silently shift simulated numbers)",
+    )

@@ -13,6 +13,10 @@ def test_parser_knows_all_subcommands():
         ["run"],
         ["figure", "4"],
         ["table", "1"],
+        ["scenario", "list"],
+        ["scenario", "show", "fig9"],
+        ["scenario", "run", "fig9"],
+        ["scenario", "merge", "fig9"],
         ["microbench"],
         ["roofline"],
         ["takeaways"],
@@ -20,6 +24,28 @@ def test_parser_knows_all_subcommands():
     ):
         args = parser.parse_args(command)
         assert callable(args.func)
+
+
+def test_scenario_run_accepts_shard_and_executor_flags():
+    args = build_parser().parse_args(
+        [
+            "scenario",
+            "run",
+            "fig9",
+            "--shard",
+            "1/4",
+            "--executor",
+            "async",
+            "--jobs",
+            "2",
+        ]
+    )
+    assert args.shard == "1/4"
+    assert args.executor == "async"
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(
+            ["scenario", "run", "fig9", "--executor", "threads"]
+        )
 
 
 def test_run_defaults():

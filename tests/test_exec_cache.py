@@ -1,4 +1,8 @@
-"""ResultCache size policy: LRU eviction and the $REPRO_CACHE_MAX override."""
+"""ResultCache policies: LRU eviction, $REPRO_CACHE_MAX, and tolerance
+of corrupted on-disk entries (they must read as misses and be repaired,
+never crash the run)."""
+
+import json
 
 import pytest
 
@@ -6,7 +10,9 @@ from repro.core.experiment import ExperimentConfig
 from repro.core.modes import ExecutionMode
 from repro.errors import ConfigurationError
 from repro.exec.cache import ResultCache
+from repro.exec.executors import SerialExecutor
 from repro.exec.job import JobOutcome, SimJob
+from repro.exec.service import ExecutionService
 
 MODES = (ExecutionMode.OVERLAPPED, ExecutionMode.SEQUENTIAL)
 
@@ -93,3 +99,52 @@ def test_bad_env_override_is_rejected(monkeypatch):
 def test_explicit_argument_beats_env(monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_MAX", "7")
     assert ResultCache(max_entries=3).max_entries == 3
+
+
+# Corruption spellings a shared on-disk cache can realistically grow: a
+# write torn mid-JSON, valid JSON of the wrong top-level type, and a
+# schema-correct envelope whose inner structure is mangled.
+CORRUPTIONS = (
+    '{"schema": 1, "result": {"mo',  # truncated mid-write
+    "",  # zero-length file
+    "[1, 2, 3]",  # not an object
+    '"just a string"',
+    json.dumps({"schema": 1, "result": {"modes": "not-a-mapping"}}),
+    json.dumps({"schema": 1, "result": {}}),  # missing sections
+)
+
+
+@pytest.mark.parametrize("garbage", CORRUPTIONS)
+def test_corrupted_disk_entry_reads_as_miss(tmp_path, garbage):
+    cache = ResultCache(tmp_path)
+    job = _job(8)
+    (tmp_path / f"{job.cache_key()}.json").write_text(garbage)
+    assert cache.get(job) is None
+    assert cache.misses == 1
+
+
+def test_corrupted_entry_is_resimulated_and_overwritten(tmp_path):
+    config = ExperimentConfig(gpu="A100", model="gpt3-xl", batch_size=8, runs=1)
+    job = SimJob(config=config, modes=MODES)
+    first = ExecutionService(SerialExecutor(), ResultCache(tmp_path))
+    result = first.run_config(config, modes=MODES)
+    path = tmp_path / f"{job.cache_key()}.json"
+    assert path.exists()
+
+    for garbage in CORRUPTIONS:
+        path.write_text(garbage)
+        # A fresh service (cold memory tier) must treat the bad entry
+        # as a miss, re-simulate, and atomically write a good entry
+        # back in its place.
+        fresh = ExecutionService(SerialExecutor(), ResultCache(tmp_path))
+        reloaded = fresh.run_config(config, modes=MODES)
+        assert fresh.executor.jobs_executed == 1
+        assert reloaded.metrics == result.metrics
+        repaired = json.loads(path.read_text())
+        assert repaired["schema"] == 1
+        # ... and the repaired entry serves the next cold start.
+        again = ExecutionService(SerialExecutor(), ResultCache(tmp_path))
+        assert again.run_config(config, modes=MODES).metrics == result.metrics
+        assert again.executor.jobs_executed == 0
+    # Atomic replace leaves no temp droppings behind.
+    assert list(tmp_path.glob("*.tmp")) == []

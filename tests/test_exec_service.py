@@ -1,9 +1,9 @@
 """Executor equivalence and caching guarantees of the execution service.
 
 The acceptance grid is the issue's: 2 GPUs x 2 models x 2 batches with
-3-run averaging. Serial and parallel executors must agree bit-for-bit,
-and a warm-cache rerun must perform zero new simulations (observed via
-the executor-level job counter).
+3-run averaging. Serial, parallel and async executors must agree
+bit-for-bit, and a warm-cache rerun must perform zero new simulations
+(observed via the executor-level job counter) under every executor.
 """
 
 import pytest
@@ -13,7 +13,11 @@ from repro.core.modes import ExecutionMode
 from repro.core.sweep import grid_configs, run_grid, summarize_slowdowns
 from repro.errors import ConfigurationError
 from repro.exec.cache import ResultCache
-from repro.exec.executors import ParallelExecutor, SerialExecutor
+from repro.exec.executors import (
+    AsyncExecutor,
+    ParallelExecutor,
+    SerialExecutor,
+)
 from repro.exec.job import SimJob
 from repro.exec.service import (
     ExecutionService,
@@ -48,22 +52,36 @@ def parallel_rows():
     return run_grid(service=service, **GRID)
 
 
+@pytest.fixture(scope="module")
+def async_rows():
+    service = ExecutionService(AsyncExecutor(max_concurrency=4), ResultCache())
+    return run_grid(service=service, **GRID)
+
+
 def test_grid_covers_every_cell(serial_rows):
     assert len(serial_rows) == 8
 
 
-def test_parallel_matches_serial_bit_for_bit(serial_rows, parallel_rows):
-    assert len(parallel_rows) == len(serial_rows)
-    for serial, parallel in zip(serial_rows, parallel_rows):
-        assert serial.config == parallel.config
-        assert serial.ran == parallel.ran
-        if serial.ran:
+def _assert_rows_identical(reference, candidate):
+    assert len(candidate) == len(reference)
+    for expected, actual in zip(reference, candidate):
+        assert expected.config == actual.config
+        assert expected.ran == actual.ran
+        if expected.ran:
             # Dataclass equality compares every float exactly.
-            assert serial.result.metrics == parallel.result.metrics
-            assert serial.result.modes == parallel.result.modes
-            assert serial.result.feasibility == parallel.result.feasibility
+            assert expected.result.metrics == actual.result.metrics
+            assert expected.result.modes == actual.result.modes
+            assert expected.result.feasibility == actual.result.feasibility
         else:
-            assert serial.skipped_reason == parallel.skipped_reason
+            assert expected.skipped_reason == actual.skipped_reason
+
+
+def test_parallel_matches_serial_bit_for_bit(serial_rows, parallel_rows):
+    _assert_rows_identical(serial_rows, parallel_rows)
+
+
+def test_async_matches_serial_bit_for_bit(serial_rows, async_rows):
+    _assert_rows_identical(serial_rows, async_rows)
 
 
 def test_warm_cache_rerun_simulates_nothing(serial_service, serial_rows):
@@ -75,6 +93,110 @@ def test_warm_cache_rerun_simulates_nothing(serial_service, serial_rows):
             assert cached.result.metrics == original.result.metrics
         else:
             assert cached.skipped_reason == original.skipped_reason
+
+
+EXECUTOR_FACTORIES = {
+    "serial": SerialExecutor,
+    "process": lambda: ParallelExecutor(max_workers=2),
+    "async": lambda: AsyncExecutor(max_concurrency=2),
+}
+
+
+@pytest.mark.parametrize(
+    "make_executor", EXECUTOR_FACTORIES.values(), ids=EXECUTOR_FACTORIES
+)
+def test_warm_rerun_accounting_under_every_executor(make_executor):
+    """jobs_executed freezes on a warm rerun, whatever the fan-out."""
+    service = ExecutionService(make_executor(), ResultCache())
+    jobs = [
+        SimJob(
+            config=ExperimentConfig(
+                gpu="A100", model="gpt3-xl", batch_size=batch, runs=1
+            ),
+            modes=MODES,
+        )
+        for batch in (8, 16)
+    ]
+    first = service.run_jobs(jobs)
+    assert service.executor.jobs_executed == 2
+    second = service.run_jobs(jobs)
+    assert service.executor.jobs_executed == 2  # cache hits never fan out
+    assert all(outcome.from_cache for outcome in second)
+    for cold, warm in zip(first, second):
+        assert cold.result.metrics == warm.result.metrics
+        assert cold.result.modes == warm.result.modes
+
+
+def test_planner_survives_concurrent_eviction_pressure():
+    """The shared planner is thread-safe under AsyncExecutor fan-out.
+
+    A tiny plan cache plus more distinct keys than slots forces the
+    FIFO eviction loop on every build; racing threads used to
+    double-pop and raise KeyError out of the batch.
+    """
+    import threading
+
+    from repro.exec.planning import Planner
+
+    planner = Planner(max_plans=2)
+    configs = [
+        ExperimentConfig(
+            gpu="A100", model="gpt3-xl", batch_size=batch, runs=1
+        )
+        for batch in (4, 8, 16, 32)
+    ]
+    errors = []
+
+    def hammer():
+        try:
+            for _ in range(5):
+                for config in configs:
+                    planner.plan_for(config, overlap=True)
+        except Exception as exc:  # pragma: no cover - the regression
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer) for _ in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+
+
+def test_async_executor_rejects_bad_concurrency():
+    with pytest.raises(ConfigurationError):
+        AsyncExecutor(max_concurrency=0)
+
+
+def test_settings_reject_unknown_executor_kind():
+    from repro.exec.service import ExecutionSettings
+
+    settings = ExecutionSettings(executor="threads", jobs=8)
+    with pytest.raises(ConfigurationError, match="unknown executor"):
+        settings.build_executor()
+    assert isinstance(
+        ExecutionSettings(executor="async", jobs=2).build_executor(),
+        AsyncExecutor,
+    )
+
+
+def test_async_executor_run_async_entry_point():
+    """The awaitable form returns ordered outcomes and accounts jobs."""
+    import asyncio
+
+    executor = AsyncExecutor(max_concurrency=2)
+    jobs = [
+        SimJob(
+            config=ExperimentConfig(
+                gpu="A100", model="gpt3-xl", batch_size=batch, runs=1
+            ),
+            modes=MODES,
+        )
+        for batch in (8, 16)
+    ]
+    outcomes = asyncio.run(executor.run_async(jobs))
+    assert [o.job for o in outcomes] == jobs
+    assert executor.jobs_executed == 2
 
 
 def test_duplicate_jobs_in_one_batch_simulate_once():

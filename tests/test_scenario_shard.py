@@ -1,0 +1,294 @@
+"""Sharded scenario runs, per-shard manifests, and the validated merge.
+
+The acceptance criterion of the sharding layer: running shards 0/2 and
+1/2 of a scenario then merging yields a manifest with the same spec
+hash and exact job-key set as a single unsharded run, with zero
+duplicate simulator invocations across shards.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, ShardMergeError
+from repro.exec.shard import ShardPlan
+from repro.exec.service import configure, default_service, reset_default_service
+from repro.scenario import (
+    ScenarioResult,
+    find_shard_manifests,
+    load_manifest,
+    load_shard_manifest,
+    merge_scenario,
+    merge_shard_manifests,
+    run_scenario,
+    save_manifest,
+    shard_manifest_path,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_service():
+    reset_default_service()
+    yield
+    reset_default_service()
+
+
+def test_sharded_runs_merge_to_the_unsharded_manifest(tmp_path):
+    shard_dir = tmp_path / "sharded"
+    solo_dir = tmp_path / "solo"
+
+    configure(cache=True, cache_dir=str(shard_dir))
+    first = run_scenario("fig9", shard=ShardPlan(0, 2))
+    assert first.shard == ShardPlan(0, 2)
+    assert first.total_cells == 3
+    assert first.cells + 1 == first.total_cells  # 3 cells split 2/1
+    assert first.merged_manifest_file is None  # sibling still missing
+    assert load_shard_manifest(shard_dir, "fig9", 0, 2) is not None
+    assert load_manifest(shard_dir, "fig9") is None
+
+    second = run_scenario("fig9", shard=ShardPlan(1, 2))
+    # The last shard triggers the auto-merge.
+    assert second.merged_manifest_file is not None
+
+    # Zero duplicate simulator invocations across the two shards.
+    assert first.simulated + second.simulated == first.total_cells
+    assert default_service().executor.jobs_executed == first.total_cells
+
+    configure(cache=True, cache_dir=str(solo_dir))
+    solo = run_scenario("fig9")
+
+    merged = load_manifest(shard_dir, "fig9")
+    unsharded = load_manifest(solo_dir, "fig9")
+    assert merged is not None and unsharded is not None
+    assert merged.spec_hash == unsharded.spec_hash
+    assert merged.job_keys == unsharded.job_keys  # same keys, same order
+    assert merged.summary["cells"] == solo.cells
+    assert merged.summary["merged_from_shards"] == 2
+
+    # The shards fully warmed the shared cache: an unsharded run over
+    # the same cache dir re-simulates nothing.
+    configure(cache=True, cache_dir=str(shard_dir))
+    warm = run_scenario("fig9")
+    assert warm.simulated == 0
+
+
+def test_explicit_merge_is_idempotent_and_validated(tmp_path):
+    configure(cache=True, cache_dir=str(tmp_path))
+    run_scenario("fig9", shard=ShardPlan(0, 2))
+    run_scenario("fig9", shard=ShardPlan(1, 2))
+
+    report = merge_scenario("fig9")
+    assert report.shard_count == 2
+    assert report.cells == 3
+    again = merge_scenario("fig9")  # merging twice is harmless
+    assert again.manifest.job_keys == report.manifest.job_keys
+
+
+def test_merge_reports_missing_shards(tmp_path):
+    configure(cache=True, cache_dir=str(tmp_path))
+    run_scenario("fig9", shard=ShardPlan(0, 3))
+    with pytest.raises(ShardMergeError, match="missing shard"):
+        merge_scenario("fig9")
+
+
+def test_merge_rejects_mixed_partitionings(tmp_path):
+    configure(cache=True, cache_dir=str(tmp_path))
+    run_scenario("fig9", shard=ShardPlan(0, 2))
+    run_scenario("fig9", shard=ShardPlan(0, 3))
+    # Neither partitioning is complete: the detailed diagnosis fires.
+    with pytest.raises(ShardMergeError, match="different partitioning"):
+        merge_scenario("fig9")
+
+
+def test_merge_survives_repartitioning(tmp_path):
+    configure(cache=True, cache_dir=str(tmp_path))
+    # A complete 2-way run, later re-run 3-way into the same cache dir:
+    # the superseded 2-way shard manifests must not wedge the strict
+    # merge — it picks the complete partitioning and stays idempotent.
+    run_scenario("fig9", shard=ShardPlan(0, 2))
+    run_scenario("fig9", shard=ShardPlan(1, 2))
+    for index in range(3):
+        run_scenario("fig9", shard=ShardPlan(index, 3))
+    report = merge_scenario("fig9")
+    assert report.shard_count == 3
+    again = merge_scenario("fig9")
+    assert again.manifest.job_keys == report.manifest.job_keys
+
+
+def test_merge_rejects_stale_spec_hash(tmp_path):
+    configure(cache=True, cache_dir=str(tmp_path))
+    run_scenario("fig9", shard=ShardPlan(0, 2))
+    run_scenario("fig9", shard=ShardPlan(1, 2))
+    # Tamper with one shard as if it had run an older spec version.
+    path = shard_manifest_path(tmp_path, "fig9", 1, 2)
+    payload = json.loads(path.read_text())
+    payload["spec_hash"] = "f" * 64
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ShardMergeError, match="ran spec"):
+        merge_scenario("fig9")
+
+
+def test_merge_rejects_overlapping_and_incomplete_key_sets():
+    shard0 = ScenarioResult(
+        scenario="s", spec_hash="h", job_keys=["a", "b"],
+        shard_index=0, shard_count=2,
+    )
+    shard1 = ScenarioResult(
+        scenario="s", spec_hash="h", job_keys=["b", "c"],
+        shard_index=1, shard_count=2,
+    )
+    with pytest.raises(ShardMergeError, match="both shard"):
+        merge_shard_manifests(
+            "s", "h", ["a", "b", "c"],
+            {(0, 2): shard0, (1, 2): shard1},
+        )
+    shard1_disjoint = ScenarioResult(
+        scenario="s", spec_hash="h", job_keys=["c"],
+        shard_index=1, shard_count=2,
+    )
+    with pytest.raises(ShardMergeError, match="unclaimed"):
+        merge_shard_manifests(
+            "s", "h", ["a", "b", "c", "d"],
+            {(0, 2): shard0, (1, 2): shard1_disjoint},
+        )
+    with pytest.raises(ShardMergeError, match="not in the spec"):
+        merge_shard_manifests(
+            "s", "h", ["a", "b"],
+            {(0, 2): shard0, (1, 2): shard1_disjoint},
+        )
+    with pytest.raises(ShardMergeError, match="no shard manifests"):
+        merge_shard_manifests("s", "h", ["a"], {})
+
+
+def test_duplicate_cells_within_a_shard_still_merge(tmp_path):
+    # A spec may legitimately compile duplicate cells (a repeated
+    # include); they share a cache key and land in the same shard, and
+    # the merge must not mistake the repeat for a cross-shard overlap.
+    spec_file = tmp_path / "dup.yaml"
+    spec_file.write_text(
+        "name: dup\n"
+        "base:\n"
+        "  gpu: A100\n"
+        "  model: gpt3-xl\n"
+        "  runs: 1\n"
+        "axes:\n"
+        "  - batch_size: [8, 16]\n"
+        "include:\n"
+        "  - batch_size: 8\n"
+        "modes: [overlapped, sequential]\n"
+    )
+    cache_dir = tmp_path / "cache"
+    configure(cache=True, cache_dir=str(cache_dir))
+    run_scenario(str(spec_file), shard=ShardPlan(0, 2))
+    report = run_scenario(str(spec_file), shard=ShardPlan(1, 2))
+    assert report.merged_manifest_file is not None
+    merged = merge_scenario(str(spec_file))  # strict path agrees
+    assert len(merged.manifest.job_keys) == 3  # duplicates preserved
+    assert len(set(merged.manifest.job_keys)) == 2
+
+
+def test_from_payload_rejects_half_set_shard_position():
+    base = {
+        "schema": 1,
+        "scenario": "s",
+        "spec_hash": "h",
+        "job_keys": ["a"],
+    }
+    assert ScenarioResult.from_payload(dict(base)) is not None
+    assert ScenarioResult.from_payload(
+        {**base, "shard_index": 0, "shard_count": 2}
+    ) is not None
+    # index without count (and vice versa) is unusable downstream and
+    # must read as a bad manifest, not crash the merge later.
+    assert ScenarioResult.from_payload({**base, "shard_index": 0}) is None
+    assert ScenarioResult.from_payload({**base, "shard_count": 2}) is None
+    assert ScenarioResult.from_payload(
+        {**base, "shard_index": 2, "shard_count": 2}
+    ) is None
+    assert ScenarioResult.from_payload(
+        {**base, "shard_index": 0, "shard_count": None}
+    ) is None
+
+
+def test_auto_merge_ignores_stale_partitionings(tmp_path):
+    configure(cache=True, cache_dir=str(tmp_path))
+    # A leftover 3-way shard from an earlier attempt must not block the
+    # 2-way run's auto-merge (the strict `scenario merge` still would).
+    run_scenario("fig9", shard=ShardPlan(0, 3))
+    run_scenario("fig9", shard=ShardPlan(0, 2))
+    report = run_scenario("fig9", shard=ShardPlan(1, 2))
+    assert report.merged_manifest_file is not None
+    merged = load_manifest(tmp_path, "fig9")
+    assert merged.summary["merged_from_shards"] == 2
+
+
+def test_find_shard_manifests_trusts_payload_not_filename(tmp_path):
+    configure(cache=True, cache_dir=str(tmp_path))
+    run_scenario("fig9", shard=ShardPlan(0, 2))
+    # A shard manifest copied to another shard's filename must not
+    # impersonate it: the payload's own position wins.
+    source = shard_manifest_path(tmp_path, "fig9", 0, 2)
+    fake = shard_manifest_path(tmp_path, "fig9", 1, 2)
+    fake.write_text(source.read_text())
+    found = find_shard_manifests(tmp_path, "fig9")
+    assert set(found) == {(0, 2)}
+
+
+def test_sharding_a_specless_scenario_is_rejected():
+    with pytest.raises(ConfigurationError, match="cannot be sharded"):
+        run_scenario("fig8", shard=ShardPlan(0, 2))
+    with pytest.raises(ConfigurationError, match="cannot be sharded"):
+        merge_scenario("fig8")
+
+
+def test_merge_without_cache_dir_is_rejected():
+    configure(cache=True, cache_dir=None)
+    if default_service().cache.directory is not None:
+        pytest.skip("$REPRO_CACHE_DIR set in the environment")
+    with pytest.raises(ConfigurationError, match="cache"):
+        merge_scenario("fig9")
+
+
+def test_sharded_run_without_cache_still_runs(tmp_path):
+    configure(cache=False)
+    report = run_scenario("fig9", shard=ShardPlan(0, 2))
+    assert report.cells == 2
+    assert report.simulated == 2
+    assert report.manifest_file is None  # nowhere to persist
+    assert report.merged_manifest_file is None
+
+
+def test_shard_manifest_records_position_and_totals(tmp_path):
+    configure(cache=True, cache_dir=str(tmp_path))
+    report = run_scenario("fig9", shard=ShardPlan(1, 2))
+    manifest = load_shard_manifest(tmp_path, "fig9", 1, 2)
+    assert manifest.is_shard
+    assert (manifest.shard_index, manifest.shard_count) == (1, 2)
+    assert manifest.summary["total_cells"] == report.total_cells
+    assert manifest.job_keys == [
+        job.cache_key() for job in ShardPlan(1, 2).select(
+            report.spec.compile()
+        )
+    ]
+
+
+def test_cli_shard_and_merge_round_trip(tmp_path, capsys):
+    from repro.cli import main
+
+    cache = str(tmp_path / "cli-cache")
+    assert main(
+        ["scenario", "run", "fig9", "--cache-dir", cache, "--shard", "0/2"]
+    ) == 0
+    assert main(
+        ["scenario", "run", "fig9", "--cache-dir", cache, "--shard", "1/2"]
+    ) == 0
+    err = capsys.readouterr().err
+    assert "shard 1/2" in err
+    assert "merged manifest" in err
+    assert main(["scenario", "merge", "fig9", "--cache-dir", cache]) == 0
+    out = capsys.readouterr().out
+    assert "merged 2 shard manifest(s)" in out
+    # Bad shard spellings fail loudly at the CLI boundary.
+    assert main(
+        ["scenario", "run", "fig9", "--cache-dir", cache, "--shard", "9/2"]
+    ) == 1
