@@ -1,0 +1,241 @@
+#!/usr/bin/env python
+"""Engine hot-path benchmark: incremental vs full-recompute reference.
+
+Measures two things and records them in ``BENCH_engine.json`` so the
+repo carries a perf trajectory across PRs:
+
+* **single-cell event throughput** — one representative contended cell
+  (H100, GPT-3 2.7B, FSDP, jitter + governor active) simulated by each
+  engine; reports engine events/second.
+* **quick-grid cells/sec** — the full Figs. 4-6 quick evaluation grid
+  (48 cells x 3 modes) run serially through the execution service with
+  caching disabled, once per engine.
+
+``--verify`` instead runs one grid cell end-to-end under both engines
+and exits nonzero unless the full result payloads are byte-identical
+(the CI equivalence gate).
+
+This file is a standalone script, not a pytest-benchmark module: run
+``python benchmarks/bench_engine_hotpath.py [--quick]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.experiment import SIM_ENGINE_ENV, ExperimentConfig  # noqa: E402
+from repro.exec.executors import SerialExecutor  # noqa: E402
+from repro.exec.job import SimJob  # noqa: E402
+from repro.exec.planning import default_planner  # noqa: E402
+from repro.exec.service import ExecutionService  # noqa: E402
+from repro.exec.cache import result_to_payload  # noqa: E402
+from repro.harness.figures.grid import grid_spec  # noqa: E402
+from repro.sim.config import SimConfig  # noqa: E402
+from repro.sim.engine import make_simulator  # noqa: E402
+
+ENGINES = ("reference", "incremental")
+
+#: The representative contended cell for the event-throughput probe.
+SINGLE_CELL = ExperimentConfig(
+    gpu="H100",
+    model="gpt3-2.7b",
+    batch_size=16,
+    strategy="fsdp",
+    jitter_sigma=0.02,
+)
+
+#: The cell the CI equivalence gate checks (one quick-grid cell).
+VERIFY_CELL = ExperimentConfig(
+    gpu="A100",
+    model="gpt3-xl",
+    batch_size=8,
+    strategy="fsdp",
+    jitter_sigma=0.02,
+    runs=1,
+)
+
+
+@contextlib.contextmanager
+def _engine_env(engine: str):
+    """Route ExperimentConfig simulations through ``engine``."""
+    previous = os.environ.get(SIM_ENGINE_ENV)
+    os.environ[SIM_ENGINE_ENV] = engine
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(SIM_ENGINE_ENV, None)
+        else:
+            os.environ[SIM_ENGINE_ENV] = previous
+
+
+def bench_single_cell(repeats: int) -> dict:
+    """Event throughput of one contended simulation, per engine."""
+    planner = default_planner()
+    node = planner.node_for(SINGLE_CELL)
+    plan = planner.plan_for(SINGLE_CELL, overlap=True)
+    cost_model = planner.cost_model_for(SINGLE_CELL)
+    out: dict = {"cell": SINGLE_CELL.describe(), "repeats": repeats}
+    for engine in ENGINES:
+        config = SimConfig(
+            jitter_sigma=0.02, seed=1, reference_engine=engine == "reference"
+        )
+        best = None
+        events = 0
+        for _ in range(repeats):
+            sim = make_simulator(node, plan.tasks, config, cost_model=cost_model)
+            t0 = time.perf_counter()
+            sim.run()
+            elapsed = time.perf_counter() - t0
+            best = elapsed if best is None else min(best, elapsed)
+            events = sim.stats.events
+        out[engine] = {
+            "seconds": best,
+            "events": events,
+            "events_per_s": events / best,
+            "gpu_rate_passes": sim.stats.gpu_rate_passes,
+            "stale_events": sim.stats.stale_events,
+        }
+    out["speedup"] = (
+        out["incremental"]["events_per_s"] / out["reference"]["events_per_s"]
+    )
+    return out
+
+
+def bench_grid() -> dict:
+    """Cells/sec on the quick Figs. 4-6 grid, per engine, serial."""
+    spec = grid_spec(quick=True)
+    jobs = spec.compile()
+    # Warm the shared planner so both timed passes measure simulation,
+    # not plan construction.
+    planner = default_planner()
+    for job in jobs:
+        planner.node_for(job.config)
+    out: dict = {"cells": len(jobs), "spec": spec.name}
+    for engine in ENGINES:
+        service = ExecutionService(executor=SerialExecutor(), cache=None)
+        with _engine_env(engine):
+            t0 = time.perf_counter()
+            outcomes = service.run_jobs(jobs)
+            elapsed = time.perf_counter() - t0
+        ran = sum(1 for o in outcomes if o.ran)
+        out[engine] = {
+            "seconds": elapsed,
+            "cells_per_s": len(jobs) / elapsed,
+            "simulated": ran,
+            "infeasible": len(jobs) - ran,
+        }
+    out["speedup"] = (
+        out["incremental"]["cells_per_s"] / out["reference"]["cells_per_s"]
+    )
+    return out
+
+
+def verify_equivalence() -> bool:
+    """Run one grid cell under both engines; True iff bit-identical."""
+    job = SimJob(config=VERIFY_CELL)
+    payloads = {}
+    for engine in ENGINES:
+        with _engine_env(engine):
+            outcome = SerialExecutor().run([job])[0]
+        if not outcome.ran:
+            print(f"verify cell infeasible under {engine}: "
+                  f"{outcome.skipped_reason}")
+            return False
+        payloads[engine] = result_to_payload(outcome.result)
+    identical = payloads["reference"] == payloads["incremental"]
+    cell = VERIFY_CELL.describe()
+    if identical:
+        print(f"engine equivalence OK: {cell} is bit-identical under "
+              f"reference and incremental engines")
+    else:
+        print(f"ENGINE DIVERGENCE on {cell}:")
+        ref, inc = payloads["reference"], payloads["incremental"]
+        for section in ref:
+            if ref[section] != inc[section]:
+                print(f"  section {section!r} differs")
+                print(f"    reference:   {json.dumps(ref[section])[:200]}")
+                print(f"    incremental: {json.dumps(inc[section])[:200]}")
+    return identical
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="single timing repeat per engine (CI perf-smoke mode)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="single-cell timing repeats, best-of (default: 3)",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_engine.json"),
+        help="where to write the benchmark record",
+    )
+    parser.add_argument(
+        "--skip-grid",
+        action="store_true",
+        help="only run the single-cell probe (fast local iteration)",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="assert reference/incremental equivalence on one grid "
+        "cell instead of benchmarking; exit 1 on divergence",
+    )
+    args = parser.parse_args(argv)
+
+    if args.verify:
+        return 0 if verify_equivalence() else 1
+
+    repeats = 1 if args.quick else args.repeats
+    record: dict = {
+        "schema": 1,
+        "generated_by": "benchmarks/bench_engine_hotpath.py",
+        "quick": args.quick,
+    }
+    print(f"single-cell event throughput ({repeats} repeat(s))...")
+    record["single_cell"] = bench_single_cell(repeats)
+    sc = record["single_cell"]
+    for engine in ENGINES:
+        print(
+            f"  {engine:>11}: {sc[engine]['events']} events in "
+            f"{sc[engine]['seconds'] * 1e3:.1f} ms "
+            f"({sc[engine]['events_per_s']:.0f} events/s)"
+        )
+    print(f"  speedup: {sc['speedup']:.2f}x")
+
+    if not args.skip_grid:
+        print("quick Figs. 4-6 grid (serial, uncached)...")
+        record["grid"] = bench_grid()
+        grid = record["grid"]
+        for engine in ENGINES:
+            print(
+                f"  {engine:>11}: {grid['cells']} cells in "
+                f"{grid[engine]['seconds']:.1f} s "
+                f"({grid[engine]['cells_per_s']:.3f} cells/s)"
+            )
+        print(f"  speedup: {grid['speedup']:.2f}x")
+
+    out = Path(args.out)
+    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"benchmark record -> {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

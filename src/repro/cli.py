@@ -333,6 +333,38 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario_status(args: argparse.Namespace) -> int:
+    from repro.scenario.runner import scenario_status
+
+    _configure_execution(args)
+    report = scenario_status(
+        args.name, quick=not args.full, shards=args.shards
+    )
+    print(report.describe())
+    return 0
+
+
+def _cmd_scenario_diff(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.errors import ConfigurationError
+    from repro.scenario.manifest import diff_manifests, load_manifest_file
+
+    manifests = []
+    for path in (args.a, args.b):
+        if not os.path.exists(path):
+            raise ConfigurationError(f"manifest file not found: {path}")
+        manifest = load_manifest_file(path)
+        if manifest is None:
+            raise ConfigurationError(
+                f"{path} is not a readable scenario manifest"
+            )
+        manifests.append(manifest)
+    diff = diff_manifests(manifests[0], manifests[1], tol=args.tol)
+    print(diff.describe())
+    return 1 if diff.drifted else 0
+
+
 def _cmd_scenario_merge(args: argparse.Namespace) -> int:
     from repro.scenario.runner import merge_scenario
 
@@ -558,6 +590,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_execution_args(sc_run)
     sc_run.set_defaults(func=_cmd_scenario_run)
+    sc_status = scenario_sub.add_parser(
+        "status",
+        help="report shard, cache-key and manifest state without running",
+    )
+    sc_status.add_argument("name", help="scenario name or spec file")
+    sc_status.add_argument(
+        "--full", action="store_true", help="inspect the paper-scale spec"
+    )
+    sc_status.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="report on the N-way partitioning (default: the largest "
+        "one found among persisted shard manifests)",
+    )
+    _add_execution_args(sc_status)
+    sc_status.set_defaults(func=_cmd_scenario_status)
+    sc_diff = scenario_sub.add_parser(
+        "diff",
+        help="compare two scenario manifest files; exit 1 on drift",
+    )
+    sc_diff.add_argument("a", help="baseline manifest JSON file")
+    sc_diff.add_argument("b", help="candidate manifest JSON file")
+    sc_diff.add_argument(
+        "--tol",
+        type=float,
+        default=0.0,
+        metavar="REL",
+        help="relative tolerance for drift-relevant summary deltas "
+        "(default: exact)",
+    )
+    sc_diff.set_defaults(func=_cmd_scenario_diff)
     sc_merge = scenario_sub.add_parser(
         "merge",
         help="validate and union per-shard manifests into the "

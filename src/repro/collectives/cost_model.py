@@ -98,7 +98,15 @@ def wire_bytes_per_rank(op: CollectiveOp) -> float:
 
 
 class CollectiveCostModel:
-    """Derives :class:`CollectiveCost` from link, library and calibration."""
+    """Derives :class:`CollectiveCost` from link, library and calibration.
+
+    ``cost`` is memoized per op: the model is pure and shared across
+    every simulation of a node (see :mod:`repro.exec.planning`), and a
+    training iteration re-issues the same small set of collectives over
+    and over. The memo dict is only mutated under the GIL with
+    deterministic values, so concurrent AsyncExecutor threads at worst
+    compute a key twice — never observe a wrong cost.
+    """
 
     def __init__(
         self,
@@ -113,6 +121,7 @@ class CollectiveCostModel:
         self.library = library
         self.calibration = calibration
         self.hbm_effective_bandwidth = hbm_effective_bandwidth
+        self._cost_cache: "dict[CollectiveOp, CollectiveCost]" = {}
 
     def message_bytes(self, op: CollectiveOp) -> float:
         """Per-transfer message size driving the bandwidth ramp.
@@ -134,12 +143,20 @@ class CollectiveCostModel:
         return ramped * _LINK_EFF_PER_KIND.get(op.kind, 1.0)
 
     def cost(self, op: CollectiveOp) -> CollectiveCost:
-        """Full cost bundle for one rank of ``op``.
+        """Full cost bundle for one rank of ``op``, memoized per op.
 
         The algorithm (ring vs tree) is auto-selected per message like
         NCCL's default mode: latency-optimal trees win for small
         payloads on deep rings, bandwidth-optimal rings for large ones.
         """
+        cached = self._cost_cache.get(op)
+        if cached is not None:
+            return cached
+        cost = self._cost_uncached(op)
+        self._cost_cache[op] = cost
+        return cost
+
+    def _cost_uncached(self, op: CollectiveOp) -> CollectiveCost:
         bandwidth = self.effective_link_bandwidth(op)
         selected = select_algorithm(
             op, self.link, bandwidth, self.library.launch_overhead_s

@@ -9,6 +9,7 @@ reports averaged metrics plus vendor-sampled power statistics.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
@@ -30,6 +31,11 @@ from repro.workloads.transformer import TrainingShape
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.exec.planning import Planner
+
+#: Environment variable selecting the simulation engine
+#: (``reference`` = full-recompute baseline; anything else =
+#: incremental). Both engines produce bit-identical results.
+SIM_ENGINE_ENV = "REPRO_SIM_ENGINE"
 
 
 @dataclass(frozen=True)
@@ -93,13 +99,24 @@ class ExperimentConfig:
         )
 
     def sim_config(self, seed: int, ideal: bool = False) -> SimConfig:
-        """Simulator configuration for one run."""
+        """Simulator configuration for one run.
+
+        ``$REPRO_SIM_ENGINE=reference`` routes every simulation through
+        the full-recompute reference engine (the perf baseline). The
+        two engines are bit-for-bit identical, so the toggle cannot
+        change results — which is why it is safe to leave it out of the
+        job cache key.
+        """
         config = SimConfig(
             contention_enabled=not ideal,
             power_limit_w=self.power_limit_w,
             max_clock_frac=self.max_clock_frac,
             jitter_sigma=self.jitter_sigma,
             seed=seed,
+            reference_engine=(
+                os.environ.get(SIM_ENGINE_ENV, "").strip().lower()
+                == "reference"
+            ),
         )
         return config
 

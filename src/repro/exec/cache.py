@@ -273,6 +273,20 @@ class ResultCache:
                 pass
             raise
 
+    def contains(self, key: str) -> bool:
+        """Whether ``key`` is resolvable from either tier.
+
+        A pure probe: no tiers are mutated, no hit/miss accounting, and
+        the on-disk entry is not parsed (``scenario status`` walks whole
+        grids; reading every payload would defeat the point). A
+        corrupted disk entry therefore reports present here and heals
+        on the next real :meth:`get`.
+        """
+        if key in self._memory:
+            return True
+        path = self._path_for(key)
+        return path is not None and path.exists()
+
     def clear_memory(self) -> None:
         """Drop the in-memory tier (the disk tier survives)."""
         self._memory.clear()

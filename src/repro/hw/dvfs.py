@@ -12,9 +12,25 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from functools import lru_cache
+
 from repro.errors import ConfigurationError
 from repro.hw.power import DVFS_POWER_EXPONENT
 from repro.units import MS
+
+#: Inverse exponent used to invert P ~ f^k for the clock update.
+_INV_DVFS_EXPONENT = 1.0 / DVFS_POWER_EXPONENT
+
+
+@lru_cache(maxsize=4096)
+def _inv_exponent_pow(x: float) -> float:
+    """``x ** (1 / DVFS_POWER_EXPONENT)``, memoized on the exact float.
+
+    Between engine events power is piecewise constant, so consecutive
+    governor ticks keep inverting the same limit/power ratios; pow()
+    dominates the tick cost otherwise.
+    """
+    return x ** _INV_DVFS_EXPONENT
 
 
 @dataclass(frozen=True)
@@ -98,7 +114,7 @@ class FrequencyGovernor:
                 # integrator windup against the stale moving average,
                 # so the clock holds instead until the EWMA drains.
                 ratio = limit / instantaneous_power_w
-                target = self.clock_frac * ratio ** (1.0 / DVFS_POWER_EXPONENT)
+                target = self.clock_frac * _inv_exponent_pow(ratio)
                 self.clock_frac = max(
                     self.min_clock_frac,
                     0.5 * self.clock_frac + 0.5 * target,
@@ -106,7 +122,7 @@ class FrequencyGovernor:
         else:
             # Ramp back up, but never overshoot the frequency cap.
             headroom = limit / max(self._ewma_w, 1e-9)
-            step = min(1.08, headroom ** (1.0 / DVFS_POWER_EXPONENT))
+            step = min(1.08, _inv_exponent_pow(headroom))
             self.clock_frac = min(
                 self.policy.max_clock_frac, self.clock_frac * step
             )

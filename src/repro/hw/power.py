@@ -112,3 +112,44 @@ def gpu_power(tdp_w: float, coeffs: GpuPowerCoefficients, activity: GpuActivity)
         + coeffs.link_max_frac * act.link_frac
     )
     return tdp_w * power_frac
+
+
+class PowerEvaluator:
+    """Memoizing :func:`gpu_power` front-end for one board.
+
+    The engine evaluates power on every state change, but between
+    governor ticks most GPUs cycle through a handful of recurring
+    activity snapshots (same resident kernels, same collectives, same
+    clock). Keying the cache on the full activity tuple — including the
+    *insertion order* of the per-datapath utilisations, so two
+    orderings of the same dict never share a float-summation order —
+    keeps the memoized value bit-for-bit equal to a fresh evaluation.
+    """
+
+    _MAX_ENTRIES = 4096
+
+    def __init__(self, tdp_w: float, coeffs: GpuPowerCoefficients):
+        self.tdp_w = tdp_w
+        self.coeffs = coeffs
+        self._cache: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def evaluate(self, activity: GpuActivity) -> float:
+        """Board power for ``activity``; identical to :func:`gpu_power`."""
+        key = (
+            activity.clock_frac,
+            activity.hbm_frac,
+            activity.link_frac,
+            tuple(activity.sm_util.items()),
+        )
+        power = self._cache.get(key)
+        if power is None:
+            if len(self._cache) >= self._MAX_ENTRIES:
+                self._cache.clear()
+            power = gpu_power(self.tdp_w, self.coeffs, activity)
+            self._cache[key] = power
+            self.misses += 1
+        else:
+            self.hits += 1
+        return power

@@ -22,9 +22,12 @@ This package is how experiments are *specified* in this repo:
 """
 
 from repro.scenario.manifest import (
+    ManifestDiff,
     ScenarioResult,
+    diff_manifests,
     find_shard_manifests,
     load_manifest,
+    load_manifest_file,
     load_shard_manifest,
     manifest_path,
     merge_shard_manifests,
@@ -41,11 +44,14 @@ from repro.scenario.registry import (
 from repro.scenario.runner import (
     ScenarioMergeReport,
     ScenarioRunReport,
+    ScenarioStatusReport,
+    ShardStatus,
     generic_rows,
     merge_scenario,
     render_generic,
     run_scenario,
     run_spec,
+    scenario_status,
 )
 from repro.scenario.spec import (
     CONFIG_FIELDS,
@@ -60,18 +66,23 @@ __all__ = [
     "CONFIG_FIELDS",
     "CONSTRAINT_OPS",
     "Constraint",
+    "ManifestDiff",
     "Scenario",
     "ScenarioMergeReport",
     "ScenarioResult",
     "ScenarioRunReport",
+    "ScenarioStatusReport",
+    "ShardStatus",
     "SweepSpec",
     "config_from_overrides",
+    "diff_manifests",
     "find_shard_manifests",
     "generic_rows",
     "get_scenario",
     "list_scenarios",
     "load_catalog",
     "load_manifest",
+    "load_manifest_file",
     "load_shard_manifest",
     "load_spec_file",
     "manifest_path",
@@ -82,5 +93,6 @@ __all__ = [
     "run_scenario",
     "run_spec",
     "save_manifest",
+    "scenario_status",
     "shard_manifest_path",
 ]

@@ -255,6 +255,136 @@ def merge_shard_manifests(
     )
 
 
+#: Summary keys whose disagreement constitutes *drift* when diffing
+#: two manifests. Execution accounting (``simulated``, ``cache_hits``)
+#: legitimately varies with cache warmth and sharding, so it is
+#: reported but never fails a diff; coverage and physics-shaped counts
+#: must match.
+_DRIFT_SUMMARY_KEYS = ("cells", "infeasible", "total_cells")
+
+
+@dataclass
+class SummaryDelta:
+    """One numeric summary key compared across two manifests."""
+
+    key: str
+    a: float
+    b: float
+    drift_relevant: bool
+
+    @property
+    def delta(self) -> float:
+        return self.b - self.a
+
+    @property
+    def rel_delta(self) -> float:
+        """Relative delta against ``a`` (absolute when ``a`` is 0)."""
+        if self.a == 0:
+            return abs(self.b)
+        return abs(self.b - self.a) / abs(self.a)
+
+
+@dataclass
+class ManifestDiff:
+    """Everything ``scenario diff`` compares between two manifests.
+
+    ``drifted`` is the gate for the nonzero exit code: a spec-hash
+    mismatch, any key-set delta, or a drift-relevant summary key whose
+    relative delta exceeds ``tol``.
+    """
+
+    a_name: str
+    b_name: str
+    spec_hash_match: bool
+    only_in_a: List[str]
+    only_in_b: List[str]
+    common_keys: int
+    summary_deltas: List[SummaryDelta]
+    tol: float
+
+    @property
+    def drifted(self) -> bool:
+        if not self.spec_hash_match:
+            return True
+        if self.only_in_a or self.only_in_b:
+            return True
+        return any(
+            d.drift_relevant and d.rel_delta > self.tol
+            for d in self.summary_deltas
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"comparing {self.a_name!r} (A) vs {self.b_name!r} (B)",
+            f"  spec hash: {'match' if self.spec_hash_match else 'MISMATCH'}",
+            f"  job keys: {self.common_keys} shared, "
+            f"{len(self.only_in_a)} only in A, "
+            f"{len(self.only_in_b)} only in B",
+        ]
+        for keys, label in ((self.only_in_a, "A"), (self.only_in_b, "B")):
+            for key in keys[:5]:
+                lines.append(f"    only in {label}: {key[:16]}...")
+            if len(keys) > 5:
+                lines.append(f"    ... and {len(keys) - 5} more only in {label}")
+        for d in self.summary_deltas:
+            status = ""
+            if d.drift_relevant and d.rel_delta > self.tol:
+                status = "  DRIFT"
+            elif not d.drift_relevant:
+                status = "  (informational)"
+            lines.append(
+                f"  summary[{d.key}]: {d.a:g} -> {d.b:g} "
+                f"(delta {d.delta:+g}){status}"
+            )
+        lines.append("result: " + ("DRIFT" if self.drifted else "no drift"))
+        return "\n".join(lines)
+
+
+def diff_manifests(
+    a: ScenarioResult, b: ScenarioResult, tol: float = 0.0
+) -> ManifestDiff:
+    """Compare two scenario manifests for drift.
+
+    Checks the spec hashes, the job-key sets (order-insensitive — a
+    merged-from-shards manifest must equal its unsharded twin), and
+    every numeric summary key the two share; only the coverage-shaped
+    keys (:data:`_DRIFT_SUMMARY_KEYS`) count toward drift, with ``tol``
+    as the relative tolerance.
+    """
+    keys_a, keys_b = set(a.job_keys), set(b.job_keys)
+    deltas: List[SummaryDelta] = []
+    for key in sorted(set(a.summary) & set(b.summary)):
+        va, vb = a.summary[key], b.summary[key]
+        if isinstance(va, bool) or isinstance(vb, bool):
+            continue
+        if not isinstance(va, (int, float)) or not isinstance(vb, (int, float)):
+            continue
+        deltas.append(
+            SummaryDelta(
+                key=key,
+                a=float(va),
+                b=float(vb),
+                drift_relevant=key in _DRIFT_SUMMARY_KEYS,
+            )
+        )
+    return ManifestDiff(
+        a_name=a.scenario,
+        b_name=b.scenario,
+        spec_hash_match=a.spec_hash == b.spec_hash,
+        only_in_a=sorted(keys_a - keys_b),
+        only_in_b=sorted(keys_b - keys_a),
+        common_keys=len(keys_a & keys_b),
+        summary_deltas=deltas,
+        tol=tol,
+    )
+
+
+def load_manifest_file(path: "str | Path") -> Optional[ScenarioResult]:
+    """Load a manifest from an explicit file path (``scenario diff``)."""
+    return _load_manifest_file(Path(path))
+
+
 def save_manifest(
     directory: "Optional[str | Path]", result: ScenarioResult
 ) -> Optional[Path]:

@@ -372,6 +372,194 @@ def _run_shard(
 
 
 @dataclass
+class ShardStatus:
+    """Whether one shard of a partitioning has landed its manifest."""
+
+    index: int
+    count: int
+    present: bool
+    spec_match: bool
+    cells: int
+
+    def describe(self) -> str:
+        if not self.present:
+            return f"shard {self.index}/{self.count}: MISSING"
+        if not self.spec_match:
+            return (
+                f"shard {self.index}/{self.count}: present, STALE spec hash"
+            )
+        return f"shard {self.index}/{self.count}: {self.cells} cell(s) landed"
+
+
+@dataclass
+class ScenarioStatusReport:
+    """Everything ``scenario status`` reports about one scenario.
+
+    Answers the three operational questions of a (possibly sharded,
+    possibly multi-machine) run against a shared cache directory:
+    which shard manifests of the partitioning have landed, which job
+    cache keys are still missing from the result cache, and whether
+    the canonical manifest reflects the current spec.
+    """
+
+    name: str
+    spec_hash: str
+    cells: int
+    distinct_keys: int
+    cached_keys: int
+    missing_keys: List[str]
+    cache_dir: Optional[Path]
+    manifest_present: bool
+    manifest_current: bool
+    shard_count: Optional[int]
+    shards: List[ShardStatus]
+    stale_shard_manifests: int
+
+    @property
+    def shards_complete(self) -> bool:
+        """All shards of the reported partitioning landed, hash-matched."""
+        if self.shard_count is None:
+            return False
+        return all(s.present and s.spec_match for s in self.shards)
+
+    def describe(self) -> str:
+        lines = [
+            f"scenario {self.name} (spec {self.spec_hash[:12]}...): "
+            f"{self.cells} cell(s), {self.distinct_keys} distinct key(s)"
+        ]
+        where = (
+            f"dir {self.cache_dir}" if self.cache_dir is not None
+            else "in-memory only (pass --cache-dir for durable status)"
+        )
+        lines.append(
+            f"  cache [{where}]: {self.cached_keys}/{self.distinct_keys} "
+            f"key(s) present, {len(self.missing_keys)} missing"
+        )
+        for key in self.missing_keys[:5]:
+            lines.append(f"    missing: {key[:16]}...")
+        if len(self.missing_keys) > 5:
+            lines.append(f"    ... and {len(self.missing_keys) - 5} more")
+        if self.manifest_present:
+            state = "current" if self.manifest_current else (
+                "STALE (spec or key set changed since it was written)"
+            )
+            lines.append(f"  manifest: present, {state}")
+        else:
+            lines.append("  manifest: absent")
+        if self.shard_count is not None:
+            landed = sum(1 for s in self.shards if s.present and s.spec_match)
+            lines.append(
+                f"  shards ({self.shard_count}-way): {landed}/"
+                f"{self.shard_count} landed"
+                + (" — complete, mergeable" if self.shards_complete else "")
+            )
+            for shard in self.shards:
+                lines.append(f"    {shard.describe()}")
+        elif self.stale_shard_manifests == 0:
+            lines.append("  shards: none found")
+        if self.stale_shard_manifests:
+            lines.append(
+                f"  ignored {self.stale_shard_manifests} stale shard "
+                f"manifest(s) (other partitionings or edited specs)"
+            )
+        return "\n".join(lines)
+
+
+def scenario_status(
+    target: str,
+    quick: bool = True,
+    shards: Optional[int] = None,
+) -> ScenarioStatusReport:
+    """Report shard/cache/manifest state for a scenario without running it.
+
+    ``shards`` pins the partitioning to report on; by default the
+    largest shard count found among the persisted, hash-matching shard
+    manifests is used. Compiles the spec (at ``quick`` fidelity) but
+    never simulates — the cache is only probed for key presence.
+    """
+    scenario, file_spec = resolve_target(target)
+    spec = file_spec if scenario is None else scenario.spec(quick=quick)
+    name = scenario.name if scenario is not None else (
+        file_spec.name or Path(target).stem
+    )
+    if spec is None:
+        raise ConfigurationError(
+            f"scenario {name!r} has no sweep spec (it does not run "
+            f"through the job service) and has no shard/cache status"
+        )
+    service = default_service()
+    cache = service.cache
+    cache_dir = cache.directory if cache is not None else None
+
+    jobs = spec.compile()
+    keys = [job.cache_key() for job in jobs]
+    distinct = sorted(set(keys))
+    missing = [
+        key
+        for key in distinct
+        if cache is None or not cache.contains(key)
+    ]
+    spec_hash = spec.spec_hash()
+
+    manifest = load_manifest(cache_dir, name)
+    manifest_current = (
+        manifest is not None
+        and manifest.spec_hash == spec_hash
+        and manifest.job_keys == keys
+    )
+
+    found = find_shard_manifests(cache_dir, name)
+    matching = {
+        key: m for key, m in found.items() if m.spec_hash == spec_hash
+    }
+    if shards is not None:
+        if shards < 1:
+            raise ConfigurationError(
+                f"shard count must be >= 1, got {shards}"
+            )
+        count: Optional[int] = shards
+    else:
+        counts = sorted({c for (_, c) in matching})
+        count = counts[-1] if counts else None
+
+    shard_statuses: List[ShardStatus] = []
+    if count is not None:
+        for index in range(count):
+            m = found.get((index, count))
+            shard_statuses.append(
+                ShardStatus(
+                    index=index,
+                    count=count,
+                    present=m is not None,
+                    spec_match=m is not None and m.spec_hash == spec_hash,
+                    cells=len(m.job_keys) if m is not None else 0,
+                )
+            )
+    # Manifests outside the reported partitioning are *ignored*; a
+    # hash-mismatched manifest inside it is already shown per-shard as
+    # "STALE spec hash" and must not be double-counted here.
+    if count is None:
+        stale = len(found)
+    else:
+        stale = sum(1 for (_, c) in found if c != count)
+
+    return ScenarioStatusReport(
+        name=name,
+        spec_hash=spec_hash,
+        cells=len(jobs),
+        distinct_keys=len(distinct),
+        cached_keys=len(distinct) - len(missing),
+        missing_keys=missing,
+        cache_dir=cache_dir,
+        manifest_present=manifest is not None,
+        manifest_current=manifest_current,
+        shard_count=count,
+        shards=shard_statuses,
+        stale_shard_manifests=stale,
+    )
+
+
+@dataclass
 class ScenarioMergeReport:
     """What one ``scenario merge`` validated and wrote."""
 

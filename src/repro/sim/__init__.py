@@ -11,13 +11,19 @@ PyTorch profiler, NVML and AMD-SMI.
 """
 
 from repro.sim.config import SimConfig
-from repro.sim.engine import Simulator, simulate
+from repro.sim.engine import (
+    IncrementalSimulator,
+    Simulator,
+    make_simulator,
+    simulate,
+)
 from repro.sim.task import CommTask, ComputeTask, Task, TaskCategory
 from repro.sim.result import PowerSegment, SimulationResult, TaskRecord
 
 __all__ = [
     "CommTask",
     "ComputeTask",
+    "IncrementalSimulator",
     "PowerSegment",
     "SimConfig",
     "SimulationResult",
@@ -25,5 +31,6 @@ __all__ = [
     "Task",
     "TaskCategory",
     "TaskRecord",
+    "make_simulator",
     "simulate",
 ]

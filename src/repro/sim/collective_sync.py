@@ -30,7 +30,13 @@ class CollectiveInstance:
     work_remaining: float = 1.0
     rate: float = 0.0
     last_update_s: float = 0.0
-    epoch: int = 0
+    #: Creation sequence number assigned by the engine; the incremental
+    #: engine iterates per-GPU instance sets in ``seq`` order so float
+    #: accumulations match the reference engine's global dict order.
+    seq: int = 0
+    #: Index into the engine's global time-step log up to which this
+    #: instance's progress has been banked (incremental engine only).
+    bank_idx: int = 0
 
     def post(self, task: CommTask, now: float) -> None:
         """Register one rank's arrival at the collective."""

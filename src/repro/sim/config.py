@@ -29,6 +29,11 @@ class SimConfig:
         trace_power: record piecewise power segments (needed for power
             figures; small overhead otherwise).
         max_sim_time_s: hard wall against runaway simulations.
+        reference_engine: run the full-recompute reference engine
+            instead of the incremental O(affected) one. The two are
+            bit-for-bit identical (the equivalence suite pins this);
+            the reference path exists as the correctness oracle and
+            perf baseline.
     """
 
     contention_enabled: bool = True
@@ -39,6 +44,7 @@ class SimConfig:
     seed: int = 0
     trace_power: bool = True
     max_sim_time_s: float = 600.0
+    reference_engine: bool = False
 
     def __post_init__(self) -> None:
         if self.power_limit_w is not None and self.power_limit_w <= 0:
@@ -68,4 +74,5 @@ class SimConfig:
             seed=self.seed,
             trace_power=self.trace_power,
             max_sim_time_s=self.max_sim_time_s,
+            reference_engine=self.reference_engine,
         )

@@ -2,30 +2,54 @@
 
 Executes a set of :class:`~repro.sim.task.Task` objects (per-GPU stream
 programs) on a :class:`~repro.hw.system.NodeSpec`. Tasks are fluids:
-each holds remaining work and a current rate. On every event the engine
-banks progress, applies the state change, relaunches stream heads,
-recomputes all rates from the contention model and reschedules finish
-events. Governor ticks close the DVFS loop against instantaneous power.
+each holds remaining work and a current rate; events bank progress,
+apply the state change, launch newly unblocked stream heads, update
+rates from the contention model and (re)schedule finish events.
+Governor ticks close the DVFS loop against instantaneous power.
+
+Two engines share that machinery and produce **bit-for-bit identical**
+results (the equivalence suite pins this):
+
+* :class:`Simulator` — the full-recompute reference path: every event
+  recomputes every instance rate, every per-GPU contention aggregate
+  and every GPU's power. O(events x tasks); kept as the correctness
+  oracle and perf baseline (``SimConfig(reference_engine=True)``).
+* :class:`IncrementalSimulator` — the default: an event dirties only
+  the GPUs and collective instances whose inputs actually changed
+  (shared SM/HBM/link contention, clock moves, launches/finishes), and
+  only those are re-evaluated. Task progress banks lazily by replaying
+  the global time-step log, which reproduces the reference engine's
+  per-step float arithmetic exactly; per-GPU float accumulations
+  iterate memberships in creation order for the same reason. Stale
+  finish events are tombstoned in the queue (lazy invalidation)
+  instead of eagerly rescheduled.
+
+Invariant per-task quantities — jittered work and isolated durations,
+collective cost-model lookups, jitter factors — are hoisted into
+tables built once per simulation; power evaluations and roofline peaks
+are memoized on the state they depend on (see
+:class:`~repro.hw.power.PowerEvaluator` /
+:class:`~repro.sim.rates.RateModel`).
 """
 
 from __future__ import annotations
 
 import math
 import zlib
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.collectives.cost_model import CollectiveCostModel
+from repro.collectives.cost_model import CollectiveCost, CollectiveCostModel
 from repro.collectives.library import library_for
 from repro.errors import DeadlockError, PlanError, SimulationError
 from repro.hw.datapath import Datapath
 from repro.hw.dvfs import FrequencyGovernor, PowerLimitPolicy
-from repro.hw.power import GpuActivity, gpu_power
+from repro.hw.power import GpuActivity, PowerEvaluator, gpu_power
 from repro.hw.system import NodeSpec
 from repro.sim.collective_sync import CollectiveInstance
 from repro.sim.config import SimConfig
-from repro.sim.events import Event, EventKind, EventQueue
-from repro.sim.rates import compute_rate, hbm_demand, isolated_duration, sm_utilization
+from repro.sim.events import EventKind, EventQueue
+from repro.sim.rates import RateModel, hbm_demand
 from repro.sim.result import PowerSegment, SimulationResult, TaskRecord
 from repro.sim.task import CommTask, ComputeTask, Task
 
@@ -63,11 +87,32 @@ class _RunningCompute:
     rate: float
     isolated_s: float
     started_at: float
-    epoch: int = 0
+    #: Whether a finish event has ever been scheduled (the first rate
+    #: assignment must push even if the placeholder rate matches).
+    scheduled: bool = False
+    #: Index into the engine's time-step log up to which progress has
+    #: been banked (incremental engine only).
+    bank_idx: int = 0
+
+
+@dataclass
+class EngineStats:
+    """Hot-path counters for benchmarking and diagnostics."""
+
+    events: int = 0
+    stale_events: int = 0
+    gpu_rate_passes: int = 0
+    instance_rate_passes: int = 0
 
 
 class Simulator:
-    """Simulate one program (e.g. one training iteration) on a node."""
+    """Simulate one program (e.g. one training iteration) on a node.
+
+    This base class is the *reference* engine: every event triggers a
+    full recompute of all rates, aggregates and power. Subclasses hook
+    the state transitions (launch, post, start, finish, clock change)
+    to maintain incremental indices; the hooks are no-ops here.
+    """
 
     def __init__(
         self,
@@ -89,6 +134,7 @@ class Simulator:
                 hbm_effective_bandwidth=node.gpu.memory.effective_bandwidth,
             )
         self.cost_model = cost_model
+        self.stats = EngineStats()
 
         self.tasks: Dict[int, Task] = {}
         self.streams: Dict[Tuple[int, str], List[int]] = {}
@@ -100,8 +146,14 @@ class Simulator:
         self.queue = EventQueue()
         self.running: Dict[int, _RunningCompute] = {}
         self.instances: Dict[str, CollectiveInstance] = {}
+        self._inst_seq = 0
         self._waiting: set = set()  # comm tasks posted but not started
         self._comm_started: set = set()
+
+        # Memoized pure evaluators + per-simulation invariant tables.
+        self._rates = RateModel(self.gpu)
+        self._power_eval = PowerEvaluator(self.gpu.tdp_w, self.gpu.power)
+        self._build_invariant_tables()
 
         self._clock: Dict[int, float] = {
             g: config.max_clock_frac for g in range(node.num_gpus)
@@ -158,6 +210,71 @@ class Simulator:
         for key in self.streams:
             self._stream_pos[key] = 0
 
+    def _build_invariant_tables(self) -> None:
+        """Hoist per-task quantities that never change during the run.
+
+        Jittered work/isolated durations for compute tasks and jittered
+        collective costs per op key are pure in (task, config); building
+        them up front keeps the launch path allocation-only and lets
+        both engines share identical values by construction.
+        """
+        seed = self.config.seed
+        sigma = self.config.jitter_sigma
+        self._compute_table: Dict[int, Tuple[float, float]] = {}
+        self._comm_cost: Dict[str, CollectiveCost] = {}
+        for task in self.tasks.values():
+            if isinstance(task, ComputeTask):
+                factor = _lognormal_factor(f"c{task.task_id}", seed, sigma)
+                kernel = task.kernel
+                self._compute_table[task.task_id] = (
+                    kernel.flops * factor,
+                    self._rates.isolated_duration(kernel) * factor,
+                )
+            elif isinstance(task, CommTask):
+                key = task.op.key
+                if key in self._comm_cost:
+                    continue
+                cost = self.cost_model.cost(task.op)
+                factor = _lognormal_factor(f"k{key}", seed, sigma)
+                if factor != 1.0:
+                    # Jitter stretches the duration; the same bytes over
+                    # a longer window means proportionally less HBM
+                    # pressure.
+                    cost = replace(
+                        cost,
+                        duration_s=cost.duration_s * factor,
+                        hbm_bytes_per_s=cost.hbm_bytes_per_s / factor,
+                    )
+                self._comm_cost[key] = cost
+
+    # ------------------------------------------------------------------
+    # incremental hooks (no-ops in the reference engine)
+    # ------------------------------------------------------------------
+
+    def _on_compute_launched(self, entry: _RunningCompute) -> None:
+        pass
+
+    def _on_compute_finished(self, entry: _RunningCompute) -> None:
+        pass
+
+    def _on_instance_created(self, inst: CollectiveInstance) -> None:
+        pass
+
+    def _on_comm_posted(self, task: CommTask, inst: CollectiveInstance) -> None:
+        pass
+
+    def _on_instance_started(self, inst: CollectiveInstance) -> None:
+        pass
+
+    def _on_collective_finished(self, inst: CollectiveInstance) -> None:
+        pass
+
+    def _on_task_done(self, task: Task) -> None:
+        pass
+
+    def _on_clock_changed(self, gpu_index: int) -> None:
+        pass
+
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
@@ -171,15 +288,14 @@ class Simulator:
 
         total = len(self.tasks)
         while len(self.done) < total:
-            event = self.queue.pop()
+            event = self.queue.pop_live()
             if event is None:
                 raise DeadlockError(self._deadlock_report())
             if event.time > self.config.max_sim_time_s:
                 raise SimulationError(
                     f"simulation exceeded {self.config.max_sim_time_s}s"
                 )
-            if self._is_stale(event):
-                continue
+            self.stats.events += 1
             self._advance_to(event.time)
             if event.kind is EventKind.TASK_FINISH:
                 self._finish_compute(event.payload)
@@ -193,6 +309,7 @@ class Simulator:
             self._recompute()
             self._ensure_ticks()
 
+        self.stats.stale_events = self.queue.stale_dropped
         self._close_segments()
         result = SimulationResult(
             end_time_s=self.time,
@@ -203,15 +320,6 @@ class Simulator:
         )
         result.validate()
         return result
-
-    def _is_stale(self, event: Event) -> bool:
-        if event.kind is EventKind.TASK_FINISH:
-            entry = self.running.get(event.payload)
-            return entry is None or entry.epoch != event.epoch
-        if event.kind is EventKind.COLLECTIVE_FINISH:
-            inst = self.instances.get(event.payload)
-            return inst is None or not inst.active or inst.epoch != event.epoch
-        return False
 
     def _advance_to(self, t: float) -> None:
         if t < self.time - 1e-12:
@@ -249,69 +357,65 @@ class Simulator:
     def _deps_met(self, task: Task) -> bool:
         return task.deps <= self.done
 
+    def _maybe_launch_head(self, key: Tuple[int, str]) -> bool:
+        """Launch/post the head of one stream if it is runnable."""
+        tid = self._head(key)
+        if tid is None:
+            return False
+        if tid in self.running or tid in self._waiting:
+            return False
+        if tid in self._comm_started:
+            return False
+        task = self.tasks[tid]
+        if not self._deps_met(task):
+            return False
+        if isinstance(task, ComputeTask):
+            self._launch_compute(task)
+        elif isinstance(task, CommTask):
+            self._post_comm(task)
+        else:  # pragma: no cover - defensive
+            raise PlanError(f"unknown task type for {task.label}")
+        return True
+
     def _try_launch(self) -> None:
         progressed = True
         while progressed:
             progressed = False
             for key in self.streams:
-                tid = self._head(key)
-                if tid is None:
-                    continue
-                task = self.tasks[tid]
-                if tid in self.running or tid in self._waiting:
-                    continue
-                if tid in self._comm_started:
-                    continue
-                if not self._deps_met(task):
-                    continue
-                if isinstance(task, ComputeTask):
-                    self._launch_compute(task)
+                if self._maybe_launch_head(key):
                     progressed = True
-                elif isinstance(task, CommTask):
-                    self._post_comm(task)
-                    progressed = True
-                else:  # pragma: no cover - defensive
-                    raise PlanError(f"unknown task type for {task.label}")
 
     def _launch_compute(self, task: ComputeTask) -> None:
-        factor = _lognormal_factor(
-            f"c{task.task_id}", self.config.seed, self.config.jitter_sigma
-        )
-        kernel = task.kernel
-        iso = isolated_duration(kernel, self.gpu) * factor
-        self.running[task.task_id] = _RunningCompute(
+        work, iso = self._compute_table[task.task_id]
+        entry = _RunningCompute(
             task=task,
-            work_remaining=kernel.flops * factor,
+            work_remaining=work,
             rate=1.0,  # overwritten by the recompute that follows
             isolated_s=iso,
             started_at=self.time,
         )
+        self.running[task.task_id] = entry
+        self._on_compute_launched(entry)
 
     def _post_comm(self, task: CommTask) -> None:
         op = task.op
         inst = self.instances.get(op.key)
         if inst is None:
-            cost = self.cost_model.cost(op)
-            factor = _lognormal_factor(
-                f"k{op.key}", self.config.seed, self.config.jitter_sigma
+            inst = CollectiveInstance(
+                op=op, cost=self._comm_cost[op.key], seq=self._inst_seq
             )
-            if factor != 1.0:
-                # Jitter stretches the duration; the same bytes over a
-                # longer window means proportionally less HBM pressure.
-                cost = replace(
-                    cost,
-                    duration_s=cost.duration_s * factor,
-                    hbm_bytes_per_s=cost.hbm_bytes_per_s / factor,
-                )
-            inst = CollectiveInstance(op=op, cost=cost)
+            self._inst_seq += 1
             self.instances[op.key] = inst
+            self._on_instance_created(inst)
         inst.post(task, self.time)
         self._waiting.add(task.task_id)
+        self._on_comm_posted(task, inst)
         if inst.ready:
             inst.start(self.time)
             for rank_task in inst.posted.values():
                 self._waiting.discard(rank_task.task_id)
                 self._comm_started.add(rank_task.task_id)
+            self._on_instance_started(inst)
 
     # ------------------------------------------------------------------
     # finishing
@@ -335,6 +439,8 @@ class Simulator:
                 isolated_duration_s=entry.isolated_s,
             )
         )
+        self._on_compute_finished(entry)
+        self._on_task_done(task)
 
     def _finish_collective(self, key: str) -> None:
         inst = self.instances[key]
@@ -357,6 +463,8 @@ class Simulator:
                     isolated_duration_s=inst.cost.duration_s,
                 )
             )
+            self._on_task_done(task)
+        self._on_collective_finished(inst)
 
     # ------------------------------------------------------------------
     # rates / contention
@@ -378,26 +486,31 @@ class Simulator:
             if inst.started_at is None and gpu in inst.posted
         ]
 
+    def _instance_rate(self, inst: CollectiveInstance) -> float:
+        """Current progress rate of an active instance."""
+        min_f = min(self._clock[g] for g in inst.op.participants)
+        if not self.config.contention_enabled:
+            min_f = self.config.max_clock_frac
+        return inst.nominal_rate() * inst.progress_scale(min_f)
+
     def _recompute(self) -> None:
-        # Pass 1: instance rates depend only on participant clocks.
+        # Pass 1: instance rates depend only on participant clocks. A
+        # finish is (re)scheduled exactly when the rate *changes* — the
+        # start is covered by the 0 -> positive transition, and an
+        # unchanged rate means the outstanding event's projection is
+        # still exact. Pushing only on change keeps the event sequence
+        # (and therefore every same-time heap tie-break) structurally
+        # identical between this engine and the incremental one.
         for inst in self.instances.values():
             if not inst.active:
                 continue
-            min_f = min(self._clock[g] for g in inst.op.participants)
-            if not self.config.contention_enabled:
-                min_f = self.config.max_clock_frac
-            new_rate = inst.nominal_rate() * inst.progress_scale(min_f)
-            if new_rate != inst.rate or inst.work_remaining >= 1.0:
+            self.stats.instance_rate_passes += 1
+            new_rate = self._instance_rate(inst)
+            if new_rate != inst.rate:
                 inst.rate = new_rate
-                inst.epoch += 1
                 finish = self.time + inst.work_remaining / max(new_rate, 1e-12)
-                self.queue.push(
-                    Event(
-                        finish,
-                        EventKind.COLLECTIVE_FINISH,
-                        inst.op.key,
-                        inst.epoch,
-                    )
+                self.queue.schedule(
+                    finish, EventKind.COLLECTIVE_FINISH, inst.op.key
                 )
 
         # Pass 2: compute rates under contention from active collectives.
@@ -405,49 +518,69 @@ class Simulator:
         for entry in self.running.values():
             per_gpu_running.setdefault(entry.task.gpu, []).append(entry)
 
-        hbm_eff = self.gpu.memory.effective_bandwidth
         for gpu_index in range(self.node.num_gpus):
-            entries = per_gpu_running.get(gpu_index, [])
-            insts = self._active_instances_on(gpu_index)
-            spinning = self._spinning_instances_on(gpu_index)
-            clock = self._clock[gpu_index]
-            if self.config.contention_enabled:
-                spin_scale = self.node.calibration.spin_sm_scale
-                comm_sm = min(
-                    _MAX_COMM_SM,
-                    sum(i.cost.sm_fraction for i in insts)
-                    + spin_scale * sum(i.cost.sm_fraction for i in spinning),
+            self._recompute_gpu(
+                gpu_index,
+                per_gpu_running.get(gpu_index, []),
+                self._active_instances_on(gpu_index),
+                self._spinning_instances_on(gpu_index),
+            )
+
+    def _recompute_gpu(
+        self,
+        gpu_index: int,
+        entries: List[_RunningCompute],
+        insts: List[CollectiveInstance],
+        spinning: List[CollectiveInstance],
+    ) -> None:
+        """Update compute rates + power for one GPU from its residents."""
+        self.stats.gpu_rate_passes += 1
+        hbm_eff = self.gpu.memory.effective_bandwidth
+        clock = self._clock[gpu_index]
+        if self.config.contention_enabled:
+            spin_scale = self.node.calibration.spin_sm_scale
+            comm_sm = min(
+                _MAX_COMM_SM,
+                sum(i.cost.sm_fraction for i in insts)
+                + spin_scale * sum(i.cost.sm_fraction for i in spinning),
+            )
+            comm_hbm = sum(i.hbm_demand_now() for i in insts)
+            sm_avail = max(_MIN_SM_FRACTION, 1.0 - comm_sm)
+            hbm_avail = max(_MIN_HBM_FRACTION * hbm_eff, hbm_eff - comm_hbm)
+            if insts:
+                hbm_avail *= 1.0 - self.node.calibration.interference_factor
+            eff_clock = clock
+        else:
+            sm_avail, hbm_avail, eff_clock = (
+                1.0,
+                hbm_eff,
+                self.config.max_clock_frac,
+            )
+        n = len(entries)
+        for entry in entries:
+            new_rate = self._rates.compute_rate(
+                entry.task.kernel,
+                sm_fraction=sm_avail / n,
+                hbm_bytes_per_s=hbm_avail / n,
+                clock_frac=eff_clock,
+            )
+            if new_rate != entry.rate or not entry.scheduled:
+                self._bank_entry(entry)
+                entry.rate = new_rate
+                entry.scheduled = True
+                finish = self.time + entry.work_remaining / new_rate
+                self.queue.schedule(
+                    finish, EventKind.TASK_FINISH, entry.task.task_id
                 )
-                comm_hbm = sum(i.hbm_demand_now() for i in insts)
-                sm_avail = max(_MIN_SM_FRACTION, 1.0 - comm_sm)
-                hbm_avail = max(_MIN_HBM_FRACTION * hbm_eff, hbm_eff - comm_hbm)
-                if insts:
-                    hbm_avail *= 1.0 - self.node.calibration.interference_factor
-                eff_clock = clock
-            else:
-                sm_avail, hbm_avail, eff_clock = 1.0, hbm_eff, self.config.max_clock_frac
-            n = len(entries)
-            for entry in entries:
-                new_rate = compute_rate(
-                    entry.task.kernel,
-                    self.gpu,
-                    sm_fraction=sm_avail / n,
-                    hbm_bytes_per_s=hbm_avail / n,
-                    clock_frac=eff_clock,
-                )
-                if new_rate != entry.rate or entry.epoch == 0:
-                    entry.rate = new_rate
-                    entry.epoch += 1
-                    finish = self.time + entry.work_remaining / new_rate
-                    self.queue.push(
-                        Event(
-                            finish,
-                            EventKind.TASK_FINISH,
-                            entry.task.task_id,
-                            entry.epoch,
-                        )
-                    )
-            self._update_power(gpu_index, entries, insts, spinning, clock)
+        self._update_power(gpu_index, entries, insts, spinning, clock)
+
+    def _bank_entry(self, entry: _RunningCompute) -> None:
+        """Bring an entry's banked progress up to ``self.time``.
+
+        The reference engine banks eagerly in :meth:`_advance_to`, so
+        this is a no-op here; the incremental engine overrides it with
+        the lazy time-step replay.
+        """
 
     def _update_power(
         self,
@@ -459,25 +592,17 @@ class Simulator:
     ) -> None:
         sm_util: Dict[Datapath, float] = {}
         hbm_used = 0.0
-        hbm_eff = self.gpu.memory.effective_bandwidth
         stall_frac = self.node.calibration.stall_power_frac
         for entry in entries:
             kernel = entry.task.kernel
-            util = sm_utilization(kernel, self.gpu, entry.rate, 1.0, clock)
+            util = self._rates.sm_utilization(kernel, entry.rate, 1.0, clock)
             # A kernel slowed *by contention* keeps most of its warps
             # resident and toggling; its power tracks the throughput it
             # would achieve uncontended, discounted by stall_power_frac,
             # not the throughput it actually achieves. Intrinsically
             # memory-bound kernels are unaffected (their uncontended
             # utilisation is already low).
-            free_rate = compute_rate(
-                kernel,
-                self.gpu,
-                sm_fraction=1.0,
-                hbm_bytes_per_s=hbm_eff,
-                clock_frac=clock,
-            )
-            free_util = sm_utilization(kernel, self.gpu, free_rate, 1.0, clock)
+            free_util = self._rates.free_utilization(kernel, clock)
             if free_util > util:
                 util += stall_frac * (free_util - util)
             # Short kernels never reach steady-state power: wave ramp-up
@@ -506,7 +631,7 @@ class Simulator:
             link_frac=min(link_frac, 1.0),
             clock_frac=clock,
         )
-        power = gpu_power(self.gpu.tdp_w, self.gpu.power, activity)
+        power = self._power_eval.evaluate(activity)
         self._power_now[gpu_index] = power
         self._maybe_roll_segment(
             gpu_index,
@@ -538,12 +663,10 @@ class Simulator:
         for gpu_index, pending in self._tick_pending.items():
             if not pending:
                 self._tick_pending[gpu_index] = True
-                self.queue.push(
-                    Event(
-                        self.time + self.config.governor_period_s,
-                        EventKind.GOVERNOR_TICK,
-                        gpu_index,
-                    )
+                self.queue.schedule(
+                    self.time + self.config.governor_period_s,
+                    EventKind.GOVERNOR_TICK,
+                    gpu_index,
                 )
 
     def _governor_tick(self, gpu_index: int) -> None:
@@ -557,7 +680,9 @@ class Simulator:
                 self.gpu.tdp_w, self.gpu.power, GpuActivity(clock_frac=1.0)
             )
         new_clock = governor.observe(power)
-        self._clock[gpu_index] = new_clock
+        if new_clock != self._clock[gpu_index]:
+            self._clock[gpu_index] = new_clock
+            self._on_clock_changed(gpu_index)
         self._min_clock_seen = min(self._min_clock_seen, new_clock)
 
     # ------------------------------------------------------------------
@@ -567,7 +692,7 @@ class Simulator:
     def _open_segments(self) -> None:
         if not self.config.trace_power:
             return
-        idle = gpu_power(self.gpu.tdp_w, self.gpu.power, GpuActivity())
+        idle = self._power_eval.evaluate(GpuActivity())
         for g in range(self.node.num_gpus):
             self._power_now[g] = idle
             self._segment_open[g] = PowerSegment(
@@ -667,17 +792,243 @@ class Simulator:
         )
 
 
+class IncrementalSimulator(Simulator):
+    """O(affected) event updates over the same physics as the reference.
+
+    Event handlers mark *dirty* GPUs (whose resident-set, contention
+    aggregate or clock changed) and *dirty* collective instances (a
+    participant clock moved, or the instance just started); the
+    recompute then touches only those. All other state is provably
+    unchanged — the reference engine would recompute identical floats
+    and push no events — so skipping it cannot alter the results.
+
+    Progress banking is lazy: :meth:`_advance_to` appends each positive
+    time step to a log, and an entry/instance replays its missed steps
+    (with the per-step ``max(0, w - r*dt)`` clamp) only when its rate
+    changes or its remaining work is read. The replay performs exactly
+    the reference engine's per-event arithmetic, which is what keeps
+    the two engines bit-for-bit identical rather than merely close.
+    """
+
+    def __init__(
+        self,
+        node: NodeSpec,
+        tasks: Sequence[Task],
+        config: Optional[SimConfig] = None,
+        cost_model: Optional[CollectiveCostModel] = None,
+    ):
+        super().__init__(node, tasks, config, cost_model=cost_model)
+        num_gpus = node.num_gpus
+        #: Global log of positive time steps (the replay tape).
+        self._dts: List[float] = []
+        #: GPUs whose rate/power inputs changed since the last recompute.
+        #: Starts full so the first recompute mirrors the reference
+        #: engine's initial full pass (priming ``_power_now`` for all).
+        self._dirty_gpus: Set[int] = set(range(num_gpus))
+        #: Dirty active instances, by creation ``seq``.
+        self._dirty_insts: Set[int] = set()
+        self._insts_by_seq: Dict[int, CollectiveInstance] = {}
+        #: Per-GPU resident sets. Iterated in creation/launch order so
+        #: float accumulations match the reference engine's global
+        #: dict-order sums exactly.
+        self._running_on: List[Dict[int, _RunningCompute]] = [
+            {} for _ in range(num_gpus)
+        ]
+        self._active_on: List[Dict[int, CollectiveInstance]] = [
+            {} for _ in range(num_gpus)
+        ]
+        self._spinning_on: List[Dict[int, CollectiveInstance]] = [
+            {} for _ in range(num_gpus)
+        ]
+        self._active_inst_count = 0
+        #: Streams whose head may have become launchable.
+        self._launch_candidates: Set[Tuple[int, str]] = set(self.streams)
+        self._stream_order: Dict[Tuple[int, str], int] = {
+            key: index for index, key in enumerate(self.streams)
+        }
+        #: Reverse dependency index: task id -> tasks waiting on it.
+        self._dependents: Dict[int, List[int]] = {}
+        for task in self.tasks.values():
+            for dep in task.deps:
+                self._dependents.setdefault(dep, []).append(task.task_id)
+
+    # ------------------------------------------------------------------
+    # lazy banking
+    # ------------------------------------------------------------------
+
+    def _advance_to(self, t: float) -> None:
+        if t < self.time - 1e-12:
+            raise SimulationError("event time went backwards")
+        t = max(t, self.time)
+        if t > self.time:
+            self._dts.append(t - self.time)
+        self.time = t
+
+    def _bank_entry(self, entry: _RunningCompute) -> None:
+        dts = self._dts
+        n = len(dts)
+        i = entry.bank_idx
+        if i < n:
+            w = entry.work_remaining
+            r = entry.rate
+            while i < n:
+                w = max(0.0, w - r * dts[i])
+                i += 1
+            entry.work_remaining = w
+            entry.bank_idx = n
+
+    def _bank_instance(self, inst: CollectiveInstance) -> None:
+        dts = self._dts
+        n = len(dts)
+        i = inst.bank_idx
+        if i < n:
+            w = inst.work_remaining
+            r = inst.rate
+            while i < n:
+                w = max(0.0, w - r * dts[i])
+                i += 1
+            inst.work_remaining = w
+            inst.bank_idx = n
+            inst.last_update_s = self.time
+
+    # ------------------------------------------------------------------
+    # dirty tracking hooks
+    # ------------------------------------------------------------------
+
+    def _on_compute_launched(self, entry: _RunningCompute) -> None:
+        entry.bank_idx = len(self._dts)
+        gpu = entry.task.gpu
+        self._running_on[gpu][entry.task.task_id] = entry
+        self._dirty_gpus.add(gpu)
+
+    def _on_compute_finished(self, entry: _RunningCompute) -> None:
+        gpu = entry.task.gpu
+        self._running_on[gpu].pop(entry.task.task_id, None)
+        self._dirty_gpus.add(gpu)
+
+    def _on_instance_created(self, inst: CollectiveInstance) -> None:
+        self._insts_by_seq[inst.seq] = inst
+
+    def _on_comm_posted(self, task: CommTask, inst: CollectiveInstance) -> None:
+        # The instance busy-polls this rank's SMs until the rendezvous
+        # completes; its spin footprint appears on this GPU only.
+        self._spinning_on[task.gpu][inst.seq] = inst
+        self._dirty_gpus.add(task.gpu)
+
+    def _on_instance_started(self, inst: CollectiveInstance) -> None:
+        inst.bank_idx = len(self._dts)
+        seq = inst.seq
+        for gpu in inst.posted:
+            self._spinning_on[gpu].pop(seq, None)
+        for gpu in inst.op.participants:
+            self._active_on[gpu][seq] = inst
+        self._dirty_gpus.update(inst.op.participants)
+        self._dirty_insts.add(seq)
+        self._active_inst_count += 1
+
+    def _on_collective_finished(self, inst: CollectiveInstance) -> None:
+        seq = inst.seq
+        for gpu in inst.op.participants:
+            self._active_on[gpu].pop(seq, None)
+        self._dirty_gpus.update(inst.op.participants)
+        self._dirty_insts.discard(seq)
+        self._insts_by_seq.pop(seq, None)
+        self._active_inst_count -= 1
+
+    def _on_task_done(self, task: Task) -> None:
+        self._launch_candidates.add((task.gpu, task.stream))
+        for tid in self._dependents.get(task.task_id, ()):
+            dependent = self.tasks[tid]
+            self._launch_candidates.add((dependent.gpu, dependent.stream))
+
+    def _on_clock_changed(self, gpu_index: int) -> None:
+        self._dirty_gpus.add(gpu_index)
+        # A moved clock shifts the min-participant-clock of every
+        # active collective this GPU takes part in.
+        self._dirty_insts.update(self._active_on[gpu_index])
+
+    def _has_activity(self) -> bool:
+        return bool(self.running) or self._active_inst_count > 0
+
+    # ------------------------------------------------------------------
+    # launching / recompute
+    # ------------------------------------------------------------------
+
+    def _try_launch(self) -> None:
+        # Launching a task never *enables* another launch (only task
+        # completion satisfies deps or exposes a new head), so one pass
+        # over the candidate streams — in the reference engine's stream
+        # order — launches exactly what its full fixpoint scan would.
+        while self._launch_candidates:
+            batch = sorted(
+                self._launch_candidates, key=self._stream_order.__getitem__
+            )
+            self._launch_candidates.clear()
+            for key in batch:
+                self._maybe_launch_head(key)
+
+    def _recompute(self) -> None:
+        if self._dirty_insts:
+            # Creation order == the reference engine's global
+            # instances-dict order, so same-time finish events are
+            # pushed with the same relative heap priority.
+            for seq in sorted(self._dirty_insts):
+                inst = self._insts_by_seq.get(seq)
+                if inst is None or not inst.active:
+                    continue
+                self.stats.instance_rate_passes += 1
+                new_rate = self._instance_rate(inst)
+                if new_rate != inst.rate:
+                    self._bank_instance(inst)
+                    inst.rate = new_rate
+                    finish = self.time + inst.work_remaining / max(
+                        new_rate, 1e-12
+                    )
+                    self.queue.schedule(
+                        finish, EventKind.COLLECTIVE_FINISH, inst.op.key
+                    )
+                    # The instance's HBM/link draw scales with its
+                    # rate; every participant's contention changed.
+                    self._dirty_gpus.update(inst.op.participants)
+            self._dirty_insts.clear()
+
+        if self._dirty_gpus:
+            for gpu_index in sorted(self._dirty_gpus):
+                active = self._active_on[gpu_index]
+                spinning = self._spinning_on[gpu_index]
+                self._recompute_gpu(
+                    gpu_index,
+                    list(self._running_on[gpu_index].values()),
+                    [active[s] for s in sorted(active)],
+                    [spinning[s] for s in sorted(spinning)],
+                )
+            self._dirty_gpus.clear()
+
+
+def make_simulator(
+    node: NodeSpec,
+    tasks: Sequence[Task],
+    config: Optional[SimConfig] = None,
+    cost_model: Optional[CollectiveCostModel] = None,
+) -> Simulator:
+    """Build the engine ``config`` selects (incremental by default)."""
+    if config is None:
+        config = SimConfig()
+    cls = Simulator if config.reference_engine else IncrementalSimulator
+    return cls(node, tasks, config, cost_model=cost_model)
+
+
 def simulate(
     node: NodeSpec,
     tasks: Sequence[Task],
     config: Optional[SimConfig] = None,
     cost_model: Optional[CollectiveCostModel] = None,
 ) -> SimulationResult:
-    """Convenience wrapper: build a :class:`Simulator` and run it.
+    """Convenience wrapper: build the configured engine and run it.
 
     ``cost_model`` lets callers share one memoized
     :class:`CollectiveCostModel` across many simulations of the same
     node (see :mod:`repro.exec.planning`); it is stateless, so sharing
     cannot change results.
     """
-    return Simulator(node, tasks, config, cost_model=cost_model).run()
+    return make_simulator(node, tasks, config, cost_model=cost_model).run()

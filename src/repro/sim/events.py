@@ -1,14 +1,29 @@
-"""Event queue for the discrete-event engine."""
+"""Event queue for the discrete-event engine.
+
+The queue supports *lazy invalidation*: rescheduling a finish event
+does not remove the superseded copy from the heap. Instead every
+``(kind, payload)`` pair carries a version counter; :meth:`~EventQueue.schedule`
+bumps it and tags the new event, and :meth:`~EventQueue.pop_live`
+silently drops tombstoned copies (events whose version has since been
+superseded) on the way out. This turns the engine's rescheduling churn
+from O(heap) removals into O(1) bumps, at the cost of dead entries in
+the heap — which :meth:`~EventQueue.compact` reclaims once they
+outnumber the live ones.
+"""
 
 from __future__ import annotations
 
 import enum
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import SimulationError
+
+#: Compaction threshold: rebuild the heap once it holds at least this
+#: many events and more than half of them are tombstones.
+_COMPACT_MIN_SIZE = 64
 
 
 class EventKind(enum.Enum):
@@ -26,9 +41,10 @@ class EventKind(enum.Enum):
 class Event:
     """One scheduled occurrence.
 
-    ``epoch`` supports lazy invalidation: finish events carry the epoch
-    of the task/instance at scheduling time and are dropped on pop if
-    the epoch has since advanced (i.e. the finish was rescheduled).
+    ``epoch`` supports lazy invalidation: finish events carry the
+    version of their ``(kind, payload)`` key at scheduling time and are
+    dropped on pop if the version has since advanced (i.e. the finish
+    was rescheduled or cancelled).
     """
 
     time: float
@@ -38,14 +54,53 @@ class Event:
 
 
 class EventQueue:
-    """A stable min-heap of events keyed by (time, insertion order)."""
+    """A stable min-heap of events keyed by (time, insertion order).
+
+    Two usage levels:
+
+    * :meth:`push` / :meth:`pop` — the raw FIFO-stable heap; events are
+      returned exactly as pushed. For unversioned keys only: pushing a
+      raw event onto a key that :meth:`schedule` manages would corrupt
+      the tombstone accounting, so it is rejected.
+    * :meth:`schedule` / :meth:`cancel` / :meth:`pop_live` — versioned
+      events with lazy invalidation (the engine uses this for finish
+      events *and* governor ticks); superseded copies are tombstones
+      that ``pop_live`` drops and ``compact`` reclaims.
+    """
 
     def __init__(self) -> None:
         self._heap: list = []
         self._counter = itertools.count()
+        #: Current version per (kind, payload); events tagged with an
+        #: older version are tombstones.
+        self._versions: Dict[Tuple[EventKind, Any], int] = {}
+        #: Keys whose *current* version still has an event in the heap
+        #: (drives the exact tombstone count below).
+        self._live_keys: set = set()
+        #: Exact number of tombstoned events currently in the heap.
+        self._tombstones = 0
+        #: Total tombstones dropped over the queue's lifetime.
+        self.stale_dropped = 0
+
+    # ------------------------------------------------------------------
+    # raw heap interface
+    # ------------------------------------------------------------------
 
     def push(self, event: Event) -> None:
-        """Schedule an event; times must be finite and non-negative."""
+        """Schedule a raw event; times must be finite and non-negative.
+
+        Rejects keys already managed by :meth:`schedule` — a raw copy
+        there would silently read as a tombstone and skew the exact
+        tombstone count that drives compaction.
+        """
+        if (event.kind, event.payload) in self._versions:
+            raise SimulationError(
+                f"event key ({event.kind}, {event.payload!r}) is "
+                f"version-managed; use schedule() instead of push()"
+            )
+        self._push(event)
+
+    def _push(self, event: Event) -> None:
         if not (event.time >= 0.0) or event.time != event.time:
             raise SimulationError(
                 f"event {event.kind} has invalid time {event.time!r}"
@@ -55,10 +110,18 @@ class EventQueue:
         heapq.heappush(self._heap, (event.time, next(self._counter), event))
 
     def pop(self) -> Optional[Event]:
-        """Remove and return the earliest event, or None if empty."""
+        """Remove and return the earliest event, or None if empty.
+
+        Tombstoned events are returned too — callers that schedule via
+        :meth:`schedule` should use :meth:`pop_live` instead.
+        """
         if not self._heap:
             return None
         _, _, event = heapq.heappop(self._heap)
+        if self._is_stale(event):
+            self._tombstones -= 1
+        else:
+            self._live_keys.discard((event.kind, event.payload))
         return event
 
     def peek_time(self) -> Optional[float]:
@@ -66,6 +129,83 @@ class EventQueue:
         if not self._heap:
             return None
         return self._heap[0][0]
+
+    # ------------------------------------------------------------------
+    # versioned interface (lazy invalidation)
+    # ------------------------------------------------------------------
+
+    def schedule(self, time: float, kind: EventKind, payload: Any) -> Event:
+        """(Re)schedule the finish event for ``(kind, payload)``.
+
+        Any previously scheduled copy becomes a tombstone; there is at
+        most one live event per key at any moment.
+        """
+        key = (kind, payload)
+        version = self._versions.get(key, 0) + 1
+        self._versions[key] = version
+        if key in self._live_keys:
+            self._tombstones += 1
+        else:
+            self._live_keys.add(key)
+        event = Event(time, kind, payload, version)
+        self._push(event)
+        return event
+
+    def cancel(self, kind: EventKind, payload: Any) -> None:
+        """Tombstone the outstanding event for ``(kind, payload)``.
+
+        The engine itself never needs this — it invalidates by
+        supersession (:meth:`schedule`) and state is only torn down by
+        the key's own live event, at which point nothing is
+        outstanding. It completes the lazy-invalidation contract for
+        callers that retire a key *without* popping it (e.g. aborting
+        a task from outside the event loop).
+        """
+        key = (kind, payload)
+        if key in self._live_keys:
+            self._versions[key] = self._versions.get(key, 0) + 1
+            self._live_keys.discard(key)
+            self._tombstones += 1
+
+    def _is_stale(self, event: Event) -> bool:
+        current = self._versions.get((event.kind, event.payload))
+        return current is not None and event.epoch != current
+
+    def pop_live(self) -> Optional[Event]:
+        """Earliest non-tombstoned event, or None when none remain."""
+        while self._heap:
+            _, _, event = heapq.heappop(self._heap)
+            if self._is_stale(event):
+                self._tombstones -= 1
+                self.stale_dropped += 1
+                continue
+            self._live_keys.discard((event.kind, event.payload))
+            if self._tombstones > len(self._heap) // 2:
+                self.compact()
+            return event
+        return None
+
+    def compact(self) -> None:
+        """Drop tombstones from the heap in one rebuild.
+
+        The (time, counter) tuples are retained, so the relative order
+        of the surviving events — including same-time ties — is exactly
+        what it was before compaction.
+        """
+        if len(self._heap) < _COMPACT_MIN_SIZE:
+            return
+        kept = [
+            item for item in self._heap if not self._is_stale(item[2])
+        ]
+        self.stale_dropped += len(self._heap) - len(kept)
+        heapq.heapify(kept)
+        self._heap = kept
+        self._tombstones = 0
+
+    @property
+    def live_count(self) -> int:
+        """Number of non-tombstoned events currently queued."""
+        return len(self._heap) - self._tombstones
 
     def __len__(self) -> int:
         return len(self._heap)

@@ -1,6 +1,17 @@
-"""Roofline rate computation for compute kernels."""
+"""Roofline rate computation for compute kernels.
+
+The module-level functions are the reference formulas; the engine hot
+path goes through :class:`RateModel`, which precomputes the per-kernel
+invariants (datapath peak x efficiency, arithmetic intensity) once and
+memoizes the clock-dependent free-running utilisation the power model
+keeps asking for. The class performs the *same arithmetic in the same
+association order* as the functions, so the two are bit-for-bit
+interchangeable (a property test pins this).
+"""
 
 from __future__ import annotations
+
+from typing import Dict, Tuple
 
 from repro.errors import SimulationError
 from repro.hw.gpu import GpuSpec
@@ -78,3 +89,107 @@ def sm_utilization(
         return 0.0
     util = rate_flops_per_s / peak
     return min(util, sm_fraction if sm_fraction > 0 else 1.0, 1.0)
+
+
+class RateModel:
+    """Roofline calculator for one GPU with precomputed kernel tables.
+
+    Hoists the quantities that never change during a simulation — the
+    datapath peak scaled by kernel efficiency, the arithmetic intensity,
+    the isolated duration — into per-kernel memo tables, and caches the
+    free-running (uncontended) SM utilisation per (kernel, clock) pair
+    the stall-power model evaluates on every power update. All results
+    are bit-for-bit equal to the module-level functions.
+    """
+
+    #: Bound on the (kernel, clock) memo: DVFS walks the clock through
+    #: many distinct values over a long run, and the table must not
+    #: grow without limit.
+    _MAX_FREE_ENTRIES = 4096
+
+    def __init__(self, gpu: GpuSpec):
+        self.gpu = gpu
+        self._peak_eff: Dict[KernelSpec, float] = {}
+        self._iso: Dict[KernelSpec, float] = {}
+        self._free_util: Dict[Tuple[KernelSpec, float], float] = {}
+
+    def _peak_eff_for(self, kernel: KernelSpec) -> float:
+        value = self._peak_eff.get(kernel)
+        if value is None:
+            value = self.gpu.peak(kernel.path) * kernel.efficiency
+            self._peak_eff[kernel] = value
+        return value
+
+    def compute_rate(
+        self,
+        kernel: KernelSpec,
+        sm_fraction: float,
+        hbm_bytes_per_s: float,
+        clock_frac: float,
+    ) -> float:
+        """Identical to :func:`compute_rate` with the peak memoized."""
+        if sm_fraction < 0 or hbm_bytes_per_s < 0 or clock_frac <= 0:
+            raise SimulationError(
+                f"invalid resources for {kernel.name}: "
+                f"sm={sm_fraction}, bw={hbm_bytes_per_s}, f={clock_frac}"
+            )
+        peak_eff = self._peak_eff_for(kernel)
+        flops_ceiling = peak_eff * sm_fraction * clock_frac
+        ai = kernel.arithmetic_intensity
+        if ai == float("inf"):
+            rate = flops_ceiling
+        else:
+            rate = min(flops_ceiling, ai * hbm_bytes_per_s)
+        if rate <= 0:
+            rate = max(peak_eff * 1e-4, 1.0)
+        return rate
+
+    def isolated_duration(self, kernel: KernelSpec) -> float:
+        """Memoized :func:`isolated_duration`."""
+        value = self._iso.get(kernel)
+        if value is None:
+            rate = self.compute_rate(
+                kernel,
+                sm_fraction=1.0,
+                hbm_bytes_per_s=self.gpu.memory.effective_bandwidth,
+                clock_frac=1.0,
+            )
+            value = kernel.flops / rate
+            self._iso[kernel] = value
+        return value
+
+    def sm_utilization(
+        self,
+        kernel: KernelSpec,
+        rate_flops_per_s: float,
+        sm_fraction: float,
+        clock_frac: float,
+    ) -> float:
+        """Identical to :func:`sm_utilization` with the peak memoized."""
+        peak = self._peak_eff_for(kernel) * clock_frac
+        if peak <= 0:
+            return 0.0
+        util = rate_flops_per_s / peak
+        return min(util, sm_fraction if sm_fraction > 0 else 1.0, 1.0)
+
+    def free_utilization(self, kernel: KernelSpec, clock_frac: float) -> float:
+        """Uncontended SM utilisation at a given clock, memoized.
+
+        This is the ``sm_utilization`` of the rate the kernel would
+        sustain with the whole GPU to itself — the quantity the
+        stall-power model compares against on every power update.
+        """
+        key = (kernel, clock_frac)
+        value = self._free_util.get(key)
+        if value is None:
+            if len(self._free_util) >= self._MAX_FREE_ENTRIES:
+                self._free_util.clear()
+            free_rate = self.compute_rate(
+                kernel,
+                sm_fraction=1.0,
+                hbm_bytes_per_s=self.gpu.memory.effective_bandwidth,
+                clock_frac=clock_frac,
+            )
+            value = self.sm_utilization(kernel, free_rate, 1.0, clock_frac)
+            self._free_util[key] = value
+        return value

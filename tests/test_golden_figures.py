@@ -1,10 +1,12 @@
 """Golden regression snapshots of figure summary metrics.
 
 `tests/golden/<name>.json` pins the exact quick-mode numbers of the
-Fig. 8 microbenchmark and the Fig. 9 power-cap sweep. The simulator is
-deterministic (jitter is seeded from the config), so any drift here
-means a refactor changed simulated physics, not noise. When a change
-is *intentional*, regenerate the snapshots and commit the diff:
+Fig. 8 microbenchmark, the Fig. 9 power-cap sweep and the shared
+Figs. 4-6 evaluation grid (per-cell slowdown/overlap/e2e plus
+overlapped-mode power and energy). The simulator is deterministic
+(jitter is seeded from the config), so any drift here means a refactor
+changed simulated physics, not noise. When a change is *intentional*,
+regenerate the snapshots and commit the diff:
 
     PYTHONPATH=src python -m pytest tests/test_golden_figures.py --update-golden
 """
@@ -35,9 +37,37 @@ def _generate_fig9():
     return fig9.generate(quick=True)
 
 
+def _generate_grid():
+    from repro.core.modes import ExecutionMode
+    from repro.harness.figures.grid import grid_rows
+
+    rows = []
+    for cell in grid_rows(quick=True):
+        record = {
+            "cell": cell.config.describe(),
+            "skipped": cell.skipped_reason,
+        }
+        if cell.ran:
+            metrics = cell.result.metrics
+            overlapped = cell.result.modes[ExecutionMode.OVERLAPPED]
+            record.update(
+                {
+                    "compute_slowdown": metrics.compute_slowdown,
+                    "overlap_ratio": metrics.overlap_ratio,
+                    "e2e_overlapped_ms": metrics.e2e_overlapping_s * 1e3,
+                    "avg_power_w": overlapped.avg_power_w,
+                    "peak_power_w": overlapped.peak_power_w,
+                    "energy_j": overlapped.energy_j,
+                }
+            )
+        rows.append(record)
+    return rows
+
+
 GENERATORS = {
     "fig8": _generate_fig8,
     "fig9": _generate_fig9,
+    "grid": _generate_grid,
 }
 
 

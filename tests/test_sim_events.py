@@ -79,3 +79,91 @@ def test_pop_sequence_is_sorted(times):
     while q:
         popped.append(q.pop().time)
     assert popped == sorted(times)
+
+
+# ----------------------------------------------------------------------
+# versioned scheduling / lazy invalidation
+# ----------------------------------------------------------------------
+
+
+def test_reschedule_tombstones_previous_copy():
+    q = EventQueue()
+    q.schedule(2.0, EventKind.TASK_FINISH, 7)
+    q.schedule(1.0, EventKind.TASK_FINISH, 7)  # supersedes the first
+    event = q.pop_live()
+    assert (event.time, event.payload) == (1.0, 7)
+    assert q.pop_live() is None  # the 2.0 copy was a tombstone
+    assert q.stale_dropped == 1
+
+
+def test_cancel_tombstones_outstanding_event():
+    q = EventQueue()
+    q.schedule(1.0, EventKind.COLLECTIVE_FINISH, "x")
+    q.schedule(2.0, EventKind.TASK_FINISH, 1)
+    q.cancel(EventKind.COLLECTIVE_FINISH, "x")
+    event = q.pop_live()
+    assert event.kind is EventKind.TASK_FINISH
+    assert q.pop_live() is None
+
+
+def test_cancel_without_outstanding_event_is_noop():
+    q = EventQueue()
+    q.cancel(EventKind.TASK_FINISH, 99)
+    q.schedule(1.0, EventKind.TASK_FINISH, 99)
+    assert q.pop_live().payload == 99
+
+
+def test_live_count_tracks_tombstones():
+    q = EventQueue()
+    for i in range(5):
+        q.schedule(float(i + 1), EventKind.TASK_FINISH, 0)
+    assert len(q) == 5
+    assert q.live_count == 1  # four superseded copies
+
+
+def test_different_payloads_do_not_invalidate_each_other():
+    q = EventQueue()
+    q.schedule(1.0, EventKind.TASK_FINISH, 1)
+    q.schedule(2.0, EventKind.TASK_FINISH, 2)
+    q.schedule(3.0, EventKind.TASK_FINISH, 1)  # only payload 1 reschedules
+    assert [q.pop_live().payload for _ in range(2)] == [2, 1]
+    assert q.pop_live() is None
+
+
+def test_compaction_preserves_order_and_results():
+    q = EventQueue()
+    # Heavy rescheduling churn: many payloads, many supersessions, plus
+    # same-time ties whose insertion order must survive compaction.
+    for round_index in range(20):
+        for payload in range(10):
+            q.schedule(
+                100.0 - round_index + payload, EventKind.TASK_FINISH, payload
+            )
+    q.compact()
+    assert q.live_count == 10
+    assert len(q) == 10  # tombstones physically gone
+    popped = []
+    while True:
+        event = q.pop_live()
+        if event is None:
+            break
+        popped.append((event.time, event.payload))
+    assert popped == sorted(popped)
+    assert len(popped) == 10
+
+
+@given(st.lists(st.tuples(st.integers(0, 4), st.floats(0.0, 100.0)), max_size=60))
+def test_pop_live_returns_only_latest_per_payload(schedules):
+    q = EventQueue()
+    latest = {}
+    for payload, time in schedules:
+        q.schedule(time, EventKind.TASK_FINISH, payload)
+        latest[payload] = time
+    got = {}
+    while True:
+        event = q.pop_live()
+        if event is None:
+            break
+        assert event.payload not in got
+        got[event.payload] = event.time
+    assert got == latest
