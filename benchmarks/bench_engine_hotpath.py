@@ -1,19 +1,26 @@
 #!/usr/bin/env python
-"""Engine hot-path benchmark: incremental vs full-recompute reference.
+"""Engine hot-path benchmark: reference vs incremental vs fast tiers.
 
-Measures two things and records them in ``BENCH_engine.json`` so the
-repo carries a perf trajectory across PRs:
+Measures two things per engine tier and records them in
+``BENCH_engine.json`` so the repo carries a perf trajectory across
+PRs:
 
 * **single-cell event throughput** — one representative contended cell
   (H100, GPT-3 2.7B, FSDP, jitter + governor active) simulated by each
-  engine; reports engine events/second.
+  tier; reports engine events/second.
 * **quick-grid cells/sec** — the full Figs. 4-6 quick evaluation grid
   (48 cells x 3 modes) run serially through the execution service with
-  caching disabled, once per engine.
+  caching disabled, once per tier.
 
-``--verify`` instead runs one grid cell end-to-end under both engines
-and exits nonzero unless the full result payloads are byte-identical
-(the CI equivalence gate).
+The tiers are ``reference`` (full recompute), ``incremental`` (the
+bit-exact default) and ``fast`` (calendar event queue + additive
+contention aggregates + adaptive governor ticks; bounded relative
+error — see the engine-equivalence tolerance suite).
+
+``--verify`` instead runs one grid cell end-to-end under the reference
+and incremental engines and exits nonzero unless the full result
+payloads are byte-identical (the CI equivalence gate; the fast tier is
+gated by its tolerance tests, not by byte identity).
 
 This file is a standalone script, not a pytest-benchmark module: run
 ``python benchmarks/bench_engine_hotpath.py [--quick]``.
@@ -32,7 +39,11 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.core.experiment import SIM_ENGINE_ENV, ExperimentConfig  # noqa: E402
+from repro.core.experiment import (  # noqa: E402
+    SIM_ENGINE_ENV,
+    SIM_FAST_ENV,
+    ExperimentConfig,
+)
 from repro.exec.executors import SerialExecutor  # noqa: E402
 from repro.exec.job import SimJob  # noqa: E402
 from repro.exec.planning import default_planner  # noqa: E402
@@ -40,9 +51,15 @@ from repro.exec.service import ExecutionService  # noqa: E402
 from repro.exec.cache import result_to_payload  # noqa: E402
 from repro.harness.figures.grid import grid_spec  # noqa: E402
 from repro.sim.config import SimConfig  # noqa: E402
-from repro.sim.engine import make_simulator  # noqa: E402
+from repro.sim.engine import (  # noqa: E402
+    make_simulator,
+    reset_shared_evaluators,
+)
 
+#: Exact engines (``--verify`` pins them byte-identical).
 ENGINES = ("reference", "incremental")
+#: All benchmarked tiers, fast included.
+TIERS = ("reference", "incremental", "fast")
 
 #: The representative contended cell for the event-throughput probe.
 SINGLE_CELL = ExperimentConfig(
@@ -66,16 +83,24 @@ VERIFY_CELL = ExperimentConfig(
 
 @contextlib.contextmanager
 def _engine_env(engine: str):
-    """Route ExperimentConfig simulations through ``engine``."""
-    previous = os.environ.get(SIM_ENGINE_ENV)
-    os.environ[SIM_ENGINE_ENV] = engine
+    """Route ExperimentConfig simulations through one engine tier."""
+    previous = {
+        var: os.environ.get(var) for var in (SIM_ENGINE_ENV, SIM_FAST_ENV)
+    }
+    os.environ.pop(SIM_FAST_ENV, None)
+    os.environ.pop(SIM_ENGINE_ENV, None)
+    if engine == "fast":
+        os.environ[SIM_FAST_ENV] = "1"
+    else:
+        os.environ[SIM_ENGINE_ENV] = engine
     try:
         yield
     finally:
-        if previous is None:
-            os.environ.pop(SIM_ENGINE_ENV, None)
-        else:
-            os.environ[SIM_ENGINE_ENV] = previous
+        for var, value in previous.items():
+            if value is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = value
 
 
 def bench_single_cell(repeats: int) -> dict:
@@ -85,10 +110,16 @@ def bench_single_cell(repeats: int) -> dict:
     plan = planner.plan_for(SINGLE_CELL, overlap=True)
     cost_model = planner.cost_model_for(SINGLE_CELL)
     out: dict = {"cell": SINGLE_CELL.describe(), "repeats": repeats}
-    for engine in ENGINES:
+    for engine in TIERS:
+        # Every tier starts with cold process-wide evaluator memos so
+        # the recorded speedups compare engines, not cache inheritance
+        # from whichever tier ran first.
+        reset_shared_evaluators()
         config = SimConfig(
             jitter_sigma=0.02, seed=1, reference_engine=engine == "reference"
         )
+        if engine == "fast":
+            config = config.fast()
         best = None
         events = 0
         for _ in range(repeats):
@@ -104,9 +135,13 @@ def bench_single_cell(repeats: int) -> dict:
             "events_per_s": events / best,
             "gpu_rate_passes": sim.stats.gpu_rate_passes,
             "stale_events": sim.stats.stale_events,
+            "ticks_skipped": sim.stats.ticks_skipped,
         }
     out["speedup"] = (
         out["incremental"]["events_per_s"] / out["reference"]["events_per_s"]
+    )
+    out["speedup_fast"] = (
+        out["fast"]["events_per_s"] / out["reference"]["events_per_s"]
     )
     return out
 
@@ -121,7 +156,10 @@ def bench_grid() -> dict:
     for job in jobs:
         planner.node_for(job.config)
     out: dict = {"cells": len(jobs), "spec": spec.name}
-    for engine in ENGINES:
+    for engine in TIERS:
+        # Cold evaluator memos per tier (cells within a tier still
+        # share them, which is the product behaviour being measured).
+        reset_shared_evaluators()
         service = ExecutionService(executor=SerialExecutor(), cache=None)
         with _engine_env(engine):
             t0 = time.perf_counter()
@@ -136,6 +174,9 @@ def bench_grid() -> dict:
         }
     out["speedup"] = (
         out["incremental"]["cells_per_s"] / out["reference"]["cells_per_s"]
+    )
+    out["speedup_fast"] = (
+        out["fast"]["cells_per_s"] / out["reference"]["cells_per_s"]
     )
     return out
 
@@ -211,25 +252,31 @@ def main(argv=None) -> int:
     print(f"single-cell event throughput ({repeats} repeat(s))...")
     record["single_cell"] = bench_single_cell(repeats)
     sc = record["single_cell"]
-    for engine in ENGINES:
+    for engine in TIERS:
         print(
             f"  {engine:>11}: {sc[engine]['events']} events in "
             f"{sc[engine]['seconds'] * 1e3:.1f} ms "
             f"({sc[engine]['events_per_s']:.0f} events/s)"
         )
-    print(f"  speedup: {sc['speedup']:.2f}x")
+    print(
+        f"  speedup: {sc['speedup']:.2f}x incremental, "
+        f"{sc['speedup_fast']:.2f}x fast"
+    )
 
     if not args.skip_grid:
         print("quick Figs. 4-6 grid (serial, uncached)...")
         record["grid"] = bench_grid()
         grid = record["grid"]
-        for engine in ENGINES:
+        for engine in TIERS:
             print(
                 f"  {engine:>11}: {grid['cells']} cells in "
                 f"{grid[engine]['seconds']:.1f} s "
                 f"({grid[engine]['cells_per_s']:.3f} cells/s)"
             )
-        print(f"  speedup: {grid['speedup']:.2f}x")
+        print(
+            f"  speedup: {grid['speedup']:.2f}x incremental, "
+            f"{grid['speedup_fast']:.2f}x fast"
+        )
 
     out = Path(args.out)
     out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")

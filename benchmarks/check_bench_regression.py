@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Soft perf gate: compare a fresh BENCH_engine.json to the baseline.
+
+CI regenerates the benchmark record with the committed baseline's own
+protocol (``bench_engine_hotpath.py --repeats 3``, full quick grid)
+and calls this script against the committed ``BENCH_engine.json``.
+
+The *gated* metrics are the default (bit-exact incremental) tier's
+speedups **relative to the reference engine measured in the same
+run**:
+
+* ``single_cell.speedup``
+* ``grid.speedup``
+
+Ratios within one record cancel out the machine: a CI runner that is
+uniformly 40% slower than the committer's box produces the same
+speedups, while a hot-path pessimization in the incremental engine
+(the common regression mode — the reference path barely changes)
+drags the ratio down. The gate fails (exit 1) when a fresh speedup
+drops more than the threshold (default 20%) below the baseline's.
+Absolute throughputs are printed for context but never gate, since
+they track hardware. Metrics missing from either record (e.g. a
+``--skip-grid`` run) are reported and skipped, never failed.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py BASELINE FRESH \
+        [--threshold 0.20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Iterator, Optional, Tuple
+
+#: (label, path into the record) for every gated metric — speedup
+#: ratios of the default tier vs the reference, machine-independent.
+GATED_METRICS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("single-cell incremental/reference speedup", ("single_cell", "speedup")),
+    ("quick-grid incremental/reference speedup", ("grid", "speedup")),
+)
+
+#: Reported for context only; absolute throughput tracks hardware.
+INFO_METRICS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("single-cell events/s", ("single_cell", "incremental", "events_per_s")),
+    ("quick-grid cells/s", ("grid", "incremental", "cells_per_s")),
+)
+
+
+def _lookup(record: dict, path: Tuple[str, ...]) -> Optional[float]:
+    node = record
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def compare(
+    baseline: dict, fresh: dict, threshold: float
+) -> Iterator[Tuple[str, Optional[float], Optional[float], bool]]:
+    """Yield (label, baseline value, fresh value, regressed?) rows."""
+    for label, path in GATED_METRICS:
+        base = _lookup(baseline, path)
+        new = _lookup(fresh, path)
+        if base is None or new is None or base <= 0:
+            yield label, base, new, False
+            continue
+        yield label, base, new, new < base * (1.0 - threshold)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_engine.json")
+    parser.add_argument("fresh", help="freshly measured BENCH_engine.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="relative throughput drop that fails the gate "
+        "(default: 0.20 = 20%%)",
+    )
+    args = parser.parse_args(argv)
+
+    records = []
+    for path in (args.baseline, args.fresh):
+        file = Path(path)
+        if not file.exists():
+            print(f"bench record not found: {path}", file=sys.stderr)
+            return 2
+        try:
+            records.append(json.loads(file.read_text()))
+        except ValueError as exc:
+            print(f"unreadable bench record {path}: {exc}", file=sys.stderr)
+            return 2
+    baseline, fresh = records
+
+    for label, path in INFO_METRICS:
+        base, new = _lookup(baseline, path), _lookup(fresh, path)
+        if base is not None and new is not None:
+            print(
+                f"  [info] {label}: baseline {base:.1f} -> fresh {new:.1f} "
+                f"(absolute; not gated)"
+            )
+
+    failed = False
+    for label, base, new, regressed in compare(
+        baseline, fresh, args.threshold
+    ):
+        if base is None or new is None:
+            print(f"  {label}: not present in both records; skipped")
+            continue
+        ratio = new / base
+        marker = "REGRESSION" if regressed else "ok"
+        print(
+            f"  {label}: baseline {base:.2f}x -> fresh {new:.2f}x "
+            f"({ratio:.2f} of baseline) [{marker}]"
+        )
+        failed = failed or regressed
+    if failed:
+        print(
+            f"perf gate FAILED: the default tier's speedup over the "
+            f"reference engine dropped more than {args.threshold:.0%} vs "
+            f"the committed baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print("perf gate ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -264,13 +264,22 @@ def _cmd_scenario_list(args: argparse.Namespace) -> int:
 def _cmd_scenario_show(args: argparse.Namespace) -> int:
     import json
 
-    from repro.scenario.runner import resolve_target
+    from repro.scenario.runner import (
+        override_spec,
+        parse_set_overrides,
+        resolve_target,
+    )
 
     scenario, spec = resolve_target(args.name)
     if scenario is not None:
         name, spec = scenario.name, scenario.spec(quick=not args.full)
     else:
         name = spec.name
+    # Shared with `scenario run`: previewing a spec-less artifact with
+    # --set raises instead of silently dropping the override.
+    spec = override_spec(
+        name, spec, parse_set_overrides(getattr(args, "overrides", None))
+    )
     if spec is None:
         print(
             f"{name}: no sweep spec (this artifact does not run through "
@@ -291,11 +300,16 @@ def _cmd_scenario_show(args: argparse.Namespace) -> int:
 
 def _cmd_scenario_run(args: argparse.Namespace) -> int:
     from repro.exec.shard import ShardPlan
-    from repro.scenario.runner import run_scenario
+    from repro.scenario.runner import parse_set_overrides, run_scenario
 
     _configure_execution(args)
     shard = ShardPlan.parse(args.shard) if args.shard else None
-    report = run_scenario(args.name, quick=not args.full, shard=shard)
+    report = run_scenario(
+        args.name,
+        quick=not args.full,
+        shard=shard,
+        overrides=parse_set_overrides(getattr(args, "overrides", None)),
+    )
     print(report.text)
     # Always printed for spec-backed runs: "0 cell(s)" is the only
     # signal that constraints filtered the whole sweep away.
@@ -571,6 +585,15 @@ def build_parser() -> argparse.ArgumentParser:
     sc_show.add_argument(
         "--full", action="store_true", help="paper-scale spec"
     )
+    sc_show.add_argument(
+        "--set",
+        action="append",
+        dest="overrides",
+        default=None,
+        metavar="FIELD=VALUE",
+        help="preview the spec with a base-cell override applied "
+        "(repeatable)",
+    )
     sc_show.set_defaults(func=_cmd_scenario_show)
     sc_run = scenario_sub.add_parser(
         "run", help="run a named scenario or a JSON/YAML spec file"
@@ -587,6 +610,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only shard I of N (deterministic partition of the "
         "compiled jobs; persists a per-shard manifest and auto-merges "
         "when the last shard lands)",
+    )
+    sc_run.add_argument(
+        "--set",
+        action="append",
+        dest="overrides",
+        default=None,
+        metavar="FIELD=VALUE",
+        help="override one base-cell experiment field for every cell "
+        "(repeatable; e.g. --set gpu=H100 --set engine_tier=fast). "
+        "Values parse as JSON scalars, then strings. Overridden runs "
+        "use the generic per-cell rows and a hash-qualified manifest "
+        "name; fields swept by an axis are rejected",
     )
     _add_execution_args(sc_run)
     sc_run.set_defaults(func=_cmd_scenario_run)

@@ -37,6 +37,31 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: incremental). Both engines produce bit-identical results.
 SIM_ENGINE_ENV = "REPRO_SIM_ENGINE"
 
+#: Environment variable selecting the event-queue backend (``heap`` or
+#: ``calendar``). The backends pop identical event sequences, so —
+#: like the engine toggle — this is bit-exact and safe to leave out of
+#: the job cache key.
+SIM_EVENT_QUEUE_ENV = "REPRO_SIM_EVENT_QUEUE"
+
+#: Environment variable forcing the *fast* accuracy tier (truthy
+#: values: 1/true/yes/on) for every simulation, equivalent to
+#: ``engine_tier="fast"`` on each config. Unlike the two toggles
+#: above this one changes numbers (within the tolerance tier), and it
+#: deliberately bypasses the job cache key — do not combine it with a
+#: shared persistent result cache. Sweeps that should *record* fast
+#: results set ``engine_tier`` on the config instead, which hashes
+#: into the cache key.
+SIM_FAST_ENV = "REPRO_SIM_FAST"
+
+#: Recognized ``ExperimentConfig.engine_tier`` values. ``exact`` is
+#: the bit-exact default (incremental engine, heap queue); ``fast``
+#: turns on the calendar event queue, additive contention aggregates
+#: and adaptive governor ticks (bounded relative error, gated by the
+#: equivalence suite's tolerance tier).
+ENGINE_TIERS = ("exact", "fast")
+
+_TRUTHY = ("1", "true", "yes", "on")
+
 
 @dataclass(frozen=True)
 class ExperimentConfig:
@@ -60,10 +85,16 @@ class ExperimentConfig:
     max_clock_frac: float = 1.0
     check_memory: bool = True
     calibration: Optional[ContentionCalibration] = None
+    engine_tier: str = "exact"
 
     def __post_init__(self) -> None:
         from repro.errors import ConfigurationError
 
+        if self.engine_tier not in ENGINE_TIERS:
+            raise ConfigurationError(
+                f"unknown engine_tier {self.engine_tier!r} "
+                f"(known: {', '.join(ENGINE_TIERS)})"
+            )
         if self.batch_size < 1:
             raise ConfigurationError("batch_size must be >= 1")
         if self.num_gpus < 1:
@@ -102,21 +133,55 @@ class ExperimentConfig:
         """Simulator configuration for one run.
 
         ``$REPRO_SIM_ENGINE=reference`` routes every simulation through
-        the full-recompute reference engine (the perf baseline). The
-        two engines are bit-for-bit identical, so the toggle cannot
-        change results — which is why it is safe to leave it out of the
-        job cache key.
+        the full-recompute reference engine (the perf baseline) and
+        ``$REPRO_SIM_EVENT_QUEUE`` selects the queue backend; both are
+        bit-exact toggles, which is why they are safe to leave out of
+        the job cache key. The *fast* accuracy tier comes either from
+        this config's ``engine_tier`` field (which hashes into the
+        cache key) or from ``$REPRO_SIM_FAST`` (which does not — see
+        :data:`SIM_FAST_ENV` for the caveat). Asking for the
+        reference oracle on a fast-tier *cell* is refused: the env
+        toggle is cache-transparent, so honoring it would record
+        reference-engine numbers under fast-tier cache keys.
         """
+        reference = (
+            os.environ.get(SIM_ENGINE_ENV, "").strip().lower() == "reference"
+        )
+        if reference and self.engine_tier == "fast":
+            # A fast-tier *config* hashes engine_tier into its job
+            # cache key, but the engine env toggle does not — letting
+            # the oracle silently win here would populate fast-tier
+            # cache entries and manifests with reference-engine
+            # numbers. Refuse the combination instead.
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"${SIM_ENGINE_ENV}=reference cannot simulate a cell "
+                f"with engine_tier='fast' (the env toggle is excluded "
+                f"from the job cache key, so the fast-tier cache would "
+                f"record reference-engine results); unset one of them"
+            )
+        fast = self.engine_tier == "fast" or (
+            not reference
+            and os.environ.get(SIM_FAST_ENV, "").strip().lower() in _TRUTHY
+        )
+        event_queue = (
+            os.environ.get(SIM_EVENT_QUEUE_ENV, "").strip().lower()
+            or ("calendar" if fast else "heap")
+        )
         config = SimConfig(
             contention_enabled=not ideal,
             power_limit_w=self.power_limit_w,
             max_clock_frac=self.max_clock_frac,
             jitter_sigma=self.jitter_sigma,
             seed=seed,
-            reference_engine=(
-                os.environ.get(SIM_ENGINE_ENV, "").strip().lower()
-                == "reference"
-            ),
+            # Both env toggles bypass the cache key: the oracle wins
+            # over $REPRO_SIM_FAST (both are cache-transparent, so no
+            # pollution is possible there).
+            reference_engine=reference,
+            event_queue=event_queue,
+            fast_contention=fast,
+            adaptive_governor=fast,
         )
         return config
 
@@ -128,9 +193,10 @@ class ExperimentConfig:
         """Short label for tables and logs."""
         tc = "tc" if self.use_tensor_cores else "noTC"
         cap = f" cap={self.power_limit_w:.0f}W" if self.power_limit_w else ""
+        tier = "" if self.engine_tier == "exact" else f" [{self.engine_tier}]"
         return (
             f"{self.gpu}x{self.num_gpus} {self.model} b{self.batch_size} "
-            f"{self.strategy} {self.precision.value}/{tc}{cap}"
+            f"{self.strategy} {self.precision.value}/{tc}{cap}{tier}"
         )
 
 

@@ -71,9 +71,16 @@ class SimJob:
 
     def payload(self) -> dict:
         """Canonical JSON payload the cache key digests."""
+        config = _jsonable(self.config)
+        # The engine tier joined ExperimentConfig after caches already
+        # existed; the default ("exact") is omitted from the digest so
+        # every pre-existing exact-tier cache key and manifest stays
+        # valid, while fast-tier jobs still hash distinctly.
+        if config.get("engine_tier") == "exact":
+            del config["engine_tier"]
         return {
             "schema": CACHE_SCHEMA_VERSION,
-            "config": _jsonable(self.config),
+            "config": config,
             "modes": [mode.value for mode in self.modes],
         }
 

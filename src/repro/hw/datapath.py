@@ -51,6 +51,11 @@ class Datapath(enum.Enum):
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value
 
+    # Members are singletons, so identity hashing is equivalent to the
+    # default name hash — but C-level. These enums key the engine's
+    # hottest dicts (per-datapath utilisation, power memo keys).
+    __hash__ = object.__hash__
+
 
 @dataclass(frozen=True)
 class ComputePath:

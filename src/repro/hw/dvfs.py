@@ -93,6 +93,25 @@ class FrequencyGovernor:
         """Current smoothed power estimate."""
         return self._ewma_w
 
+    def would_noop(self, instantaneous_power_w: float) -> bool:
+        """True iff a tick at this power provably leaves the clock alone.
+
+        The engine's adaptive tick cadence uses this to skip governor
+        ticks: with the clock pinned at its cap, the sample at or
+        under the limit and the moving average at or under the limit,
+        :meth:`observe` can only try to ramp up — and there is no
+        headroom left to ramp into. Skipping the tick leaves the EWMA
+        stale (it would have decayed toward the sub-limit sample), so
+        throttle *onset* after a later spike can shift by a control
+        period; that bounded drift is why the adaptive cadence lives
+        in the fast accuracy tier rather than the bit-exact one.
+        """
+        if instantaneous_power_w > self.policy.limit_w:
+            return False
+        if self.clock_frac < self.policy.max_clock_frac:
+            return False
+        return self._ewma_w <= self.policy.limit_w
+
     def observe(self, instantaneous_power_w: float) -> float:
         """Feed one power sample; returns the new clock fraction."""
         if instantaneous_power_w < 0:

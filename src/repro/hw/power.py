@@ -18,7 +18,7 @@ board TDP is enforced over a control window, not instantaneously.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Tuple
 
 from repro.errors import ConfigurationError
 from repro.hw.datapath import Datapath
@@ -132,24 +132,73 @@ class PowerEvaluator:
         self.tdp_w = tdp_w
         self.coeffs = coeffs
         self._cache: dict = {}
+        #: ``clamp(clock) ** DVFS_POWER_EXPONENT`` per clock value —
+        #: pow() is the single most expensive primitive in the power
+        #: formula, and DVFS revisits the same clock fractions.
+        self._clock_pow: dict = {}
         self.hits = 0
         self.misses = 0
 
     def evaluate(self, activity: GpuActivity) -> float:
         """Board power for ``activity``; identical to :func:`gpu_power`."""
-        key = (
+        return self.evaluate_parts(
             activity.clock_frac,
             activity.hbm_frac,
             activity.link_frac,
             tuple(activity.sm_util.items()),
         )
+
+    def evaluate_parts(
+        self,
+        clock_frac: float,
+        hbm_frac: float,
+        link_frac: float,
+        sm_items: Tuple[Tuple[Datapath, float], ...],
+    ) -> float:
+        """:func:`gpu_power` from pre-split activity components.
+
+        The engine hot path calls this directly with the tuple it
+        would otherwise wrap in a :class:`GpuActivity`; the arithmetic
+        (including the per-component clamps and the ``sm_items``
+        summation order) is exactly :func:`gpu_power`'s, so the
+        memoized value is bit-for-bit equal to a fresh evaluation.
+        """
+        key = (clock_frac, hbm_frac, link_frac, sm_items)
         power = self._cache.get(key)
         if power is None:
             if len(self._cache) >= self._MAX_ENTRIES:
                 self._cache.clear()
-            power = gpu_power(self.tdp_w, self.coeffs, activity)
+            coeffs = self.coeffs
+            sm_max_frac = coeffs.sm_max_frac
+            dynamic_sm = 0.0
+            for path, util in sm_items:
+                max_frac = sm_max_frac.get(path)
+                if max_frac is None:
+                    raise ConfigurationError(
+                        f"no SM power coefficient for {path}"
+                    )
+                dynamic_sm += max_frac * min(max(util, 0.0), 1.0)
+            clock_term = self._clock_pow.get(clock_frac)
+            if clock_term is None:
+                if len(self._clock_pow) >= self._MAX_ENTRIES:
+                    self._clock_pow.clear()
+                clock_term = (
+                    min(max(clock_frac, 0.0), 1.0) ** DVFS_POWER_EXPONENT
+                )
+                self._clock_pow[clock_frac] = clock_term
+            power_frac = (
+                coeffs.idle_frac
+                + dynamic_sm * clock_term
+                + coeffs.hbm_max_frac * min(max(hbm_frac, 0.0), 1.0)
+                + coeffs.link_max_frac * min(max(link_frac, 0.0), 1.0)
+            )
+            power = self.tdp_w * power_frac
             self._cache[key] = power
             self.misses += 1
         else:
             self.hits += 1
         return power
+
+    def idle_power(self) -> float:
+        """Board power with no kernels resident (memoized)."""
+        return self.evaluate_parts(1.0, 0.0, 0.0, ())

@@ -71,20 +71,51 @@ class PowerSampler:
         self.window_s = window_s
 
     def sample(self, segments: Sequence[PowerSegment]) -> SampledTrace:
-        """Produce window-averaged samples over the segment timeline."""
+        """Produce window-averaged samples over the segment timeline.
+
+        Engine traces arrive ordered by start time, which admits a
+        two-pointer sweep: as the sampling window advances, segments
+        that ended before it are retired for good and the scan of each
+        window stops at the first segment starting after it. The
+        energy sum visits exactly the overlapping segments in list
+        order — the same terms the full scan would add, in the same
+        order, so the result is bit-for-bit identical. Unordered
+        segment lists (hand-built in tests) fall back to the full
+        scan per window.
+        """
         samples: List[PowerSample] = []
         if not segments:
             return SampledTrace(samples=samples, interval_s=self.interval_s)
+        n = len(segments)
+        ordered = all(
+            segments[i].start_s <= segments[i + 1].start_s
+            for i in range(n - 1)
+        )
         end_time = max(seg.end_s for seg in segments)
+        first = 0
         t = self.interval_s
         while t <= end_time + 1e-12:
             window_start = max(0.0, t - self.window_s)
             energy = 0.0
-            for seg in segments:
-                lo = max(seg.start_s, window_start)
-                hi = min(seg.end_s, t)
-                if hi > lo:
-                    energy += seg.power_w * (hi - lo)
+            if ordered:
+                # Retire segments that can never contribute again (the
+                # window only moves right).
+                while first < n and segments[first].end_s <= window_start:
+                    first += 1
+                for i in range(first, n):
+                    seg = segments[i]
+                    if seg.start_s >= t:
+                        break
+                    lo = max(seg.start_s, window_start)
+                    hi = min(seg.end_s, t)
+                    if hi > lo:
+                        energy += seg.power_w * (hi - lo)
+            else:
+                for seg in segments:
+                    lo = max(seg.start_s, window_start)
+                    hi = min(seg.end_s, t)
+                    if hi > lo:
+                        energy += seg.power_w * (hi - lo)
             width = t - window_start
             samples.append(PowerSample(time_s=t, power_w=energy / width))
             t += self.interval_s

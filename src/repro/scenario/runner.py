@@ -26,7 +26,7 @@ import dataclasses
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, List, Optional
+from typing import Any, List, Mapping, Optional
 
 from repro.core.sweep import GridRow
 from repro.errors import ConfigurationError, UnknownSpecError
@@ -175,10 +175,58 @@ def resolve_target(
         raise
 
 
+def parse_set_overrides(pairs: Optional[List[str]]) -> "dict[str, Any]":
+    """``--set FIELD=VALUE`` flags -> an override mapping.
+
+    Values parse as JSON scalars where possible (``16`` -> int,
+    ``0.5`` -> float, ``true`` -> bool, ``null`` -> None) and fall
+    back to plain strings (``gpu=H100``, ``engine_tier=fast``), which
+    matches how spec files deserialize the same fields.
+    """
+    import json
+
+    overrides: "dict[str, Any]" = {}
+    for pair in pairs or []:
+        name, sep, raw = pair.partition("=")
+        name = name.strip()
+        if not sep or not name:
+            raise ConfigurationError(
+                f"--set needs FIELD=VALUE, got {pair!r}"
+            )
+        try:
+            value = json.loads(raw)
+        except ValueError:
+            value = raw
+        overrides[name] = value
+    return overrides
+
+
+def override_spec(
+    name: str,
+    spec: Optional[SweepSpec],
+    overrides: Optional[Mapping[str, Any]],
+) -> Optional[SweepSpec]:
+    """Fold ``--set`` overrides into a resolved spec, or reject.
+
+    Shared by ``scenario run`` and ``scenario show`` so both report a
+    spec-less artifact the same way instead of one silently ignoring
+    the flag.
+    """
+    if not overrides:
+        return spec
+    if spec is None:
+        raise ConfigurationError(
+            f"scenario {name!r} has no sweep spec (it does not run "
+            f"through the job service); --set cannot override it"
+        )
+    return spec.with_base_overrides(overrides)
+
+
 def run_scenario(
     target: str,
     quick: bool = True,
     shard: Optional[ShardPlan] = None,
+    overrides: Optional[Mapping[str, Any]] = None,
 ) -> ScenarioRunReport:
     """Run a registered scenario by name, or a spec file by path.
 
@@ -206,6 +254,15 @@ def run_scenario(
     name = scenario.name if scenario is not None else (
         file_spec.name or Path(target).stem
     )
+    if overrides:
+        spec = override_spec(name, spec, overrides)
+        # An overridden sweep is a different experiment: its rows come
+        # from the generic per-cell path (a registered scenario's own
+        # generator would ignore the overrides) and its manifest lands
+        # under a hash-qualified name so it never clobbers the
+        # canonical run record.
+        name = f"{name}@{spec.spec_hash()[:8]}"
+        scenario = None
     if shard is not None:
         if spec is None:
             raise ConfigurationError(

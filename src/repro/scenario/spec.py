@@ -408,6 +408,42 @@ class SweepSpec:
         )
 
     # ------------------------------------------------------------------
+    # Overrides
+    # ------------------------------------------------------------------
+
+    def with_base_overrides(self, overrides: Mapping[str, Any]) -> "SweepSpec":
+        """Copy with ``overrides`` folded into the base cell.
+
+        This is what the CLI's ``--set FIELD=VALUE`` flags compile to:
+        every cell of the sweep gets the override unless an axis or an
+        include cell sweeps that same field — in which case the axis
+        value would silently win, so the override is rejected instead
+        of ignored.
+        """
+        if not overrides:
+            return self
+        for name in overrides:
+            _check_field(name, "--set override")
+            for group in self.axes:
+                if name in group:
+                    raise ConfigurationError(
+                        f"field {name!r} is swept by an axis of "
+                        f"{self.name or 'this spec'}; a --set override "
+                        f"would be silently ignored (pin it with a "
+                        f"constraint instead)"
+                    )
+            for cell in self.include:
+                if name in cell:
+                    raise ConfigurationError(
+                        f"field {name!r} is fixed by an include cell of "
+                        f"{self.name or 'this spec'}; a --set override "
+                        f"would be silently ignored there"
+                    )
+        base = dict(self.base)
+        base.update(overrides)
+        return dataclasses.replace(self, base=base)
+
+    # ------------------------------------------------------------------
     # Compilation
     # ------------------------------------------------------------------
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.errors import ConfigurationError
@@ -34,6 +34,26 @@ class SimConfig:
             bit-for-bit identical (the equivalence suite pins this);
             the reference path exists as the correctness oracle and
             perf baseline.
+        event_queue: event-queue backend — ``"heap"`` (binary heap,
+            the default) or ``"calendar"`` (bucketed calendar queue
+            with bucket width keyed to the governor period). The two
+            backends pop identical event sequences, so this knob is
+            bit-exact; it exists because the calendar queue's cost is
+            O(bucket) instead of O(log n) once event populations grow.
+        fast_contention: maintain per-GPU contention aggregates
+            additively — O(1) add/remove on task placement and
+            retirement instead of re-reducing the resident sets on
+            every recompute. Float sums accumulate in a different
+            order than the reference reduction, so this is the *fast*
+            accuracy tier: results carry bounded relative error (the
+            equivalence suite's tolerance tier gates it) instead of
+            bit-exactness.
+        adaptive_governor: skip governor ticks while the tick is
+            provably a no-op — measured power at or under the limit,
+            the moving average at or under the limit, and the clock
+            pinned at its cap — re-arming as soon as any event dirties
+            the GPU's power. Throttle onset can shift by up to one
+            control period, so this too belongs to the fast tier.
     """
 
     contention_enabled: bool = True
@@ -45,10 +65,25 @@ class SimConfig:
     trace_power: bool = True
     max_sim_time_s: float = 600.0
     reference_engine: bool = False
+    event_queue: str = "heap"
+    fast_contention: bool = False
+    adaptive_governor: bool = False
 
     def __post_init__(self) -> None:
+        from repro.sim.events import EVENT_QUEUE_KINDS
+
         if self.power_limit_w is not None and self.power_limit_w <= 0:
             raise ConfigurationError("power_limit_w must be positive")
+        if self.event_queue not in EVENT_QUEUE_KINDS:
+            raise ConfigurationError(
+                f"unknown event_queue {self.event_queue!r} "
+                f"(known: {', '.join(EVENT_QUEUE_KINDS)})"
+            )
+        if self.reference_engine and self.fast_contention:
+            raise ConfigurationError(
+                "fast_contention needs the incremental engine's resident "
+                "indices; it cannot combine with reference_engine"
+            )
         if not 0.0 < self.max_clock_frac <= 1.0:
             raise ConfigurationError("max_clock_frac must be in (0, 1]")
         if self.governor_period_s <= 0:
@@ -65,14 +100,20 @@ class SimConfig:
 
     def ideal(self) -> "SimConfig":
         """Copy configured for the paper's ideal (no-interference) mode."""
-        return SimConfig(
-            contention_enabled=False,
-            power_limit_w=self.power_limit_w,
-            max_clock_frac=self.max_clock_frac,
-            governor_period_s=self.governor_period_s,
-            jitter_sigma=self.jitter_sigma,
-            seed=self.seed,
-            trace_power=self.trace_power,
-            max_sim_time_s=self.max_sim_time_s,
-            reference_engine=self.reference_engine,
+        return replace(self, contention_enabled=False)
+
+    def fast(self) -> "SimConfig":
+        """Copy configured for the fast accuracy tier.
+
+        Turns on every tiered-accuracy mechanism at once: the calendar
+        event queue (bit-exact), additive contention aggregates and
+        adaptive governor ticks (bounded relative error). The
+        equivalence suite's tolerance tier gates this combination.
+        """
+        return replace(
+            self,
+            reference_engine=False,
+            event_queue="calendar",
+            fast_contention=True,
+            adaptive_governor=True,
         )

@@ -35,6 +35,7 @@ are memoized on the state they depend on (see
 from __future__ import annotations
 
 import math
+import threading
 import zlib
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -44,12 +45,12 @@ from repro.collectives.library import library_for
 from repro.errors import DeadlockError, PlanError, SimulationError
 from repro.hw.datapath import Datapath
 from repro.hw.dvfs import FrequencyGovernor, PowerLimitPolicy
-from repro.hw.power import GpuActivity, PowerEvaluator, gpu_power
+from repro.hw.power import PowerEvaluator
 from repro.hw.system import NodeSpec
 from repro.sim.collective_sync import CollectiveInstance
 from repro.sim.config import SimConfig
-from repro.sim.events import EventKind, EventQueue
-from repro.sim.rates import RateModel, hbm_demand
+from repro.sim.events import EventKind, make_event_queue
+from repro.sim.rates import RateModel
 from repro.sim.result import PowerSegment, SimulationResult, TaskRecord
 from repro.sim.task import CommTask, ComputeTask, Task
 
@@ -58,6 +59,54 @@ _MIN_SM_FRACTION = 0.05
 _MIN_HBM_FRACTION = 0.02
 #: Collectives can never pin more than this much of the GPU.
 _MAX_COMM_SM = 0.45
+#: Vector-pipe utilisation per unit of collective SM share: channel
+#: copy loops of an *active* collective draw most of their pipes'
+#: power; busy-polling (spinning) channels draw less and move no data.
+#: Shared by every engine tier's power path.
+_COMM_VECTOR_UTIL = 0.8
+_SPIN_VECTOR_UTIL = 0.4
+
+#: Process-wide memoized evaluators per GPU spec object. RateModel and
+#: PowerEvaluator are pure in the (immutable) spec, so sharing them
+#: across simulations cannot change results — it just keeps their
+#: roofline/power memo tables warm across the N runs of a cell and
+#: across cells on the same GPU. Keyed by id() with the spec kept
+#: alive in the value; bounded because nodes come from the memoizing
+#: planner. Creation is lock-guarded for the async executor's thread
+#: fan-out (same convention as the shared Planner caches); the memo
+#: *lookups* inside the shared objects stay unguarded on purpose —
+#: every cached value is a pure function of its key, so concurrent
+#: writers can only store identical floats (a lost update costs one
+#: recomputation, never a wrong number).
+_SHARED_EVALUATORS: Dict[int, Tuple[object, RateModel, PowerEvaluator]] = {}
+_SHARED_EVALUATORS_MAX = 64
+_SHARED_EVALUATORS_LOCK = threading.Lock()
+
+
+def _evaluators_for(gpu) -> Tuple[RateModel, PowerEvaluator]:
+    with _SHARED_EVALUATORS_LOCK:
+        entry = _SHARED_EVALUATORS.get(id(gpu))
+        if entry is None or entry[0] is not gpu:
+            if len(_SHARED_EVALUATORS) >= _SHARED_EVALUATORS_MAX:
+                _SHARED_EVALUATORS.clear()
+            entry = (
+                gpu,
+                RateModel(gpu),
+                PowerEvaluator(gpu.tdp_w, gpu.power),
+            )
+            _SHARED_EVALUATORS[id(gpu)] = entry
+        return entry[1], entry[2]
+
+
+def reset_shared_evaluators() -> None:
+    """Drop the process-wide evaluator memos.
+
+    Results never depend on them (every cached value is pure in its
+    key), but *timings* do — the engine benchmark calls this between
+    tiers so no tier inherits a cache another tier warmed.
+    """
+    with _SHARED_EVALUATORS_LOCK:
+        _SHARED_EVALUATORS.clear()
 
 
 def _stable_unit_uniform(key: str, seed: int) -> float:
@@ -87,12 +136,21 @@ class _RunningCompute:
     rate: float
     isolated_s: float
     started_at: float
+    #: Pre-resolved kernel roofline parameters (peak x efficiency and
+    #: arithmetic intensity) so the per-event rate/power math never
+    #: hashes the kernel table.
+    peak_eff: float = 0.0
+    ai: float = float("inf")
     #: Whether a finish event has ever been scheduled (the first rate
     #: assignment must push even if the placeholder rate matches).
     scheduled: bool = False
     #: Index into the engine's time-step log up to which progress has
     #: been banked (incremental engine only).
     bank_idx: int = 0
+    #: Per-clock free-running utilisation, resolved through the shared
+    #: RateModel memo on first use (values are identical; this cache
+    #: only skips the kernel-keyed hashing on the power hot path).
+    free_util_cache: Dict[float, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -103,6 +161,9 @@ class EngineStats:
     stale_events: int = 0
     gpu_rate_passes: int = 0
     instance_rate_passes: int = 0
+    #: Governor tick schedulings skipped by the adaptive cadence
+    #: (fast tier only; one count per provably-no-op skip decision).
+    ticks_skipped: int = 0
 
 
 class Simulator:
@@ -143,17 +204,27 @@ class Simulator:
         self._validate_and_index(tasks)
 
         self.time = 0.0
-        self.queue = EventQueue()
+        # Calendar buckets (when selected) are keyed to the governor
+        # period — the natural spacing of the event population.
+        self.queue = make_event_queue(
+            config.event_queue, bucket_width_s=config.governor_period_s
+        )
         self.running: Dict[int, _RunningCompute] = {}
         self.instances: Dict[str, CollectiveInstance] = {}
         self._inst_seq = 0
         self._waiting: set = set()  # comm tasks posted but not started
         self._comm_started: set = set()
 
-        # Memoized pure evaluators + per-simulation invariant tables.
-        self._rates = RateModel(self.gpu)
-        self._power_eval = PowerEvaluator(self.gpu.tdp_w, self.gpu.power)
+        # Memoized pure evaluators (shared per GPU spec — see
+        # _evaluators_for) + per-simulation invariant tables.
+        self._rates, self._power_eval = _evaluators_for(self.gpu)
         self._build_invariant_tables()
+        # Hot-path invariants hoisted out of attribute chains.
+        self._hbm_eff = self.gpu.memory.effective_bandwidth
+        self._hbm_bw = self.gpu.memory.bandwidth_bytes_per_s
+        self._spin_scale = node.calibration.spin_sm_scale
+        self._interference = node.calibration.interference_factor
+        self._stall_frac = node.calibration.stall_power_frac
 
         self._clock: Dict[int, float] = {
             g: config.max_clock_frac for g in range(node.num_gpus)
@@ -174,8 +245,20 @@ class Simulator:
         self._tick_pending: Dict[int, bool] = {
             g: False for g in range(node.num_gpus)
         }
+        #: Count of GPUs with a tick outstanding (fast-path exit for
+        #: the per-event _ensure_ticks sweep).
+        self._ticks_outstanding = 0
+        #: GPUs whose next tick is provably a no-op (adaptive cadence
+        #: only). Membership is invalidated the moment the GPU's power
+        #: is re-evaluated, so the skip predicate is never stale.
+        self._tick_blocked: set = set()
         self._power_now: Dict[int, float] = {}
-        self._segment_open: Dict[int, PowerSegment] = {}
+        #: Open power segment per GPU as a plain tuple
+        #: (start_s, power_w, compute_active, comm_active, clock_frac);
+        #: materialized into a PowerSegment only when it closes.
+        self._segment_open: Dict[
+            int, Tuple[float, float, bool, bool, float]
+        ] = {}
         self._segments: Dict[int, List[PowerSegment]] = {
             g: [] for g in range(node.num_gpus)
         }
@@ -220,15 +303,18 @@ class Simulator:
         """
         seed = self.config.seed
         sigma = self.config.jitter_sigma
-        self._compute_table: Dict[int, Tuple[float, float]] = {}
+        self._compute_table: Dict[int, Tuple[float, float, float, float]] = {}
         self._comm_cost: Dict[str, CollectiveCost] = {}
         for task in self.tasks.values():
             if isinstance(task, ComputeTask):
                 factor = _lognormal_factor(f"c{task.task_id}", seed, sigma)
                 kernel = task.kernel
+                peak_eff, ai = self._rates.kernel_params(kernel)
                 self._compute_table[task.task_id] = (
                     kernel.flops * factor,
                     self._rates.isolated_duration(kernel) * factor,
+                    peak_eff,
+                    ai,
                 )
             elif isinstance(task, CommTask):
                 key = task.op.key
@@ -386,13 +472,15 @@ class Simulator:
                     progressed = True
 
     def _launch_compute(self, task: ComputeTask) -> None:
-        work, iso = self._compute_table[task.task_id]
+        work, iso, peak_eff, ai = self._compute_table[task.task_id]
         entry = _RunningCompute(
             task=task,
             work_remaining=work,
             rate=1.0,  # overwritten by the recompute that follows
             isolated_s=iso,
             started_at=self.time,
+            peak_eff=peak_eff,
+            ai=ai,
         )
         self.running[task.task_id] = entry
         self._on_compute_launched(entry)
@@ -535,34 +623,64 @@ class Simulator:
     ) -> None:
         """Update compute rates + power for one GPU from its residents."""
         self.stats.gpu_rate_passes += 1
-        hbm_eff = self.gpu.memory.effective_bandwidth
         clock = self._clock[gpu_index]
-        if self.config.contention_enabled:
-            spin_scale = self.node.calibration.spin_sm_scale
-            comm_sm = min(
-                _MAX_COMM_SM,
-                sum(i.cost.sm_fraction for i in insts)
-                + spin_scale * sum(i.cost.sm_fraction for i in spinning),
-            )
-            comm_hbm = sum(i.hbm_demand_now() for i in insts)
-            sm_avail = max(_MIN_SM_FRACTION, 1.0 - comm_sm)
-            hbm_avail = max(_MIN_HBM_FRACTION * hbm_eff, hbm_eff - comm_hbm)
-            if insts:
-                hbm_avail *= 1.0 - self.node.calibration.interference_factor
-            eff_clock = clock
-        else:
-            sm_avail, hbm_avail, eff_clock = (
-                1.0,
-                hbm_eff,
-                self.config.max_clock_frac,
-            )
-        n = len(entries)
+        sm_avail, hbm_avail, eff_clock = self._availability(
+            clock,
+            sum(i.cost.sm_fraction for i in insts),
+            sum(i.cost.sm_fraction for i in spinning),
+            sum(i.hbm_demand_now() for i in insts),
+            bool(insts),
+        )
+        self._update_entry_rates(entries, len(entries), sm_avail, hbm_avail, eff_clock)
+        self._update_power(gpu_index, entries, insts, spinning, clock)
+
+    def _availability(
+        self,
+        clock: float,
+        comm_sm: float,
+        spin_sm: float,
+        comm_hbm: float,
+        comm_active: bool,
+    ) -> Tuple[float, float, float]:
+        """(sm_avail, hbm_avail, eff_clock) from raw contention terms.
+
+        One home for the contention formulas — the clamp, the
+        starvation floors, interference scaling and the ideal-mode
+        bypass — shared by every tier; the tiers differ only in how
+        the raw ``comm_*`` sums are obtained.
+        """
+        if not self.config.contention_enabled:
+            return 1.0, self._hbm_eff, self.config.max_clock_frac
+        total_sm = min(_MAX_COMM_SM, comm_sm + self._spin_scale * spin_sm)
+        sm_avail = max(_MIN_SM_FRACTION, 1.0 - total_sm)
+        hbm_eff = self._hbm_eff
+        hbm_avail = max(_MIN_HBM_FRACTION * hbm_eff, hbm_eff - comm_hbm)
+        if comm_active:
+            hbm_avail *= 1.0 - self._interference
+        return sm_avail, hbm_avail, clock
+
+    def _update_entry_rates(
+        self,
+        entries,
+        n: int,
+        sm_avail: float,
+        hbm_avail: float,
+        eff_clock: float,
+    ) -> None:
+        """Re-derive each running kernel's rate from its fair share.
+
+        Shared verbatim by every engine tier (the tiers differ only in
+        how ``sm_avail``/``hbm_avail`` are aggregated), so the roofline
+        arithmetic and the push-on-change event discipline live once.
+        """
+        rate_from_params = RateModel.rate_from_params
         for entry in entries:
-            new_rate = self._rates.compute_rate(
-                entry.task.kernel,
-                sm_fraction=sm_avail / n,
-                hbm_bytes_per_s=hbm_avail / n,
-                clock_frac=eff_clock,
+            new_rate = rate_from_params(
+                entry.peak_eff,
+                entry.ai,
+                sm_avail / n,
+                hbm_avail / n,
+                eff_clock,
             )
             if new_rate != entry.rate or not entry.scheduled:
                 self._bank_entry(entry)
@@ -572,7 +690,6 @@ class Simulator:
                 self.queue.schedule(
                     finish, EventKind.TASK_FINISH, entry.task.task_id
                 )
-        self._update_power(gpu_index, entries, insts, spinning, clock)
 
     def _bank_entry(self, entry: _RunningCompute) -> None:
         """Bring an entry's banked progress up to ``self.time``.
@@ -581,6 +698,49 @@ class Simulator:
         this is a no-op here; the incremental engine overrides it with
         the lazy time-step replay.
         """
+
+    def _compute_power_terms(
+        self,
+        entries: List[_RunningCompute],
+        clock: float,
+        sm_util: Dict[Datapath, float],
+    ) -> float:
+        """Accumulate the running kernels' SM/HBM power terms.
+
+        Returns the kernels' HBM draw in bytes/s and fills ``sm_util``
+        per datapath. The arithmetic matches the module-level
+        ``sm_utilization``/``hbm_demand`` functions bit-for-bit; the
+        kernel parameters come pre-resolved from the launch table.
+        """
+        hbm_used = 0.0
+        stall_frac = self._stall_frac
+        util_from_params = RateModel.sm_utilization_from_params
+        for entry in entries:
+            util = util_from_params(entry.peak_eff, entry.rate, 1.0, clock)
+            # A kernel slowed *by contention* keeps most of its warps
+            # resident and toggling; its power tracks the throughput it
+            # would achieve uncontended, discounted by stall_power_frac,
+            # not the throughput it actually achieves. Intrinsically
+            # memory-bound kernels are unaffected (their uncontended
+            # utilisation is already low).
+            free_util = entry.free_util_cache.get(clock)
+            if free_util is None:
+                free_util = self._rates.free_utilization(
+                    entry.task.kernel, clock
+                )
+                entry.free_util_cache[clock] = free_util
+            if free_util > util:
+                util += stall_frac * (free_util - util)
+            # Short kernels never reach steady-state power: wave ramp-up
+            # and drain clip the average draw (that is why small models
+            # sit well below TDP on real boards).
+            util *= entry.isolated_s / (entry.isolated_s + 50e-6)
+            path = entry.task.kernel.path.datapath
+            sm_util[path] = sm_util.get(path, 0.0) + util
+            ai = entry.ai
+            if ai != float("inf") and ai > 0:
+                hbm_used += entry.rate / ai
+        return hbm_used
 
     def _update_power(
         self,
@@ -591,53 +751,58 @@ class Simulator:
         clock: float,
     ) -> None:
         sm_util: Dict[Datapath, float] = {}
-        hbm_used = 0.0
-        stall_frac = self.node.calibration.stall_power_frac
-        for entry in entries:
-            kernel = entry.task.kernel
-            util = self._rates.sm_utilization(kernel, entry.rate, 1.0, clock)
-            # A kernel slowed *by contention* keeps most of its warps
-            # resident and toggling; its power tracks the throughput it
-            # would achieve uncontended, discounted by stall_power_frac,
-            # not the throughput it actually achieves. Intrinsically
-            # memory-bound kernels are unaffected (their uncontended
-            # utilisation is already low).
-            free_util = self._rates.free_utilization(kernel, clock)
-            if free_util > util:
-                util += stall_frac * (free_util - util)
-            # Short kernels never reach steady-state power: wave ramp-up
-            # and drain clip the average draw (that is why small models
-            # sit well below TDP on real boards).
-            util *= entry.isolated_s / (entry.isolated_s + 50e-6)
-            path = kernel.path.datapath
-            sm_util[path] = sm_util.get(path, 0.0) + util
-            hbm_used += hbm_demand(kernel, entry.rate)
+        hbm_used = self._compute_power_terms(entries, clock, sm_util)
         link_frac = 0.0
         for inst in insts:
             hbm_used += inst.hbm_demand_now()
             link_frac += inst.link_fraction_now()
             # Channel copy loops run on the vector pipes.
             sm_util[Datapath.VECTOR] = (
-                sm_util.get(Datapath.VECTOR, 0.0) + 0.8 * inst.cost.sm_fraction
+                sm_util.get(Datapath.VECTOR, 0.0)
+                + _COMM_VECTOR_UTIL * inst.cost.sm_fraction
             )
         for inst in spinning:
             # Busy-polling channels draw some vector power but move no data.
             sm_util[Datapath.VECTOR] = (
-                sm_util.get(Datapath.VECTOR, 0.0) + 0.4 * inst.cost.sm_fraction
+                sm_util.get(Datapath.VECTOR, 0.0)
+                + _SPIN_VECTOR_UTIL * inst.cost.sm_fraction
             )
-        activity = GpuActivity(
-            sm_util=sm_util,
-            hbm_frac=hbm_used / self.gpu.memory.bandwidth_bytes_per_s,
-            link_frac=min(link_frac, 1.0),
-            clock_frac=clock,
+        self._commit_power(
+            gpu_index,
+            clock,
+            hbm_used,
+            link_frac,
+            sm_util,
+            compute_active=bool(entries),
+            comm_active=bool(insts),
         )
-        power = self._power_eval.evaluate(activity)
+
+    def _commit_power(
+        self,
+        gpu_index: int,
+        clock: float,
+        hbm_used: float,
+        link_frac: float,
+        sm_util: Dict[Datapath, float],
+        compute_active: bool,
+        comm_active: bool,
+    ) -> None:
+        """Evaluate + publish one GPU's power (shared by every tier):
+        memoized evaluation, the governor's view, adaptive-tick
+        re-arming and the power-segment roll."""
+        power = self._power_eval.evaluate_parts(
+            clock,
+            hbm_used / self._hbm_bw,
+            min(link_frac, 1.0),
+            tuple(sm_util.items()),
+        )
         self._power_now[gpu_index] = power
+        self._tick_blocked.discard(gpu_index)
         self._maybe_roll_segment(
             gpu_index,
             power,
-            compute_active=bool(entries),
-            comm_active=bool(insts),
+            compute_active=compute_active,
+            comm_active=comm_active,
             clock=clock,
         )
 
@@ -657,28 +822,54 @@ class Simulator:
         Ticks are NOT scheduled when the machine is fully stalled, so a
         rendezvous deadlock drains the queue and is reported as such
         instead of ticking forever.
+
+        With ``adaptive_governor`` on, a tick is additionally skipped
+        while it is provably a no-op (power and its moving average at
+        or under the limit, clock pinned at the cap — see
+        :meth:`FrequencyGovernor.would_noop`). Power is piecewise
+        constant between events and this method runs after every
+        event's recompute, so any dirty-set change that moves a GPU's
+        power re-evaluates the skip and re-arms the tick immediately.
         """
-        if not self._governors or not self._has_activity():
+        governors = self._governors
+        if not governors or not self._has_activity():
             return
+        # Fast path: every governed GPU is either awaiting its tick or
+        # provably skippable — nothing to schedule this event.
+        if self._ticks_outstanding + len(self._tick_blocked) >= len(
+            governors
+        ):
+            return
+        adaptive = self.config.adaptive_governor
+        blocked = self._tick_blocked
         for gpu_index, pending in self._tick_pending.items():
-            if not pending:
-                self._tick_pending[gpu_index] = True
-                self.queue.schedule(
-                    self.time + self.config.governor_period_s,
-                    EventKind.GOVERNOR_TICK,
-                    gpu_index,
-                )
+            if pending or gpu_index in blocked:
+                continue
+            if adaptive:
+                power = self._power_now.get(gpu_index)
+                if power is not None and governors[gpu_index].would_noop(
+                    power
+                ):
+                    self.stats.ticks_skipped += 1
+                    blocked.add(gpu_index)
+                    continue
+            self._tick_pending[gpu_index] = True
+            self._ticks_outstanding += 1
+            self.queue.schedule(
+                self.time + self.config.governor_period_s,
+                EventKind.GOVERNOR_TICK,
+                gpu_index,
+            )
 
     def _governor_tick(self, gpu_index: int) -> None:
         self._tick_pending[gpu_index] = False
+        self._ticks_outstanding -= 1
         governor = self._governors.get(gpu_index)
         if governor is None:
             return
         power = self._power_now.get(gpu_index)
         if power is None:
-            power = gpu_power(
-                self.gpu.tdp_w, self.gpu.power, GpuActivity(clock_frac=1.0)
-            )
+            power = self._power_eval.idle_power()
         new_clock = governor.observe(power)
         if new_clock != self._clock[gpu_index]:
             self._clock[gpu_index] = new_clock
@@ -692,18 +883,10 @@ class Simulator:
     def _open_segments(self) -> None:
         if not self.config.trace_power:
             return
-        idle = self._power_eval.evaluate(GpuActivity())
+        idle = self._power_eval.idle_power()
         for g in range(self.node.num_gpus):
             self._power_now[g] = idle
-            self._segment_open[g] = PowerSegment(
-                gpu=g,
-                start_s=0.0,
-                end_s=0.0,
-                power_w=idle,
-                compute_active=False,
-                comm_active=False,
-                clock_frac=self._clock[g],
-            )
+            self._segment_open[g] = (0.0, idle, False, False, self._clock[g])
 
     def _maybe_roll_segment(
         self,
@@ -713,55 +896,52 @@ class Simulator:
         comm_active: bool,
         clock: float,
     ) -> None:
-        if not self.config.trace_power:
-            return
         current = self._segment_open.get(gpu_index)
         if current is None:
             return
-        unchanged = (
-            abs(current.power_w - power) < 1e-6
-            and current.compute_active == compute_active
-            and current.comm_active == comm_active
-            and abs(current.clock_frac - clock) < 1e-9
-        )
-        if unchanged:
+        start_s, cur_power, cur_compute, cur_comm, cur_clock = current
+        if (
+            cur_compute == compute_active
+            and cur_comm == comm_active
+            and abs(cur_power - power) < 1e-6
+            and abs(cur_clock - clock) < 1e-9
+        ):
             return
-        if self.time > current.start_s:
+        if self.time > start_s:
             self._segments[gpu_index].append(
                 PowerSegment(
                     gpu=gpu_index,
-                    start_s=current.start_s,
+                    start_s=start_s,
                     end_s=self.time,
-                    power_w=current.power_w,
-                    compute_active=current.compute_active,
-                    comm_active=current.comm_active,
-                    clock_frac=current.clock_frac,
+                    power_w=cur_power,
+                    compute_active=cur_compute,
+                    comm_active=cur_comm,
+                    clock_frac=cur_clock,
                 )
             )
-        self._segment_open[gpu_index] = PowerSegment(
-            gpu=gpu_index,
-            start_s=self.time,
-            end_s=self.time,
-            power_w=power,
-            compute_active=compute_active,
-            comm_active=comm_active,
-            clock_frac=clock,
+        self._segment_open[gpu_index] = (
+            self.time,
+            power,
+            compute_active,
+            comm_active,
+            clock,
         )
 
     def _close_segments(self) -> None:
         if not self.config.trace_power:
             return
         for g, current in self._segment_open.items():
-            if self.time > current.start_s:
+            start_s, cur_power, cur_compute, cur_comm, cur_clock = current
+            if self.time > start_s:
                 self._segments[g].append(
                     PowerSegment(
                         gpu=g,
-                        start_s=current.start_s,
+                        start_s=start_s,
                         end_s=self.time,
-                        power_w=current.power_w,
-                        compute_active=current.compute_active,
-                        comm_active=current.comm_active,
-                        clock_frac=current.clock_frac,
+                        power_w=cur_power,
+                        compute_active=cur_compute,
+                        comm_active=cur_comm,
+                        clock_frac=cur_clock,
                     )
                 )
         self._segment_open.clear()
@@ -871,8 +1051,12 @@ class IncrementalSimulator(Simulator):
         if i < n:
             w = entry.work_remaining
             r = entry.rate
+            # Same per-step arithmetic as the eager path; the branch is
+            # max(0.0, .) without the builtin call.
             while i < n:
-                w = max(0.0, w - r * dts[i])
+                w -= r * dts[i]
+                if w < 0.0:
+                    w = 0.0
                 i += 1
             entry.work_remaining = w
             entry.bank_idx = n
@@ -885,7 +1069,9 @@ class IncrementalSimulator(Simulator):
             w = inst.work_remaining
             r = inst.rate
             while i < n:
-                w = max(0.0, w - r * dts[i])
+                w -= r * dts[i]
+                if w < 0.0:
+                    w = 0.0
                 i += 1
             inst.work_remaining = w
             inst.bank_idx = n
@@ -960,9 +1146,13 @@ class IncrementalSimulator(Simulator):
         # over the candidate streams — in the reference engine's stream
         # order — launches exactly what its full fixpoint scan would.
         while self._launch_candidates:
-            batch = sorted(
-                self._launch_candidates, key=self._stream_order.__getitem__
-            )
+            if len(self._launch_candidates) == 1:
+                batch = list(self._launch_candidates)
+            else:
+                batch = sorted(
+                    self._launch_candidates,
+                    key=self._stream_order.__getitem__,
+                )
             self._launch_candidates.clear()
             for key in batch:
                 self._maybe_launch_head(key)
@@ -987,6 +1177,7 @@ class IncrementalSimulator(Simulator):
                     self.queue.schedule(
                         finish, EventKind.COLLECTIVE_FINISH, inst.op.key
                     )
+                    self._on_instance_rate_changed(inst)
                     # The instance's HBM/link draw scales with its
                     # rate; every participant's contention changed.
                     self._dirty_gpus.update(inst.op.participants)
@@ -994,15 +1185,193 @@ class IncrementalSimulator(Simulator):
 
         if self._dirty_gpus:
             for gpu_index in sorted(self._dirty_gpus):
-                active = self._active_on[gpu_index]
-                spinning = self._spinning_on[gpu_index]
-                self._recompute_gpu(
-                    gpu_index,
-                    list(self._running_on[gpu_index].values()),
-                    [active[s] for s in sorted(active)],
-                    [spinning[s] for s in sorted(spinning)],
-                )
+                self._recompute_dirty_gpu(gpu_index)
             self._dirty_gpus.clear()
+
+    def _on_instance_rate_changed(self, inst: CollectiveInstance) -> None:
+        """Hook for subclasses tracking rate-derived aggregates."""
+
+    def _recompute_dirty_gpu(self, gpu_index: int) -> None:
+        active = self._active_on[gpu_index]
+        spinning = self._spinning_on[gpu_index]
+        self._recompute_gpu(
+            gpu_index,
+            list(self._running_on[gpu_index].values()),
+            [active[s] for s in sorted(active)],
+            [spinning[s] for s in sorted(spinning)],
+        )
+
+
+class FastSimulator(IncrementalSimulator):
+    """The fast accuracy tier: O(1) additive contention aggregates.
+
+    Where :class:`IncrementalSimulator` re-reduces a dirty GPU's
+    resident collective sets on every recompute (exact, and in the
+    reference engine's float order), this engine maintains per-GPU
+    *additive* aggregates — communication SM share, spin SM share, HBM
+    draw and link utilisation — updated in O(1) when an instance
+    posts, starts, changes rate or retires. Incremental float
+    accumulation visits the terms in event order rather than creation
+    order, so results carry bounded relative error instead of
+    bit-exactness; the equivalence suite's tolerance tier gates it.
+    Aggregates snap back to exactly 0.0 whenever a GPU's resident set
+    empties, so the drift cannot compound across program phases.
+    """
+
+    def __init__(
+        self,
+        node: NodeSpec,
+        tasks: Sequence[Task],
+        config: Optional[SimConfig] = None,
+        cost_model: Optional[CollectiveCostModel] = None,
+    ):
+        super().__init__(node, tasks, config, cost_model=cost_model)
+        num_gpus = node.num_gpus
+        #: Sum of cost.sm_fraction over active instances per GPU.
+        self._agg_comm_sm: List[float] = [0.0] * num_gpus
+        #: Sum of cost.sm_fraction over spinning instances per GPU.
+        self._agg_spin_sm: List[float] = [0.0] * num_gpus
+        #: Sum of instance HBM draw (bytes/s) over active instances.
+        self._agg_hbm: List[float] = [0.0] * num_gpus
+        #: Sum of instance link utilisation over active instances.
+        self._agg_link: List[float] = [0.0] * num_gpus
+        #: Last rate-dependent contribution added per instance seq, so
+        #: rate changes and retirement apply exact-value deltas.
+        self._inst_hbm_contrib: Dict[int, float] = {}
+        self._inst_link_contrib: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # aggregate maintenance
+    # ------------------------------------------------------------------
+
+    def _on_comm_posted(self, task: CommTask, inst: CollectiveInstance) -> None:
+        super()._on_comm_posted(task, inst)
+        self._agg_spin_sm[task.gpu] += inst.cost.sm_fraction
+
+    def _on_instance_started(self, inst: CollectiveInstance) -> None:
+        sm_fraction = inst.cost.sm_fraction
+        for gpu in inst.posted:
+            if inst.seq in self._spinning_on[gpu]:
+                self._agg_spin_sm[gpu] -= sm_fraction
+        super()._on_instance_started(inst)
+        for gpu in inst.posted:
+            if not self._spinning_on[gpu]:
+                self._agg_spin_sm[gpu] = 0.0
+        for gpu in inst.op.participants:
+            self._agg_comm_sm[gpu] += sm_fraction
+        # Rate is still 0 at the rendezvous; the first recompute sets
+        # it and accounts the HBM/link contributions below.
+        self._inst_hbm_contrib[inst.seq] = 0.0
+        self._inst_link_contrib[inst.seq] = 0.0
+
+    def _apply_rate_contribution(self, inst: CollectiveInstance) -> None:
+        """Fold an instance's new rate into its participants' sums."""
+        seq = inst.seq
+        new_hbm = inst.hbm_demand_now()
+        new_link = inst.link_fraction_now()
+        delta_hbm = new_hbm - self._inst_hbm_contrib.get(seq, 0.0)
+        delta_link = new_link - self._inst_link_contrib.get(seq, 0.0)
+        self._inst_hbm_contrib[seq] = new_hbm
+        self._inst_link_contrib[seq] = new_link
+        for gpu in inst.op.participants:
+            self._agg_hbm[gpu] += delta_hbm
+            self._agg_link[gpu] += delta_link
+
+    def _on_collective_finished(self, inst: CollectiveInstance) -> None:
+        super()._on_collective_finished(inst)
+        seq = inst.seq
+        sm_fraction = inst.cost.sm_fraction
+        hbm = self._inst_hbm_contrib.pop(seq, 0.0)
+        link = self._inst_link_contrib.pop(seq, 0.0)
+        for gpu in inst.op.participants:
+            if self._active_on[gpu]:
+                self._agg_comm_sm[gpu] -= sm_fraction
+                self._agg_hbm[gpu] -= hbm
+                self._agg_link[gpu] -= link
+            else:
+                # Empty resident set: snap to exact zero so float
+                # residue from the add/remove churn cannot accumulate.
+                self._agg_comm_sm[gpu] = 0.0
+                self._agg_hbm[gpu] = 0.0
+                self._agg_link[gpu] = 0.0
+
+    # ------------------------------------------------------------------
+    # recompute from aggregates
+    # ------------------------------------------------------------------
+
+    def _on_instance_rate_changed(self, inst: CollectiveInstance) -> None:
+        self._apply_rate_contribution(inst)
+
+    def _recompute_dirty_gpu(self, gpu_index: int) -> None:
+        """One GPU's rates + power from the additive aggregates.
+
+        Same contention formulas and entry-rate loop as the exact
+        engines; only the communication terms come from the O(1)
+        aggregates instead of a resident-set reduction.
+        """
+        self.stats.gpu_rate_passes += 1
+        clock = self._clock[gpu_index]
+        active_count = len(self._active_on[gpu_index])
+        sm_avail, hbm_avail, eff_clock = self._availability(
+            clock,
+            max(0.0, self._agg_comm_sm[gpu_index]),
+            max(0.0, self._agg_spin_sm[gpu_index]),
+            max(0.0, self._agg_hbm[gpu_index]),
+            bool(active_count),
+        )
+        running = self._running_on[gpu_index]
+        self._update_entry_rates(
+            running.values(), len(running), sm_avail, hbm_avail, eff_clock
+        )
+        self._update_power_fast(gpu_index, clock, active_count)
+
+    def _update_power_fast(
+        self, gpu_index: int, clock: float, active_count: int
+    ) -> None:
+        """Power from aggregates: O(running) instead of O(residents).
+
+        The per-instance vector/HBM/link loops of ``_update_power``
+        collapse into the aggregate sums (same coefficients, shared
+        module constants); the evaluation/publishing tail is the
+        shared :meth:`_commit_power`.
+        """
+        sm_util: Dict[Datapath, float] = {}
+        running = self._running_on[gpu_index]
+        hbm_used = self._compute_power_terms(
+            list(running.values()), clock, sm_util
+        )
+        link_frac = 0.0
+        if active_count:
+            hbm_used += max(0.0, self._agg_hbm[gpu_index])
+            link_frac = max(0.0, self._agg_link[gpu_index])
+            # Channel copy loops run on the vector pipes.
+            sm_util[Datapath.VECTOR] = (
+                sm_util.get(Datapath.VECTOR, 0.0)
+                + _COMM_VECTOR_UTIL * max(0.0, self._agg_comm_sm[gpu_index])
+            )
+        if self._spinning_on[gpu_index]:
+            # Busy-polling channels draw some vector power, no data.
+            sm_util[Datapath.VECTOR] = (
+                sm_util.get(Datapath.VECTOR, 0.0)
+                + _SPIN_VECTOR_UTIL * max(0.0, self._agg_spin_sm[gpu_index])
+            )
+        self._commit_power(
+            gpu_index,
+            clock,
+            hbm_used,
+            link_frac,
+            sm_util,
+            compute_active=bool(running),
+            comm_active=bool(active_count),
+        )
+
+
+#: Engine class per accuracy tier (see :mod:`repro.sim.config`).
+_ENGINE_TIERS = {
+    "reference": Simulator,
+    "incremental": IncrementalSimulator,
+    "fast": FastSimulator,
+}
 
 
 def make_simulator(
@@ -1011,10 +1380,22 @@ def make_simulator(
     config: Optional[SimConfig] = None,
     cost_model: Optional[CollectiveCostModel] = None,
 ) -> Simulator:
-    """Build the engine ``config`` selects (incremental by default)."""
+    """Build the engine ``config`` selects (incremental by default).
+
+    ``reference_engine`` wins (the correctness oracle), then
+    ``fast_contention`` picks the additive-aggregate fast tier;
+    everything else runs the bit-exact incremental engine. The event
+    queue backend and the adaptive governor cadence are orthogonal
+    knobs read by all engines from the config itself.
+    """
     if config is None:
         config = SimConfig()
-    cls = Simulator if config.reference_engine else IncrementalSimulator
+    if config.reference_engine:
+        cls = _ENGINE_TIERS["reference"]
+    elif config.fast_contention:
+        cls = _ENGINE_TIERS["fast"]
+    else:
+        cls = _ENGINE_TIERS["incremental"]
     return cls(node, tasks, config, cost_model=cost_model)
 
 

@@ -1,14 +1,34 @@
-"""Event queue for the discrete-event engine.
+"""Event queues for the discrete-event engine.
 
-The queue supports *lazy invalidation*: rescheduling a finish event
-does not remove the superseded copy from the heap. Instead every
-``(kind, payload)`` pair carries a version counter; :meth:`~EventQueue.schedule`
-bumps it and tags the new event, and :meth:`~EventQueue.pop_live`
-silently drops tombstoned copies (events whose version has since been
-superseded) on the way out. This turns the engine's rescheduling churn
-from O(heap) removals into O(1) bumps, at the cost of dead entries in
-the heap — which :meth:`~EventQueue.compact` reclaims once they
-outnumber the live ones.
+Two storage backends share one versioned *lazy invalidation* surface:
+
+* :class:`EventQueue` — a binary heap (the default). Rescheduling a
+  finish event does not remove the superseded copy; every
+  ``(kind, payload)`` pair carries a version counter,
+  :meth:`~EventQueue.schedule` bumps it and tags the new event, and
+  :meth:`~EventQueue.pop_live` silently drops tombstoned copies
+  (events whose version has since been superseded) on the way out.
+  This turns the engine's rescheduling churn from O(heap) removals
+  into O(1) bumps, at the cost of dead entries in storage — which
+  :meth:`~EventQueue.compact` reclaims once they outnumber the live
+  ones.
+* :class:`CalendarEventQueue` — a bucketed calendar queue (Brown's
+  classic discrete-event structure): events hash into fixed-width
+  time buckets, and the head is found by scanning bucket indices in
+  order instead of sifting one global heap. The engine keys the
+  bucket width to the governor period, which is the natural spacing
+  of its event population (ticks land one period ahead; finish events
+  cluster within a few periods). Pops come out in exactly the heap's
+  (time, insertion order) sequence — bucket partitioning by
+  ``floor(time / width)`` is monotone in time, so the two backends
+  are bit-for-bit interchangeable and the engine equivalence suite
+  pins that.
+
+Both backends keep per-key bookkeeping exact: the tombstone count
+(`live_count` is always ``len(queue) - tombstones``), the live-key
+set, and the version table, which is pruned as soon as the last copy
+of a key leaves storage (versions only need to stay monotonic while a
+stale copy could still be popped).
 """
 
 from __future__ import annotations
@@ -17,13 +37,17 @@ import enum
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
-#: Compaction threshold: rebuild the heap once it holds at least this
-#: many events and more than half of them are tombstones.
+#: Auto-compaction threshold: ``pop_live`` rebuilds storage once it
+#: holds at least this many events and more than half are tombstones.
+#: An *explicit* :meth:`EventQueue.compact` call always rebuilds.
 _COMPACT_MIN_SIZE = 64
+
+#: Default calendar bucket width when no governor period is supplied.
+_DEFAULT_BUCKET_WIDTH_S = 2e-3
 
 
 class EventKind(enum.Enum):
@@ -35,6 +59,11 @@ class EventKind(enum.Enum):
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value
+
+    # Members are singletons; identity hashing matches the default
+    # name hash semantically but stays in C. Every queue operation
+    # hashes a (kind, payload) key, so this is hot.
+    __hash__ = object.__hash__
 
 
 @dataclass(frozen=True)
@@ -54,36 +83,75 @@ class Event:
 
 
 class EventQueue:
-    """A stable min-heap of events keyed by (time, insertion order).
+    """A stable min-queue of events keyed by (time, insertion order).
 
     Two usage levels:
 
-    * :meth:`push` / :meth:`pop` — the raw FIFO-stable heap; events are
-      returned exactly as pushed. For unversioned keys only: pushing a
-      raw event onto a key that :meth:`schedule` manages would corrupt
-      the tombstone accounting, so it is rejected.
+    * :meth:`push` / :meth:`pop` — the raw FIFO-stable queue; events
+      are returned exactly as pushed. For unversioned keys only:
+      pushing a raw event onto a key that :meth:`schedule` manages
+      would corrupt the tombstone accounting, so it is rejected (and
+      so is the reverse — versioning a key that has raw copies
+      outstanding).
     * :meth:`schedule` / :meth:`cancel` / :meth:`pop_live` — versioned
       events with lazy invalidation (the engine uses this for finish
       events *and* governor ticks); superseded copies are tombstones
       that ``pop_live`` drops and ``compact`` reclaims.
+
+    Subclasses provide a different physical storage by overriding the
+    ``_store_*`` primitives; all versioned bookkeeping lives here.
     """
 
     def __init__(self) -> None:
-        self._heap: list = []
         self._counter = itertools.count()
         #: Current version per (kind, payload); events tagged with an
         #: older version are tombstones.
         self._versions: Dict[Tuple[EventKind, Any], int] = {}
-        #: Keys whose *current* version still has an event in the heap
+        #: Keys whose *current* version still has an event in storage
         #: (drives the exact tombstone count below).
         self._live_keys: set = set()
-        #: Exact number of tombstoned events currently in the heap.
+        #: Number of copies (live, stale or raw) per key currently in
+        #: storage; drives version-table pruning.
+        self._key_copies: Dict[Tuple[EventKind, Any], int] = {}
+        #: Exact number of tombstoned events currently in storage.
         self._tombstones = 0
         #: Total tombstones dropped over the queue's lifetime.
         self.stale_dropped = 0
+        self._store_init()
 
     # ------------------------------------------------------------------
-    # raw heap interface
+    # storage primitives (binary heap; overridden by CalendarEventQueue)
+    # ------------------------------------------------------------------
+
+    def _store_init(self) -> None:
+        self._heap: list = []
+
+    def _store_push(self, item: Tuple[float, int, Event]) -> None:
+        heapq.heappush(self._heap, item)
+
+    def _store_pop(self) -> Optional[Tuple[float, int, Event]]:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)
+
+    def _store_peek(self) -> Optional[Tuple[float, int, Event]]:
+        if not self._heap:
+            return None
+        return self._heap[0]
+
+    def _store_len(self) -> int:
+        return len(self._heap)
+
+    def _store_items(self) -> Iterable[Tuple[float, int, Event]]:
+        return self._heap
+
+    def _store_rebuild(self, items: List[Tuple[float, int, Event]]) -> None:
+        """Replace storage contents, preserving (time, counter) order."""
+        heapq.heapify(items)
+        self._heap = items
+
+    # ------------------------------------------------------------------
+    # raw interface
     # ------------------------------------------------------------------
 
     def push(self, event: Event) -> None:
@@ -100,14 +168,42 @@ class EventQueue:
             )
         self._push(event)
 
-    def _push(self, event: Event) -> None:
-        if not (event.time >= 0.0) or event.time != event.time:
+    @staticmethod
+    def _validate_time(time: float, kind: EventKind) -> None:
+        if not (time >= 0.0) or time != time:
             raise SimulationError(
-                f"event {event.kind} has invalid time {event.time!r}"
+                f"event {kind} has invalid time {time!r}"
             )
-        if event.time == float("inf"):
-            raise SimulationError(f"event {event.kind} scheduled at infinity")
-        heapq.heappush(self._heap, (event.time, next(self._counter), event))
+        if time == float("inf"):
+            raise SimulationError(f"event {kind} scheduled at infinity")
+
+    def _push(self, event: Event) -> None:
+        self._validate_time(event.time, event.kind)
+        key = (event.kind, event.payload)
+        self._key_copies[key] = self._key_copies.get(key, 0) + 1
+        self._store_push((event.time, next(self._counter), event))
+
+    def _note_removed(self, event: Event) -> bool:
+        """Book-keep one copy leaving storage; True if it was stale.
+
+        Decrements the key's copy count and, once no copy remains and
+        the key is not live, prunes its version entry — versions only
+        need to stay monotonic while a stale copy could still surface.
+        """
+        key = (event.kind, event.payload)
+        stale = self._is_stale(event)
+        if stale:
+            self._tombstones -= 1
+        else:
+            self._live_keys.discard(key)
+        remaining = self._key_copies.get(key, 0) - 1
+        if remaining > 0:
+            self._key_copies[key] = remaining
+        else:
+            self._key_copies.pop(key, None)
+            if key not in self._live_keys:
+                self._versions.pop(key, None)
+        return stale
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest event, or None if empty.
@@ -115,20 +211,31 @@ class EventQueue:
         Tombstoned events are returned too — callers that schedule via
         :meth:`schedule` should use :meth:`pop_live` instead.
         """
-        if not self._heap:
+        item = self._store_pop()
+        if item is None:
             return None
-        _, _, event = heapq.heappop(self._heap)
-        if self._is_stale(event):
-            self._tombstones -= 1
-        else:
-            self._live_keys.discard((event.kind, event.payload))
+        event = item[2]
+        self._note_removed(event)
         return event
 
     def peek_time(self) -> Optional[float]:
-        """Time of the earliest event without removing it."""
-        if not self._heap:
-            return None
-        return self._heap[0][0]
+        """Time of the earliest *live* event without removing it.
+
+        Stale heads (tombstoned copies that happen to sort first) are
+        dropped on the way, so the returned wake-up time is never one
+        a supersession already invalidated.
+        """
+        while True:
+            item = self._store_peek()
+            if item is None:
+                return None
+            event = item[2]
+            if self._is_stale(event):
+                self._store_pop()
+                self._note_removed(event)
+                self.stale_dropped += 1
+                continue
+            return item[0]
 
     # ------------------------------------------------------------------
     # versioned interface (lazy invalidation)
@@ -140,7 +247,15 @@ class EventQueue:
         Any previously scheduled copy becomes a tombstone; there is at
         most one live event per key at any moment.
         """
+        # Validate before touching any bookkeeping: a rejected time
+        # must leave versions/live-keys/tombstone counts untouched.
+        self._validate_time(time, kind)
         key = (kind, payload)
+        if key not in self._versions and self._key_copies.get(key, 0) > 0:
+            raise SimulationError(
+                f"event key ({kind}, {payload!r}) has raw push() copies "
+                f"outstanding; it cannot become version-managed"
+            )
         version = self._versions.get(key, 0) + 1
         self._versions[key] = version
         if key in self._live_keys:
@@ -173,42 +288,189 @@ class EventQueue:
 
     def pop_live(self) -> Optional[Event]:
         """Earliest non-tombstoned event, or None when none remain."""
-        while self._heap:
-            _, _, event = heapq.heappop(self._heap)
-            if self._is_stale(event):
-                self._tombstones -= 1
+        while True:
+            item = self._store_pop()
+            if item is None:
+                return None
+            event = item[2]
+            if self._note_removed(event):
                 self.stale_dropped += 1
                 continue
-            self._live_keys.discard((event.kind, event.payload))
-            if self._tombstones > len(self._heap) // 2:
+            size = self._store_len()
+            if size >= _COMPACT_MIN_SIZE and self._tombstones > size // 2:
                 self.compact()
             return event
-        return None
 
     def compact(self) -> None:
-        """Drop tombstones from the heap in one rebuild.
+        """Drop every tombstone from storage in one rebuild.
 
         The (time, counter) tuples are retained, so the relative order
         of the surviving events — including same-time ties — is exactly
-        what it was before compaction.
+        what it was before compaction. Unlike the automatic compaction
+        ``pop_live`` triggers (which is threshold-gated), an explicit
+        call always rebuilds, so ``len(queue)`` equals ``live_count``
+        afterwards no matter how small the queue is.
         """
-        if len(self._heap) < _COMPACT_MIN_SIZE:
-            return
-        kept = [
-            item for item in self._heap if not self._is_stale(item[2])
-        ]
-        self.stale_dropped += len(self._heap) - len(kept)
-        heapq.heapify(kept)
-        self._heap = kept
-        self._tombstones = 0
+        kept: List[Tuple[float, int, Event]] = []
+        for item in self._store_items():
+            event = item[2]
+            if self._is_stale(event):
+                self._note_removed(event)
+                self.stale_dropped += 1
+            else:
+                kept.append(item)
+        self._store_rebuild(kept)
 
     @property
     def live_count(self) -> int:
         """Number of non-tombstoned events currently queued."""
-        return len(self._heap) - self._tombstones
+        return self._store_len() - self._tombstones
+
+    def check_invariants(self) -> None:
+        """Assert the bookkeeping matches storage exactly (test hook).
+
+        O(n); verifies the tombstone count, the live-key set, the
+        per-key copy counts and that the version table holds no entry
+        for keys with no copies left in storage.
+        """
+        items = list(self._store_items())
+        stale = sum(1 for item in items if self._is_stale(item[2]))
+        if self._tombstones != stale:
+            raise AssertionError(
+                f"tombstone count {self._tombstones} != {stale} stale "
+                f"events in storage"
+            )
+        live = {
+            (item[2].kind, item[2].payload)
+            for item in items
+            if (item[2].kind, item[2].payload) in self._versions
+            and not self._is_stale(item[2])
+        }
+        if live != self._live_keys:
+            raise AssertionError(
+                f"live keys {self._live_keys!r} != storage live {live!r}"
+            )
+        copies: Dict[Tuple[EventKind, Any], int] = {}
+        for item in items:
+            key = (item[2].kind, item[2].payload)
+            copies[key] = copies.get(key, 0) + 1
+        if copies != self._key_copies:
+            raise AssertionError(
+                f"copy counts {self._key_copies!r} != storage {copies!r}"
+            )
+        orphaned = set(self._versions) - set(copies)
+        if orphaned:
+            raise AssertionError(
+                f"version entries without storage copies: {orphaned!r}"
+            )
+        if self.live_count != len(items) - stale:
+            raise AssertionError("live_count disagrees with storage")
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return self._store_len()
 
     def __bool__(self) -> bool:
-        return bool(self._heap)
+        return self._store_len() > 0
+
+
+class CalendarEventQueue(EventQueue):
+    """Calendar-queue storage behind the :class:`EventQueue` surface.
+
+    Events land in the bucket ``floor(time / bucket_width)``; each
+    bucket is a small heap, and a second heap over the non-empty
+    bucket indices finds the head. Because the index partition is
+    monotone in time, the global pop order is identical to the binary
+    heap's — same times, same FIFO tie-breaks — while pushes and pops
+    only ever sift within one bucket's (usually tiny) population.
+    """
+
+    def __init__(self, bucket_width_s: float = _DEFAULT_BUCKET_WIDTH_S):
+        if not (bucket_width_s > 0.0) or bucket_width_s == float("inf"):
+            raise SimulationError(
+                f"calendar bucket width must be positive and finite, "
+                f"got {bucket_width_s!r}"
+            )
+        self.bucket_width_s = bucket_width_s
+        super().__init__()
+
+    def _store_init(self) -> None:
+        self._buckets: Dict[int, List[Tuple[float, int, Event]]] = {}
+        #: Min-heap of (possibly stale) non-empty bucket indices.
+        self._order: List[int] = []
+        self._queued: set = set()
+        self._count = 0
+
+    def _store_push(self, item: Tuple[float, int, Event]) -> None:
+        index = int(item[0] / self.bucket_width_s)
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            self._buckets[index] = bucket = []
+        heapq.heappush(bucket, item)
+        if index not in self._queued:
+            self._queued.add(index)
+            heapq.heappush(self._order, index)
+        self._count += 1
+
+    def _head_bucket(self) -> Optional[List[Tuple[float, int, Event]]]:
+        """First non-empty bucket, dropping exhausted index entries."""
+        while self._order:
+            index = self._order[0]
+            bucket = self._buckets.get(index)
+            if bucket:
+                return bucket
+            heapq.heappop(self._order)
+            self._queued.discard(index)
+            self._buckets.pop(index, None)
+        return None
+
+    def _store_pop(self) -> Optional[Tuple[float, int, Event]]:
+        bucket = self._head_bucket()
+        if bucket is None:
+            return None
+        item = heapq.heappop(bucket)
+        self._count -= 1
+        return item
+
+    def _store_peek(self) -> Optional[Tuple[float, int, Event]]:
+        bucket = self._head_bucket()
+        if bucket is None:
+            return None
+        return bucket[0]
+
+    def _store_len(self) -> int:
+        return self._count
+
+    def _store_items(self) -> Iterable[Tuple[float, int, Event]]:
+        for bucket in self._buckets.values():
+            yield from bucket
+
+    def _store_rebuild(self, items: List[Tuple[float, int, Event]]) -> None:
+        self._store_init()
+        for item in items:
+            self._store_push(item)
+
+
+#: Valid ``SimConfig.event_queue`` selectors.
+EVENT_QUEUE_KINDS = ("heap", "calendar")
+
+
+def make_event_queue(
+    kind: str = "heap",
+    bucket_width_s: Optional[float] = None,
+) -> EventQueue:
+    """Build the configured queue backend.
+
+    ``bucket_width_s`` only matters for the calendar backend; the
+    engine passes its governor period, which matches the natural
+    spacing of the simulation's event population.
+    """
+    if kind == "heap":
+        return EventQueue()
+    if kind == "calendar":
+        if bucket_width_s is None:
+            bucket_width_s = _DEFAULT_BUCKET_WIDTH_S
+        return CalendarEventQueue(bucket_width_s)
+    raise SimulationError(
+        f"unknown event queue kind {kind!r} "
+        f"(known: {', '.join(EVENT_QUEUE_KINDS)})"
+    )

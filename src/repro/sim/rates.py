@@ -120,6 +120,53 @@ class RateModel:
             self._peak_eff[kernel] = value
         return value
 
+    def kernel_params(self, kernel: KernelSpec) -> Tuple[float, float]:
+        """``(peak * efficiency, arithmetic intensity)`` for one kernel.
+
+        The engine resolves these once per task at launch and feeds
+        them back through :meth:`rate_from_params` /
+        :meth:`sm_utilization_from_params`, which skips the per-event
+        kernel-table hashing without changing a single float.
+        """
+        return self._peak_eff_for(kernel), kernel.arithmetic_intensity
+
+    @staticmethod
+    def rate_from_params(
+        peak_eff: float,
+        ai: float,
+        sm_fraction: float,
+        hbm_bytes_per_s: float,
+        clock_frac: float,
+    ) -> float:
+        """:meth:`compute_rate` from pre-resolved kernel parameters.
+
+        Performs exactly the same arithmetic in the same association
+        order, so the result is bit-for-bit equal (a property test
+        pins this against the module-level function).
+        """
+        flops_ceiling = peak_eff * sm_fraction * clock_frac
+        if ai == float("inf"):
+            rate = flops_ceiling
+        else:
+            rate = min(flops_ceiling, ai * hbm_bytes_per_s)
+        if rate <= 0:
+            rate = max(peak_eff * 1e-4, 1.0)
+        return rate
+
+    @staticmethod
+    def sm_utilization_from_params(
+        peak_eff: float,
+        rate_flops_per_s: float,
+        sm_fraction: float,
+        clock_frac: float,
+    ) -> float:
+        """:meth:`sm_utilization` from a pre-resolved peak."""
+        peak = peak_eff * clock_frac
+        if peak <= 0:
+            return 0.0
+        util = rate_flops_per_s / peak
+        return min(util, sm_fraction if sm_fraction > 0 else 1.0, 1.0)
+
     def compute_rate(
         self,
         kernel: KernelSpec,

@@ -65,6 +65,28 @@ class KernelSpec:
             raise ConfigurationError(
                 f"kernel {self.name}: efficiency must be in (0, 1]"
             )
+        # Kernel specs key the engine's hottest memo tables (roofline
+        # peaks, isolated durations, free-running utilisation). The
+        # generated dataclass hash re-hashes every field per lookup;
+        # computing it once here keeps equality semantics identical
+        # while making each lookup a cached-int hash.
+        object.__setattr__(
+            self,
+            "_hash",
+            hash(
+                (
+                    self.name,
+                    self.kind,
+                    self.flops,
+                    self.bytes_moved,
+                    self.path,
+                    self.efficiency,
+                )
+            ),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def arithmetic_intensity(self) -> float:

@@ -1,10 +1,18 @@
-"""Reference vs incremental engine: bit-for-bit equivalence.
+"""Engine accuracy tiers: bit-exact equivalence + the tolerance tier.
 
 The incremental engine's whole contract is that skipping the clean
 (non-dirty) parts of the recompute cannot change anything: records,
 power segments, end time and minimum clock must be *exactly* equal —
 no tolerances — to the full-recompute reference path, under jitter,
-power capping, aggressive governor ticking and ideal mode alike.
+power capping, aggressive governor ticking and ideal mode alike. The
+calendar event queue is part of that bit-exact contract (it pops the
+same event sequence as the heap).
+
+The *fast* tier (``SimConfig.fast()``: additive contention aggregates
++ adaptive governor ticks + calendar queue) trades bit-exactness for
+throughput; its contract is bounded relative error, pinned here by a
+tolerance-gated version of the same property suite and real-plan
+cases.
 """
 
 import dataclasses
@@ -17,7 +25,12 @@ from repro.hw.datapath import FP16_TENSOR
 from repro.hw.system import make_node
 from repro.parallel.plan import PlanBuilder
 from repro.sim.config import SimConfig
-from repro.sim.engine import IncrementalSimulator, Simulator, make_simulator
+from repro.sim.engine import (
+    FastSimulator,
+    IncrementalSimulator,
+    Simulator,
+    make_simulator,
+)
 from repro.sim.rates import (
     RateModel,
     compute_rate,
@@ -66,6 +79,55 @@ def _assert_identical(node, tasks, config):
     return a
 
 
+def _total_energy(result):
+    return sum(
+        seg.energy_j
+        for segments in result.power_segments.values()
+        for seg in segments
+    )
+
+
+def _assert_close(node, tasks, config, rel_tol, abs_floor_s=1e-9):
+    """Reference (exact knobs) vs the fast tier: bounded relative error.
+
+    The fast tier may reorder float accumulations and shift throttle
+    onset by a control period, so equality is relative: end time,
+    per-task start/end times, total energy and the minimum clock must
+    all land within ``rel_tol`` of the reference (times against an
+    absolute floor for microsecond-scale programs).
+    """
+    ref = Simulator(
+        node,
+        tasks,
+        dataclasses.replace(config, reference_engine=True),
+    )
+    fast_config = config.fast()
+    fast = make_simulator(node, tasks, fast_config)
+    assert isinstance(fast, FastSimulator)
+    a = ref.run()
+    b = fast.run()
+    time_tol = max(abs_floor_s, rel_tol * a.end_time_s)
+    assert abs(a.end_time_s - b.end_time_s) <= time_tol
+    assert len(a.records) == len(b.records)
+    by_id = {record.task_id: record for record in b.records}
+    for rec in a.records:
+        other = by_id[rec.task_id]
+        assert (rec.gpu, rec.stream, rec.label) == (
+            other.gpu,
+            other.stream,
+            other.label,
+        )
+        assert abs(rec.start_s - other.start_s) <= time_tol
+        assert abs(rec.end_s - other.end_s) <= time_tol
+    assert abs(a.min_clock_frac_seen - b.min_clock_frac_seen) <= max(
+        0.05, rel_tol
+    )
+    energy_a, energy_b = _total_energy(a), _total_energy(b)
+    if energy_a > 0:
+        assert abs(energy_a - energy_b) <= rel_tol * energy_a + 1e-9
+    return a, b
+
+
 @st.composite
 def random_plans(draw):
     """Small random stream programs: computes, deps, collectives.
@@ -111,6 +173,10 @@ def random_plans(draw):
         # tiny programs, exercising the clock-dirty propagation path.
         governor_period_s=draw(st.sampled_from([2e-6, 2e-3])),
         trace_power=True,
+        # The calendar queue is part of the bit-exact contract: it must
+        # pop the heap's exact event sequence, so it rides the same
+        # no-tolerance suite.
+        event_queue=draw(st.sampled_from(["heap", "calendar"])),
     )
     return NODES[num_gpus], builder.build().tasks, config
 
@@ -218,6 +284,107 @@ def test_incremental_skips_unaffected_gpus():
     assert inc.stats.gpu_rate_passes * 2 < ref.stats.gpu_rate_passes
 
 
+# ----------------------------------------------------------------------
+# calendar queue: bit-exact on real plans
+# ----------------------------------------------------------------------
+
+
+def _real_plan(strategy, num_gpus, power_limit_w=None):
+    from repro.core.experiment import ExperimentConfig
+    from repro.exec.planning import default_planner
+
+    cfg = ExperimentConfig(
+        gpu="A100",
+        model="gpt3-xl",
+        batch_size=8,
+        strategy=strategy,
+        num_gpus=num_gpus,
+        jitter_sigma=0.02,
+        power_limit_w=power_limit_w,
+    )
+    planner = default_planner()
+    return planner.node_for(cfg), planner.plan_for(cfg, overlap=True), cfg
+
+
+def test_calendar_queue_bit_identical_on_power_capped_plan():
+    node, plan, cfg = _real_plan("fsdp", 2, power_limit_w=250.0)
+    config = dataclasses.replace(
+        cfg.sim_config(seed=3), event_queue="calendar"
+    )
+    result = _assert_identical(node, plan.tasks, config)
+    assert result.min_clock_frac_seen < 1.0
+
+
+def test_calendar_queue_matches_heap_queue_exactly():
+    """Same engine, different queue backend: identical results."""
+    node, plan, cfg = _real_plan("pipeline", 4)
+    base = cfg.sim_config(seed=1)
+    heap = IncrementalSimulator(node, plan.tasks, base).run()
+    calendar = IncrementalSimulator(
+        node, plan.tasks, dataclasses.replace(base, event_queue="calendar")
+    ).run()
+    assert heap.end_time_s == calendar.end_time_s
+    assert heap.records == calendar.records
+    assert heap.power_segments == calendar.power_segments
+
+
+# ----------------------------------------------------------------------
+# fast tier: tolerance-gated equivalence
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(random_plans())
+def test_random_task_graphs_fast_tier_within_tolerance(plan):
+    node, tasks, config = plan
+    # Tiny microsecond-scale programs with aggressive ticks: allow a
+    # generous bound (a handful of control periods of drift).
+    _assert_close(node, tasks, config, rel_tol=0.10, abs_floor_s=2e-5)
+
+
+def test_fast_tier_power_capped_real_plan_within_tolerance():
+    node, plan, cfg = _real_plan("fsdp", 2, power_limit_w=250.0)
+    config = cfg.sim_config(seed=3)
+    ref, fast = _assert_close(node, plan.tasks, config, rel_tol=0.05)
+    # The cap must actually have bitten under both tiers.
+    assert ref.min_clock_frac_seen < 1.0
+    assert fast.min_clock_frac_seen < 1.0
+
+
+def test_fast_tier_pipeline_real_plan_within_tolerance():
+    node, plan, cfg = _real_plan("pipeline", 4)
+    _assert_close(node, plan.tasks, cfg.sim_config(seed=1), rel_tol=0.05)
+
+
+def test_fast_tier_uses_adaptive_ticks():
+    """Uncapped real plan: the adaptive cadence must actually skip."""
+    node, plan, cfg = _real_plan("fsdp", 2)
+    sim = make_simulator(node, plan.tasks, cfg.sim_config(seed=0).fast())
+    sim.run()
+    assert sim.stats.ticks_skipped > 0
+
+
+def test_make_simulator_tier_selection():
+    node, plan, cfg = _real_plan("fsdp", 2)
+    base = cfg.sim_config(seed=0)
+    assert type(make_simulator(node, plan.tasks, base)) is IncrementalSimulator
+    assert (
+        type(
+            make_simulator(
+                node,
+                plan.tasks,
+                dataclasses.replace(base, reference_engine=True),
+            )
+        )
+        is Simulator
+    )
+    assert type(make_simulator(node, plan.tasks, base.fast())) is FastSimulator
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        dataclasses.replace(base, reference_engine=True, fast_contention=True)
+
+
 @pytest.mark.parametrize("kernel", KERNELS, ids=lambda k: k.name)
 def test_rate_model_matches_module_functions(kernel):
     """RateModel's memoized math is the module functions, bit-for-bit."""
@@ -243,3 +410,23 @@ def test_rate_model_matches_module_functions(kernel):
     assert model.free_utilization(kernel, 0.77) == sm_utilization(
         kernel, gpu, free, 1.0, 0.77
     )
+
+
+@pytest.mark.parametrize("kernel", KERNELS, ids=lambda k: k.name)
+def test_rate_model_param_helpers_are_bit_exact(kernel):
+    """The engine's pre-resolved param path equals the module math."""
+    gpu = NODES[4].gpu
+    model = RateModel(gpu)
+    peak_eff, ai = model.kernel_params(kernel)
+    assert ai == kernel.arithmetic_intensity
+    for sm in (1.0, 0.4, 0.05):
+        for bw in (gpu.memory.effective_bandwidth, 1e11):
+            for clock in (1.0, 0.61):
+                expected = compute_rate(kernel, gpu, sm, bw, clock)
+                assert (
+                    RateModel.rate_from_params(peak_eff, ai, sm, bw, clock)
+                    == expected
+                )
+                assert RateModel.sm_utilization_from_params(
+                    peak_eff, expected, sm, clock
+                ) == sm_utilization(kernel, gpu, expected, sm, clock)

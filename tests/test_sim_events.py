@@ -1,67 +1,97 @@
-"""Tests for the event queue."""
+"""Tests for the event queue backends.
+
+Every behavioural test runs against both storage backends — the
+binary heap and the bucketed calendar queue — because they share one
+versioned surface and must be observably interchangeable. A dedicated
+property test additionally drives both backends through identical
+random operation sequences and requires identical outputs.
+"""
 
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import SimulationError
-from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.events import (
+    CalendarEventQueue,
+    Event,
+    EventKind,
+    EventQueue,
+    make_event_queue,
+)
+
+BACKENDS = {
+    "heap": EventQueue,
+    "calendar": lambda: CalendarEventQueue(bucket_width_s=7.0),
+}
+
+
+@pytest.fixture(params=sorted(BACKENDS), name="queue")
+def _queue(request):
+    return BACKENDS[request.param]()
 
 
 def _event(t, payload=0, epoch=0):
     return Event(t, EventKind.TASK_FINISH, payload, epoch)
 
 
-def test_pop_orders_by_time():
-    q = EventQueue()
-    q.push(_event(3.0, "c"))
-    q.push(_event(1.0, "a"))
-    q.push(_event(2.0, "b"))
-    assert [q.pop().payload for _ in range(3)] == ["a", "b", "c"]
+def test_pop_orders_by_time(queue):
+    queue.push(_event(3.0, "c"))
+    queue.push(_event(1.0, "a"))
+    queue.push(_event(2.0, "b"))
+    assert [queue.pop().payload for _ in range(3)] == ["a", "b", "c"]
 
 
-def test_ties_broken_by_insertion_order():
-    q = EventQueue()
-    q.push(_event(1.0, "first"))
-    q.push(_event(1.0, "second"))
-    assert q.pop().payload == "first"
-    assert q.pop().payload == "second"
+def test_ties_broken_by_insertion_order(queue):
+    queue.push(_event(1.0, "first"))
+    queue.push(_event(1.0, "second"))
+    assert queue.pop().payload == "first"
+    assert queue.pop().payload == "second"
 
 
-def test_pop_empty_returns_none():
-    assert EventQueue().pop() is None
+def test_pop_empty_returns_none(queue):
+    assert queue.pop() is None
 
 
-def test_peek_does_not_remove():
-    q = EventQueue()
-    q.push(_event(0.5))
-    assert q.peek_time() == pytest.approx(0.5)
-    assert len(q) == 1
+def test_peek_does_not_remove(queue):
+    queue.push(_event(0.5))
+    assert queue.peek_time() == pytest.approx(0.5)
+    assert len(queue) == 1
 
 
-def test_peek_empty_returns_none():
-    assert EventQueue().peek_time() is None
+def test_peek_empty_returns_none(queue):
+    assert queue.peek_time() is None
 
 
-def test_len_and_bool():
-    q = EventQueue()
-    assert not q
-    q.push(_event(1.0))
-    assert q and len(q) == 1
+def test_len_and_bool(queue):
+    assert not queue
+    queue.push(_event(1.0))
+    assert queue and len(queue) == 1
 
 
-def test_rejects_negative_time():
+def test_rejects_negative_time(queue):
     with pytest.raises(SimulationError):
-        EventQueue().push(_event(-1.0))
+        queue.push(_event(-1.0))
 
 
-def test_rejects_nan_time():
+def test_rejects_nan_time(queue):
     with pytest.raises(SimulationError):
-        EventQueue().push(_event(float("nan")))
+        queue.push(_event(float("nan")))
 
 
-def test_rejects_infinite_time():
+def test_rejects_infinite_time(queue):
     with pytest.raises(SimulationError):
-        EventQueue().push(_event(float("inf")))
+        queue.push(_event(float("inf")))
+
+
+def test_make_event_queue_selects_backend():
+    assert type(make_event_queue("heap")) is EventQueue
+    calendar = make_event_queue("calendar", bucket_width_s=0.5)
+    assert isinstance(calendar, CalendarEventQueue)
+    assert calendar.bucket_width_s == 0.5
+    with pytest.raises(SimulationError):
+        make_event_queue("fibonacci")
+    with pytest.raises(SimulationError):
+        CalendarEventQueue(bucket_width_s=0.0)
 
 
 @given(
@@ -72,13 +102,14 @@ def test_rejects_infinite_time():
     )
 )
 def test_pop_sequence_is_sorted(times):
-    q = EventQueue()
-    for t in times:
-        q.push(_event(t))
-    popped = []
-    while q:
-        popped.append(q.pop().time)
-    assert popped == sorted(times)
+    for factory in BACKENDS.values():
+        q = factory()
+        for t in times:
+            q.push(_event(t))
+        popped = []
+        while q:
+            popped.append(q.pop().time)
+        assert popped == sorted(times)
 
 
 # ----------------------------------------------------------------------
@@ -86,65 +117,59 @@ def test_pop_sequence_is_sorted(times):
 # ----------------------------------------------------------------------
 
 
-def test_reschedule_tombstones_previous_copy():
-    q = EventQueue()
-    q.schedule(2.0, EventKind.TASK_FINISH, 7)
-    q.schedule(1.0, EventKind.TASK_FINISH, 7)  # supersedes the first
-    event = q.pop_live()
+def test_reschedule_tombstones_previous_copy(queue):
+    queue.schedule(2.0, EventKind.TASK_FINISH, 7)
+    queue.schedule(1.0, EventKind.TASK_FINISH, 7)  # supersedes the first
+    event = queue.pop_live()
     assert (event.time, event.payload) == (1.0, 7)
-    assert q.pop_live() is None  # the 2.0 copy was a tombstone
-    assert q.stale_dropped == 1
+    assert queue.pop_live() is None  # the 2.0 copy was a tombstone
+    assert queue.stale_dropped == 1
 
 
-def test_cancel_tombstones_outstanding_event():
-    q = EventQueue()
-    q.schedule(1.0, EventKind.COLLECTIVE_FINISH, "x")
-    q.schedule(2.0, EventKind.TASK_FINISH, 1)
-    q.cancel(EventKind.COLLECTIVE_FINISH, "x")
-    event = q.pop_live()
+def test_cancel_tombstones_outstanding_event(queue):
+    queue.schedule(1.0, EventKind.COLLECTIVE_FINISH, "x")
+    queue.schedule(2.0, EventKind.TASK_FINISH, 1)
+    queue.cancel(EventKind.COLLECTIVE_FINISH, "x")
+    event = queue.pop_live()
     assert event.kind is EventKind.TASK_FINISH
-    assert q.pop_live() is None
+    assert queue.pop_live() is None
 
 
-def test_cancel_without_outstanding_event_is_noop():
-    q = EventQueue()
-    q.cancel(EventKind.TASK_FINISH, 99)
-    q.schedule(1.0, EventKind.TASK_FINISH, 99)
-    assert q.pop_live().payload == 99
+def test_cancel_without_outstanding_event_is_noop(queue):
+    queue.cancel(EventKind.TASK_FINISH, 99)
+    queue.schedule(1.0, EventKind.TASK_FINISH, 99)
+    assert queue.pop_live().payload == 99
 
 
-def test_live_count_tracks_tombstones():
-    q = EventQueue()
+def test_live_count_tracks_tombstones(queue):
     for i in range(5):
-        q.schedule(float(i + 1), EventKind.TASK_FINISH, 0)
-    assert len(q) == 5
-    assert q.live_count == 1  # four superseded copies
+        queue.schedule(float(i + 1), EventKind.TASK_FINISH, 0)
+    assert len(queue) == 5
+    assert queue.live_count == 1  # four superseded copies
 
 
-def test_different_payloads_do_not_invalidate_each_other():
-    q = EventQueue()
-    q.schedule(1.0, EventKind.TASK_FINISH, 1)
-    q.schedule(2.0, EventKind.TASK_FINISH, 2)
-    q.schedule(3.0, EventKind.TASK_FINISH, 1)  # only payload 1 reschedules
-    assert [q.pop_live().payload for _ in range(2)] == [2, 1]
-    assert q.pop_live() is None
+def test_different_payloads_do_not_invalidate_each_other(queue):
+    queue.schedule(1.0, EventKind.TASK_FINISH, 1)
+    queue.schedule(2.0, EventKind.TASK_FINISH, 2)
+    queue.schedule(3.0, EventKind.TASK_FINISH, 1)  # only payload 1 moves
+    assert [queue.pop_live().payload for _ in range(2)] == [2, 1]
+    assert queue.pop_live() is None
 
 
-def test_compaction_preserves_order_and_results():
-    q = EventQueue()
+def test_compaction_preserves_order_and_results(queue):
     # Heavy rescheduling churn: many payloads, many supersessions, plus
     # same-time ties whose insertion order must survive compaction.
     for round_index in range(20):
         for payload in range(10):
-            q.schedule(
+            queue.schedule(
                 100.0 - round_index + payload, EventKind.TASK_FINISH, payload
             )
-    q.compact()
-    assert q.live_count == 10
-    assert len(q) == 10  # tombstones physically gone
+    queue.compact()
+    assert queue.live_count == 10
+    assert len(queue) == 10  # tombstones physically gone
     popped = []
     while True:
-        event = q.pop_live()
+        event = queue.pop_live()
         if event is None:
             break
         popped.append((event.time, event.payload))
@@ -154,16 +179,220 @@ def test_compaction_preserves_order_and_results():
 
 @given(st.lists(st.tuples(st.integers(0, 4), st.floats(0.0, 100.0)), max_size=60))
 def test_pop_live_returns_only_latest_per_payload(schedules):
-    q = EventQueue()
-    latest = {}
-    for payload, time in schedules:
-        q.schedule(time, EventKind.TASK_FINISH, payload)
-        latest[payload] = time
-    got = {}
-    while True:
-        event = q.pop_live()
-        if event is None:
-            break
-        assert event.payload not in got
-        got[event.payload] = event.time
-    assert got == latest
+    for factory in BACKENDS.values():
+        q = factory()
+        latest = {}
+        for payload, time in schedules:
+            q.schedule(time, EventKind.TASK_FINISH, payload)
+            latest[payload] = time
+        got = {}
+        while True:
+            event = q.pop_live()
+            if event is None:
+                break
+            assert event.payload not in got
+            got[event.payload] = event.time
+        assert got == latest
+
+
+# ----------------------------------------------------------------------
+# regression: peek_time must never surface a superseded wake-up time
+# ----------------------------------------------------------------------
+
+
+def test_peek_skips_and_drops_stale_heads(queue):
+    """Schedule, supersede, peek: the stale head must not be visible."""
+    queue.schedule(1.0, EventKind.TASK_FINISH, 42)
+    queue.schedule(5.0, EventKind.TASK_FINISH, 42)  # supersedes t=1.0
+    # Regression: peek_time used to report the tombstone's 1.0.
+    assert queue.peek_time() == 5.0
+    # The stale head was dropped on the way, exactly once.
+    assert len(queue) == 1
+    assert queue.stale_dropped == 1
+    assert queue.live_count == 1
+    event = queue.pop_live()
+    assert (event.time, event.payload) == (5.0, 42)
+    assert queue.peek_time() is None
+
+
+def test_peek_skips_chains_of_stale_heads(queue):
+    for t in (1.0, 2.0, 3.0, 9.0):
+        queue.schedule(t, EventKind.TASK_FINISH, "k")
+    queue.schedule(4.0, EventKind.COLLECTIVE_FINISH, "live")
+    assert queue.peek_time() == 4.0  # three stale heads dropped
+    assert queue.stale_dropped == 3
+    queue.check_invariants()
+
+
+# ----------------------------------------------------------------------
+# regression: retired keys must not leak version-table entries
+# ----------------------------------------------------------------------
+
+
+def test_versions_pruned_after_pop(queue):
+    for i in range(100):
+        queue.schedule(float(i) + 0.5, EventKind.TASK_FINISH, i)
+    while queue.pop_live() is not None:
+        pass
+    # Regression: _versions used to retain one entry per key forever.
+    assert not queue._versions
+    assert not queue._key_copies
+    assert not queue._live_keys
+    queue.check_invariants()
+
+
+def test_versions_survive_while_stale_copies_remain(queue):
+    queue.schedule(5.0, EventKind.TASK_FINISH, 1)
+    queue.schedule(1.0, EventKind.TASK_FINISH, 1)
+    event = queue.pop_live()  # pops t=1.0; the t=5.0 tombstone remains
+    assert event.time == 1.0
+    # The version entry must survive: the stale copy still in storage
+    # would otherwise read as live.
+    assert (EventKind.TASK_FINISH, 1) in queue._versions
+    assert queue.pop_live() is None
+    assert not queue._versions  # last copy gone -> pruned
+    queue.check_invariants()
+
+
+def test_schedule_cancel_storm_keeps_state_bounded(queue):
+    """A sim-lifetime worth of unique keys must not accumulate state."""
+    for wave in range(30):
+        for key in range(40):
+            payload = (wave, key)
+            queue.schedule(1.0 + wave, EventKind.TASK_FINISH, payload)
+            if key % 3 == 0:
+                queue.schedule(2.0 + wave, EventKind.TASK_FINISH, payload)
+            if key % 5 == 0:
+                queue.cancel(EventKind.TASK_FINISH, payload)
+        while queue.pop_live() is not None:
+            pass
+        queue.check_invariants()
+    assert not queue._versions
+    assert not queue._key_copies
+    assert queue.live_count == 0
+
+
+# ----------------------------------------------------------------------
+# regression: explicit compact on a small queue must be exact
+# ----------------------------------------------------------------------
+
+
+def test_cancel_then_compact_small_queue_is_exact(queue):
+    """Sub-threshold queues compact too when asked explicitly."""
+    queue.schedule(1.0, EventKind.TASK_FINISH, "a")
+    queue.schedule(2.0, EventKind.TASK_FINISH, "b")
+    queue.cancel(EventKind.TASK_FINISH, "a")
+    assert queue.live_count == 1
+    queue.compact()
+    # Regression: compact used to no-op under _COMPACT_MIN_SIZE,
+    # leaving the tombstone physically queued (len != live_count).
+    assert len(queue) == 1
+    assert queue.live_count == 1
+    queue.check_invariants()
+    assert queue.pop_live().payload == "b"
+    assert queue.pop_live() is None
+
+
+def test_rejected_schedule_leaves_bookkeeping_untouched(queue):
+    """An invalid time must not corrupt the exact version accounting."""
+    queue.schedule(1.0, EventKind.TASK_FINISH, 7)
+    for bad in (float("inf"), float("nan"), -1.0):
+        with pytest.raises(SimulationError):
+            queue.schedule(bad, EventKind.TASK_FINISH, 7)
+        with pytest.raises(SimulationError):
+            queue.schedule(bad, EventKind.TASK_FINISH, "fresh-key")
+        queue.check_invariants()
+    # The original live event is unaffected by the failed attempts.
+    assert queue.live_count == 1
+    event = queue.pop_live()
+    assert (event.time, event.payload, event.epoch) == (1.0, 7, 1)
+    assert queue.pop_live() is None
+    queue.check_invariants()
+
+
+def test_raw_and_versioned_keys_do_not_mix(queue):
+    queue.schedule(1.0, EventKind.TASK_FINISH, 7)
+    with pytest.raises(SimulationError):
+        queue.push(_event(2.0, 7))
+    queue2 = type(queue)() if type(queue) is EventQueue else CalendarEventQueue()
+    queue2.push(_event(1.0, 7))
+    with pytest.raises(SimulationError):
+        queue2.schedule(2.0, EventKind.TASK_FINISH, 7)
+    # Once the raw copy is popped, the key may become version-managed.
+    queue2.pop()
+    queue2.schedule(2.0, EventKind.TASK_FINISH, 7)
+    assert queue2.pop_live().epoch == 1
+
+
+# ----------------------------------------------------------------------
+# property: random interleavings keep both backends exact and identical
+# ----------------------------------------------------------------------
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("schedule"),
+            st.integers(0, 6),
+            st.floats(0.0, 50.0, allow_nan=False),
+        ),
+        st.tuples(st.just("cancel"), st.integers(0, 6), st.just(0.0)),
+        st.tuples(st.just("pop_live"), st.just(0), st.just(0.0)),
+        st.tuples(st.just("pop"), st.just(0), st.just(0.0)),
+        st.tuples(st.just("peek"), st.just(0), st.just(0.0)),
+        st.tuples(st.just("compact"), st.just(0), st.just(0.0)),
+    ),
+    max_size=80,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_OPS)
+def test_random_interleavings_keep_invariants_and_backends_agree(ops):
+    heap = EventQueue()
+    calendar = CalendarEventQueue(bucket_width_s=3.0)
+    for op, key, time in ops:
+        results = []
+        for q in (heap, calendar):
+            if op == "schedule":
+                q.schedule(time, EventKind.TASK_FINISH, key)
+                results.append(None)
+            elif op == "cancel":
+                q.cancel(EventKind.TASK_FINISH, key)
+                results.append(None)
+            elif op == "pop_live":
+                event = q.pop_live()
+                results.append(
+                    None
+                    if event is None
+                    else (event.time, event.payload, event.epoch)
+                )
+            elif op == "pop":
+                event = q.pop()
+                results.append(
+                    None
+                    if event is None
+                    else (event.time, event.payload, event.epoch)
+                )
+            elif op == "peek":
+                results.append(q.peek_time())
+            elif op == "compact":
+                q.compact()
+                results.append(None)
+            q.check_invariants()
+        # The two backends must be observably identical step for step.
+        assert results[0] == results[1]
+        assert heap.live_count == calendar.live_count
+        assert heap.stale_dropped == calendar.stale_dropped
+    # Drain: remaining live sequences must match exactly.
+    drained = []
+    for q in (heap, calendar):
+        out = []
+        while True:
+            event = q.pop_live()
+            if event is None:
+                break
+            out.append((event.time, event.payload, event.epoch))
+        drained.append(out)
+        assert not q._versions
+        assert not q._key_copies
+    assert drained[0] == drained[1]
