@@ -13,9 +13,15 @@ PRs:
   caching disabled, once per tier.
 
 The tiers are ``reference`` (full recompute), ``incremental`` (the
-bit-exact default) and ``fast`` (calendar event queue + additive
-contention aggregates + adaptive governor ticks; bounded relative
-error — see the engine-equivalence tolerance suite).
+bit-exact default), ``fast`` (calendar event queue + additive
+contention aggregates + adaptive governor ticks, cohort batching
+off) and ``batched`` (the same plus cohort batching over the
+struct-of-arrays store — ``SimConfig.fast()``'s actual default);
+the last two carry bounded relative error — see the
+engine-equivalence tolerance suite.
+
+``--profile`` wraps each tier's single-cell run in cProfile and
+prints the top 20 functions by cumulative time, for hot-path work.
 
 ``--verify`` instead runs one grid cell end-to-end under the reference
 and incremental engines and exits nonzero unless the full result
@@ -40,6 +46,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.experiment import (  # noqa: E402
+    SIM_COHORT_ENV,
     SIM_ENGINE_ENV,
     SIM_FAST_ENV,
     ExperimentConfig,
@@ -58,8 +65,10 @@ from repro.sim.engine import (  # noqa: E402
 
 #: Exact engines (``--verify`` pins them byte-identical).
 ENGINES = ("reference", "incremental")
-#: All benchmarked tiers, fast included.
-TIERS = ("reference", "incremental", "fast")
+#: All benchmarked tiers. ``fast`` is the unbatched aggregate tier
+#: (cohort batching forced off via $REPRO_SIM_COHORT) and ``batched``
+#: the full ``SimConfig.fast()`` cohort path.
+TIERS = ("reference", "incremental", "fast", "batched")
 
 #: The representative contended cell for the event-throughput probe.
 SINGLE_CELL = ExperimentConfig(
@@ -84,13 +93,15 @@ VERIFY_CELL = ExperimentConfig(
 @contextlib.contextmanager
 def _engine_env(engine: str):
     """Route ExperimentConfig simulations through one engine tier."""
-    previous = {
-        var: os.environ.get(var) for var in (SIM_ENGINE_ENV, SIM_FAST_ENV)
-    }
-    os.environ.pop(SIM_FAST_ENV, None)
-    os.environ.pop(SIM_ENGINE_ENV, None)
-    if engine == "fast":
+    env_vars = (SIM_ENGINE_ENV, SIM_FAST_ENV, SIM_COHORT_ENV)
+    previous = {var: os.environ.get(var) for var in env_vars}
+    for var in env_vars:
+        os.environ.pop(var, None)
+    if engine == "batched":
         os.environ[SIM_FAST_ENV] = "1"
+    elif engine == "fast":
+        os.environ[SIM_FAST_ENV] = "1"
+        os.environ[SIM_COHORT_ENV] = "0"
     else:
         os.environ[SIM_ENGINE_ENV] = engine
     try:
@@ -103,7 +114,21 @@ def _engine_env(engine: str):
                 os.environ[var] = value
 
 
-def bench_single_cell(repeats: int) -> dict:
+def _tier_sim_config(engine: str) -> SimConfig:
+    """Direct SimConfig for one tier (the single-cell probe path)."""
+    config = SimConfig(
+        jitter_sigma=0.02, seed=1, reference_engine=engine == "reference"
+    )
+    if engine == "batched":
+        config = config.fast()
+    elif engine == "fast":
+        import dataclasses
+
+        config = dataclasses.replace(config.fast(), cohort_batching=False)
+    return config
+
+
+def bench_single_cell(repeats: int, profile: bool = False) -> dict:
     """Event throughput of one contended simulation, per engine."""
     planner = default_planner()
     node = planner.node_for(SINGLE_CELL)
@@ -115,11 +140,7 @@ def bench_single_cell(repeats: int) -> dict:
         # the recorded speedups compare engines, not cache inheritance
         # from whichever tier ran first.
         reset_shared_evaluators()
-        config = SimConfig(
-            jitter_sigma=0.02, seed=1, reference_engine=engine == "reference"
-        )
-        if engine == "fast":
-            config = config.fast()
+        config = _tier_sim_config(engine)
         best = None
         events = 0
         for _ in range(repeats):
@@ -136,25 +157,57 @@ def bench_single_cell(repeats: int) -> dict:
             "gpu_rate_passes": sim.stats.gpu_rate_passes,
             "stale_events": sim.stats.stale_events,
             "ticks_skipped": sim.stats.ticks_skipped,
+            "cohorts": sim.stats.cohorts,
+            "vector_batches": sim.stats.vector_batches,
         }
+        if profile:
+            _profile_tier(engine, node, plan, config, cost_model)
     out["speedup"] = (
         out["incremental"]["events_per_s"] / out["reference"]["events_per_s"]
     )
     out["speedup_fast"] = (
         out["fast"]["events_per_s"] / out["reference"]["events_per_s"]
     )
+    out["speedup_batched"] = (
+        out["batched"]["events_per_s"] / out["reference"]["events_per_s"]
+    )
     return out
+
+
+def _profile_tier(engine, node, plan, config, cost_model) -> None:
+    """cProfile one single-cell run; print top 20 by cumulative time."""
+    import cProfile
+    import pstats
+
+    sim = make_simulator(node, plan.tasks, config, cost_model=cost_model)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    sim.run()
+    profiler.disable()
+    print(f"--- profile: {engine} (top 20 by cumulative time) ---")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(20)
 
 
 def bench_grid() -> dict:
     """Cells/sec on the quick Figs. 4-6 grid, per engine, serial."""
     spec = grid_spec(quick=True)
     jobs = spec.compile()
-    # Warm the shared planner so both timed passes measure simulation,
-    # not plan construction.
+    # Warm the shared planner — nodes, plans (both overlap variants)
+    # and collective cost models — so every timed pass measures
+    # simulation, not plan construction. The plan/cost-model builds
+    # are identical work in every tier, so leaving them in would only
+    # dilute the engine-to-engine ratios.
     planner = default_planner()
     for job in jobs:
         planner.node_for(job.config)
+        try:
+            for overlap in (True, False):
+                planner.plan_for(job.config, overlap=overlap)
+            planner.cost_model_for(job.config)
+        except Exception:
+            # Infeasible cells are the service's business to skip.
+            continue
     out: dict = {"cells": len(jobs), "spec": spec.name}
     for engine in TIERS:
         # Cold evaluator memos per tier (cells within a tier still
@@ -177,6 +230,9 @@ def bench_grid() -> dict:
     )
     out["speedup_fast"] = (
         out["fast"]["cells_per_s"] / out["reference"]["cells_per_s"]
+    )
+    out["speedup_batched"] = (
+        out["batched"]["cells_per_s"] / out["reference"]["cells_per_s"]
     )
     return out
 
@@ -238,6 +294,12 @@ def main(argv=None) -> int:
         help="assert reference/incremental equivalence on one grid "
         "cell instead of benchmarking; exit 1 on divergence",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile each tier's single-cell run and print the top "
+        "20 functions by cumulative time",
+    )
     args = parser.parse_args(argv)
 
     if args.verify:
@@ -250,7 +312,7 @@ def main(argv=None) -> int:
         "quick": args.quick,
     }
     print(f"single-cell event throughput ({repeats} repeat(s))...")
-    record["single_cell"] = bench_single_cell(repeats)
+    record["single_cell"] = bench_single_cell(repeats, profile=args.profile)
     sc = record["single_cell"]
     for engine in TIERS:
         print(
@@ -260,7 +322,8 @@ def main(argv=None) -> int:
         )
     print(
         f"  speedup: {sc['speedup']:.2f}x incremental, "
-        f"{sc['speedup_fast']:.2f}x fast"
+        f"{sc['speedup_fast']:.2f}x fast, "
+        f"{sc['speedup_batched']:.2f}x batched"
     )
 
     if not args.skip_grid:
@@ -275,7 +338,8 @@ def main(argv=None) -> int:
             )
         print(
             f"  speedup: {grid['speedup']:.2f}x incremental, "
-            f"{grid['speedup_fast']:.2f}x fast"
+            f"{grid['speedup_fast']:.2f}x fast, "
+            f"{grid['speedup_batched']:.2f}x batched"
         )
 
     out = Path(args.out)

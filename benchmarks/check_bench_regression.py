@@ -5,27 +5,34 @@ CI regenerates the benchmark record with the committed baseline's own
 protocol (``bench_engine_hotpath.py --repeats 3``, full quick grid)
 and calls this script against the committed ``BENCH_engine.json``.
 
-The *gated* metrics are the default (bit-exact incremental) tier's
-speedups **relative to the reference engine measured in the same
-run**:
+The *gated* metrics are each tier's speedups **relative to the
+reference engine measured in the same run**, one series per tier:
 
-* ``single_cell.speedup``
-* ``grid.speedup``
+* ``default`` — the bit-exact incremental tier
+  (``single_cell.speedup``, ``grid.speedup``)
+* ``fast`` — the unbatched tolerance tier
+  (``single_cell.speedup_fast``, ``grid.speedup_fast``)
+* ``batched`` — the cohort-batched tier
+  (``single_cell.speedup_batched``, ``grid.speedup_batched``)
 
 Ratios within one record cancel out the machine: a CI runner that is
 uniformly 40% slower than the committer's box produces the same
-speedups, while a hot-path pessimization in the incremental engine
-(the common regression mode — the reference path barely changes)
-drags the ratio down. The gate fails (exit 1) when a fresh speedup
-drops more than the threshold (default 20%) below the baseline's.
+speedups, while a hot-path pessimization in an engine tier (the
+common regression mode — the reference path barely changes) drags
+that tier's ratio down. The gate fails (exit 1) when a fresh speedup
+drops more than the series' threshold below the baseline's. The
+thresholds widen with the tier's variance: the batched tier's short
+wall times make its ratio the noisiest, so it gets the loosest gate.
 Absolute throughputs are printed for context but never gate, since
 they track hardware. Metrics missing from either record (e.g. a
-``--skip-grid`` run) are reported and skipped, never failed.
+``--skip-grid`` run, or a pre-batched-tier baseline) are reported and
+skipped, never failed.
 
 Usage::
 
     python benchmarks/check_bench_regression.py BASELINE FRESH \
-        [--threshold 0.20]
+        [--threshold 0.20] [--threshold-fast 0.25] \
+        [--threshold-batched 0.30]
 """
 
 from __future__ import annotations
@@ -34,19 +41,46 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Iterator, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
-#: (label, path into the record) for every gated metric — speedup
-#: ratios of the default tier vs the reference, machine-independent.
-GATED_METRICS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
-    ("single-cell incremental/reference speedup", ("single_cell", "speedup")),
-    ("quick-grid incremental/reference speedup", ("grid", "speedup")),
+#: series name -> (label, path into the record) for every gated
+#: metric — speedup ratios of that tier vs the reference, measured in
+#: the same run, so machine-independent.
+GATED_SERIES: Tuple[Tuple[str, Tuple[Tuple[str, Tuple[str, ...]], ...]], ...] = (
+    (
+        "default",
+        (
+            ("single-cell incremental/reference speedup",
+             ("single_cell", "speedup")),
+            ("quick-grid incremental/reference speedup",
+             ("grid", "speedup")),
+        ),
+    ),
+    (
+        "fast",
+        (
+            ("single-cell fast/reference speedup",
+             ("single_cell", "speedup_fast")),
+            ("quick-grid fast/reference speedup",
+             ("grid", "speedup_fast")),
+        ),
+    ),
+    (
+        "batched",
+        (
+            ("single-cell batched/reference speedup",
+             ("single_cell", "speedup_batched")),
+            ("quick-grid batched/reference speedup",
+             ("grid", "speedup_batched")),
+        ),
+    ),
 )
 
 #: Reported for context only; absolute throughput tracks hardware.
 INFO_METRICS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("single-cell events/s", ("single_cell", "incremental", "events_per_s")),
     ("quick-grid cells/s", ("grid", "incremental", "cells_per_s")),
+    ("quick-grid batched cells/s", ("grid", "batched", "cells_per_s")),
 )
 
 
@@ -60,16 +94,18 @@ def _lookup(record: dict, path: Tuple[str, ...]) -> Optional[float]:
 
 
 def compare(
-    baseline: dict, fresh: dict, threshold: float
-) -> Iterator[Tuple[str, Optional[float], Optional[float], bool]]:
-    """Yield (label, baseline value, fresh value, regressed?) rows."""
-    for label, path in GATED_METRICS:
-        base = _lookup(baseline, path)
-        new = _lookup(fresh, path)
-        if base is None or new is None or base <= 0:
-            yield label, base, new, False
-            continue
-        yield label, base, new, new < base * (1.0 - threshold)
+    baseline: dict, fresh: dict, thresholds: Dict[str, float]
+) -> Iterator[Tuple[str, str, Optional[float], Optional[float], bool]]:
+    """Yield (series, label, baseline, fresh, regressed?) rows."""
+    for series, metrics in GATED_SERIES:
+        threshold = thresholds[series]
+        for label, path in metrics:
+            base = _lookup(baseline, path)
+            new = _lookup(fresh, path)
+            if base is None or new is None or base <= 0:
+                yield series, label, base, new, False
+                continue
+            yield series, label, base, new, new < base * (1.0 - threshold)
 
 
 def main(argv=None) -> int:
@@ -80,10 +116,30 @@ def main(argv=None) -> int:
         "--threshold",
         type=float,
         default=0.20,
-        help="relative throughput drop that fails the gate "
-        "(default: 0.20 = 20%%)",
+        help="relative speedup drop that fails the default "
+        "(incremental) series (default: 0.20 = 20%%)",
+    )
+    parser.add_argument(
+        "--threshold-fast",
+        type=float,
+        default=0.25,
+        help="relative speedup drop that fails the fast series "
+        "(default: 0.25)",
+    )
+    parser.add_argument(
+        "--threshold-batched",
+        type=float,
+        default=0.30,
+        help="relative speedup drop that fails the batched series "
+        "(default: 0.30; its short wall times make the ratio the "
+        "noisiest)",
     )
     args = parser.parse_args(argv)
+    thresholds = {
+        "default": args.threshold,
+        "fast": args.threshold_fast,
+        "batched": args.threshold_batched,
+    }
 
     records = []
     for path in (args.baseline, args.fresh):
@@ -106,25 +162,28 @@ def main(argv=None) -> int:
                 f"(absolute; not gated)"
             )
 
-    failed = False
-    for label, base, new, regressed in compare(
-        baseline, fresh, args.threshold
+    failed_series = []
+    for series, label, base, new, regressed in compare(
+        baseline, fresh, thresholds
     ):
         if base is None or new is None:
-            print(f"  {label}: not present in both records; skipped")
+            print(f"  [{series}] {label}: not present in both records; "
+                  f"skipped")
             continue
         ratio = new / base
         marker = "REGRESSION" if regressed else "ok"
         print(
-            f"  {label}: baseline {base:.2f}x -> fresh {new:.2f}x "
-            f"({ratio:.2f} of baseline) [{marker}]"
+            f"  [{series}] {label}: baseline {base:.2f}x -> fresh "
+            f"{new:.2f}x ({ratio:.2f} of baseline, threshold "
+            f"{thresholds[series]:.0%}) [{marker}]"
         )
-        failed = failed or regressed
-    if failed:
+        if regressed and series not in failed_series:
+            failed_series.append(series)
+    if failed_series:
         print(
-            f"perf gate FAILED: the default tier's speedup over the "
-            f"reference engine dropped more than {args.threshold:.0%} vs "
-            f"the committed baseline",
+            f"perf gate FAILED: speedup over the reference engine "
+            f"dropped beyond threshold in series: "
+            f"{', '.join(failed_series)}",
             file=sys.stderr,
         )
         return 1

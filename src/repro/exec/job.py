@@ -78,6 +78,15 @@ class SimJob:
         # valid, while fast-tier jobs still hash distinctly.
         if config.get("engine_tier") == "exact":
             del config["engine_tier"]
+        # Same story for the knobs that joined alongside the auto
+        # tier: at their defaults they cannot change any number, so
+        # they are omitted to keep pre-existing cache keys valid.
+        if config.get("tolerances") is None:
+            config.pop("tolerances", None)
+        if self.config.engine_tier != "auto":
+            # The flip threshold only steers the auto engine; for the
+            # other tiers it is inert and must not split cache keys.
+            config.pop("auto_tier_threshold", None)
         return {
             "schema": CACHE_SCHEMA_VERSION,
             "config": config,

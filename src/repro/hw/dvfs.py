@@ -152,3 +152,18 @@ class FrequencyGovernor:
         self._ewma_w = 0.0
         self._primed = False
         self.clock_frac = self.policy.max_clock_frac
+
+
+def observe_many(governors, powers_w):
+    """Feed one sample to each governor; returns the new clock fractions.
+
+    The cohort-batched engine collects every governor tick that lands
+    on the same timestamp and applies them in one call. Each governor's
+    update is the same :meth:`FrequencyGovernor.observe` the per-event
+    path runs — the batching is in the *dispatch*, not the control law,
+    so a lone tick produces identical floats either way.
+    """
+    return [
+        governor.observe(power)
+        for governor, power in zip(governors, powers_w)
+    ]

@@ -54,6 +54,20 @@ class SimConfig:
             pinned at its cap — re-arming as soon as any event dirties
             the GPU's power. Throttle onset can shift by up to one
             control period, so this too belongs to the fast tier.
+        cohort_batching: process all events sharing a timestamp as one
+            cohort — apply their state deltas together, then run a
+            single rate/power/DVFS re-evaluation per dirty GPU — and
+            back the per-GPU hot state with the struct-of-arrays store.
+            Governor ticks landing mid-cohort observe the pre-cohort
+            power, so this is a fast-tier mechanism (it requires
+            ``fast_contention``) gated by the tolerance suite.
+        auto_tier_threshold: when set, run the adaptive *auto* engine:
+            bit-exact incremental execution until the live event
+            population reaches this threshold, then a one-time flip to
+            the cohort-batched fast path for the remainder of the run.
+            Runs that never reach the threshold are bit-identical to
+            the exact tier. ``None`` (the default) disables the auto
+            engine.
     """
 
     contention_enabled: bool = True
@@ -68,6 +82,8 @@ class SimConfig:
     event_queue: str = "heap"
     fast_contention: bool = False
     adaptive_governor: bool = False
+    cohort_batching: bool = False
+    auto_tier_threshold: Optional[int] = None
 
     def __post_init__(self) -> None:
         from repro.sim.events import EVENT_QUEUE_KINDS
@@ -84,6 +100,29 @@ class SimConfig:
                 "fast_contention needs the incremental engine's resident "
                 "indices; it cannot combine with reference_engine"
             )
+        if self.cohort_batching and not self.fast_contention:
+            raise ConfigurationError(
+                "cohort_batching is a fast-tier mechanism; it requires "
+                "fast_contention (the batched engine evaluates from the "
+                "additive aggregates)"
+            )
+        if self.auto_tier_threshold is not None:
+            if self.reference_engine:
+                raise ConfigurationError(
+                    "auto_tier_threshold selects the adaptive auto "
+                    "engine; it cannot combine with reference_engine"
+                )
+            if self.auto_tier_threshold < 1:
+                raise ConfigurationError(
+                    "auto_tier_threshold must be >= 1"
+                )
+            if not (self.fast_contention and self.cohort_batching):
+                raise ConfigurationError(
+                    "auto_tier_threshold selects the adaptive auto "
+                    "engine, which flips into the cohort-batched fast "
+                    "tier; it requires fast_contention and "
+                    "cohort_batching (use SimConfig.auto())"
+                )
         if not 0.0 < self.max_clock_frac <= 1.0:
             raise ConfigurationError("max_clock_frac must be in (0, 1]")
         if self.governor_period_s <= 0:
@@ -106,8 +145,9 @@ class SimConfig:
         """Copy configured for the fast accuracy tier.
 
         Turns on every tiered-accuracy mechanism at once: the calendar
-        event queue (bit-exact), additive contention aggregates and
-        adaptive governor ticks (bounded relative error). The
+        event queue (bit-exact), additive contention aggregates,
+        adaptive governor ticks and cohort batching over the
+        struct-of-arrays store (bounded relative error). The
         equivalence suite's tolerance tier gates this combination.
         """
         return replace(
@@ -116,4 +156,16 @@ class SimConfig:
             event_queue="calendar",
             fast_contention=True,
             adaptive_governor=True,
+            cohort_batching=True,
         )
+
+    def auto(self, threshold: int = 64) -> "SimConfig":
+        """Copy configured for the adaptive *auto* engine.
+
+        Every fast-tier mechanism is armed, but execution starts
+        bit-exact and only flips to the cohort-batched path once the
+        live event population reaches ``threshold``. Small runs stay
+        bit-identical to the exact tier; large runs pay the exact cost
+        only for their warm-up prefix.
+        """
+        return replace(self.fast(), auto_tier_threshold=threshold)

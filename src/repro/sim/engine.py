@@ -34,7 +34,9 @@ are memoized on the state they depend on (see
 
 from __future__ import annotations
 
+import gc
 import math
+import operator
 import threading
 import zlib
 from dataclasses import dataclass, field, replace
@@ -42,9 +44,14 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.collectives.cost_model import CollectiveCost, CollectiveCostModel
 from repro.collectives.library import library_for
-from repro.errors import DeadlockError, PlanError, SimulationError
+from repro.errors import (
+    ConfigurationError,
+    DeadlockError,
+    PlanError,
+    SimulationError,
+)
 from repro.hw.datapath import Datapath
-from repro.hw.dvfs import FrequencyGovernor, PowerLimitPolicy
+from repro.hw.dvfs import FrequencyGovernor, PowerLimitPolicy, observe_many
 from repro.hw.power import PowerEvaluator
 from repro.hw.system import NodeSpec
 from repro.sim.collective_sync import CollectiveInstance
@@ -52,6 +59,7 @@ from repro.sim.config import SimConfig
 from repro.sim.events import EventKind, make_event_queue
 from repro.sim.rates import RateModel
 from repro.sim.result import PowerSegment, SimulationResult, TaskRecord
+from repro.sim.soa import VECTOR_MIN, SoAStore, numpy_or_none
 from repro.sim.task import CommTask, ComputeTask, Task
 
 #: Floors preventing full starvation (real kernels always trickle).
@@ -65,6 +73,14 @@ _MAX_COMM_SM = 0.45
 #: Shared by every engine tier's power path.
 _COMM_VECTOR_UTIL = 0.8
 _SPIN_VECTOR_UTIL = 0.4
+
+#: Hot-loop aliases (module lookups are faster than attribute chains).
+_INF = float("inf")
+_TASK_FINISH = EventKind.TASK_FINISH
+_COLLECTIVE_FINISH = EventKind.COLLECTIVE_FINISH
+#: (start_s, task_id) over TaskRecord's tuple layout — the result-sort
+#: key, evaluated once per record.
+_RECORD_SORT_KEY = operator.itemgetter(6, 0)
 
 #: Process-wide memoized evaluators per GPU spec object. RateModel and
 #: PowerEvaluator are pure in the (immutable) spec, so sharing them
@@ -98,8 +114,41 @@ def _evaluators_for(gpu) -> Tuple[RateModel, PowerEvaluator]:
         return entry[1], entry[2]
 
 
+#: Process-wide cache of the per-simulation invariant tables (jittered
+#: compute work/durations, jittered collective costs), keyed by
+#: (id(tasks), id(gpu), id(cost_model), seed, jitter_sigma) with the
+#: keyed objects kept alive in the value so ids stay unique while
+#: cached. The tables are pure in the key and read-only once built, so
+#: sharing them across simulations — e.g. a cell's overlapped and
+#: ideal modes, which simulate the same memoized plan with the same
+#: seed — cannot change results. Same locking convention as
+#: _SHARED_EVALUATORS.
+_SHARED_TABLES: Dict[tuple, tuple] = {}
+_SHARED_TABLES_MAX = 256
+
+#: Dependency indexes (_dependents / _wake_streams) keyed by id(tasks)
+#: with the task list kept alive in the value. Pure in the task list
+#: and read-only once built; shared for the same reason as the tables
+#: above (repeat simulations of one memoized plan).
+_SHARED_DEPS: Dict[int, tuple] = {}
+
+#: Validated task/stream indexes (tasks-by-id, stream order lists)
+#: keyed by (id(tasks), num_gpus). Read-only once built — the engines
+#: track progress in per-instance cursors (_stream_pos, done), never
+#: by mutating these.
+_SHARED_INDEX: Dict[Tuple[int, int], tuple] = {}
+
+#: Jitter factors keyed (seed, sigma) -> {label: factor}. The factor
+#: is pure in (label, seed, sigma), so grid cells that share a task
+#: layout reuse each other's draws. Inner dicts are capped; a benign
+#: race (two threads computing the same label) converges to the same
+#: deterministic value.
+_JITTER_MEMO: Dict[Tuple[int, float], Dict[str, float]] = {}
+_JITTER_MEMO_MAX = 1 << 20
+
+
 def reset_shared_evaluators() -> None:
-    """Drop the process-wide evaluator memos.
+    """Drop the process-wide evaluator and invariant-table memos.
 
     Results never depend on them (every cached value is pure in its
     key), but *timings* do — the engine benchmark calls this between
@@ -107,6 +156,10 @@ def reset_shared_evaluators() -> None:
     """
     with _SHARED_EVALUATORS_LOCK:
         _SHARED_EVALUATORS.clear()
+        _SHARED_TABLES.clear()
+        _SHARED_DEPS.clear()
+        _SHARED_INDEX.clear()
+        _JITTER_MEMO.clear()
 
 
 def _stable_unit_uniform(key: str, seed: int) -> float:
@@ -127,9 +180,14 @@ def _lognormal_factor(key: str, seed: int, sigma: float) -> float:
     return math.exp(sigma * z - 0.5 * sigma * sigma)
 
 
-@dataclass
+@dataclass(slots=True)
 class _RunningCompute:
-    """Bookkeeping for an in-flight compute task."""
+    """Bookkeeping for an in-flight compute task.
+
+    ``slots=True``: the engine touches several fields per entry on
+    every rate/power re-evaluation, and slot access skips the per
+    instance ``__dict__`` lookup.
+    """
 
     task: ComputeTask
     work_remaining: float
@@ -141,12 +199,27 @@ class _RunningCompute:
     #: hashes the kernel table.
     peak_eff: float = 0.0
     ai: float = float("inf")
+    #: Short kernels never reach steady-state power; this precomputed
+    #: ``isolated_s / (isolated_s + 50e-6)`` ramp discount is used by
+    #: the batched tier's fused power loop (the exact tiers compute
+    #: the identical quotient inline).
+    ramp: float = 1.0
+    #: Whether the kernel issues on the vector datapath (else tensor);
+    #: pre-resolved so the fused power loop never touches the kernel.
+    is_vector: bool = True
+    #: Free-running utilisation at the config's clock cap — the clock
+    #: every uncapped (and most capped) evaluations see — so the fused
+    #: loop's common case is one float compare instead of a dict walk.
+    free_util0: float = 0.0
     #: Whether a finish event has ever been scheduled (the first rate
     #: assignment must push even if the placeholder rate matches).
     scheduled: bool = False
     #: Index into the engine's time-step log up to which progress has
     #: been banked (incremental engine only).
     bank_idx: int = 0
+    #: Cumulative simulated time up to which progress has been banked
+    #: (batched engine only — O(1) banking, no replay log).
+    bank_cum: float = 0.0
     #: Per-clock free-running utilisation, resolved through the shared
     #: RateModel memo on first use (values are identical; this cache
     #: only skips the kernel-keyed hashing on the power hot path).
@@ -164,6 +237,14 @@ class EngineStats:
     #: Governor tick schedulings skipped by the adaptive cadence
     #: (fast tier only; one count per provably-no-op skip decision).
     ticks_skipped: int = 0
+    #: Same-timestamp event cohorts drained by the batched engine
+    #: (events / cohorts is the mean batching factor).
+    cohorts: int = 0
+    #: Multi-GPU recompute batches evaluated through the numpy path.
+    vector_batches: int = 0
+    #: Exact-to-batched transitions performed by the auto engine
+    #: (0 when the run stayed under the threshold, else 1).
+    auto_flips: int = 0
 
 
 class Simulator:
@@ -201,6 +282,9 @@ class Simulator:
         self.streams: Dict[Tuple[int, str], List[int]] = {}
         self._stream_pos: Dict[Tuple[int, str], int] = {}
         self.done: set = set()
+        #: The caller's task sequence, kept for the invariant-table
+        #: cache key (identity-based; see _SHARED_TABLES).
+        self._tasks_src = tasks
         self._validate_and_index(tasks)
 
         self.time = 0.0
@@ -252,6 +336,12 @@ class Simulator:
         #: only). Membership is invalidated the moment the GPU's power
         #: is re-evaluated, so the skip predicate is never stale.
         self._tick_blocked: set = set()
+        #: GPUs with no tick in flight and not blocked — the exact set
+        #: _ensure_ticks may need to schedule. The three sets/flags are
+        #: kept disjoint-consistent (pending / blocked / unscheduled
+        #: partition the governed GPUs) so the batched engine can skip
+        #: its tick sweep entirely when this is empty.
+        self._tick_unscheduled: set = set(range(node.num_gpus))
         self._power_now: Dict[int, float] = {}
         #: Open power segment per GPU as a plain tuple
         #: (start_s, power_w, compute_active, comm_active, clock_frac);
@@ -272,13 +362,25 @@ class Simulator:
     def _validate_and_index(self, tasks: Sequence[Task]) -> None:
         if not tasks:
             raise PlanError("no tasks to simulate")
+        num_gpus = self.node.num_gpus
+        cache_key = (id(tasks), num_gpus)
+        with _SHARED_EVALUATORS_LOCK:
+            entry = _SHARED_INDEX.get(cache_key)
+            if entry is not None and entry[0] is tasks:
+                # Same validated list on a same-width node: share the
+                # read-only indexes; only the cursor dict is fresh.
+                self.tasks = entry[1]
+                self.streams = entry[2]
+                for key in self.streams:
+                    self._stream_pos[key] = 0
+                return
         for task in tasks:
             if task.task_id in self.tasks:
                 raise PlanError(f"duplicate task id {task.task_id}")
-            if task.gpu >= self.node.num_gpus:
+            if task.gpu >= num_gpus:
                 raise PlanError(
                     f"task {task.label}: gpu {task.gpu} out of range for "
-                    f"{self.node.num_gpus}-GPU node"
+                    f"{num_gpus}-GPU node"
                 )
             self.tasks[task.task_id] = task
             key = (task.gpu, task.stream)
@@ -292,6 +394,10 @@ class Simulator:
                 )
         for key in self.streams:
             self._stream_pos[key] = 0
+        with _SHARED_EVALUATORS_LOCK:
+            if len(_SHARED_INDEX) >= _SHARED_TABLES_MAX:
+                _SHARED_INDEX.clear()
+            _SHARED_INDEX[cache_key] = (tasks, self.tasks, self.streams)
 
     def _build_invariant_tables(self) -> None:
         """Hoist per-task quantities that never change during the run.
@@ -299,29 +405,105 @@ class Simulator:
         Jittered work/isolated durations for compute tasks and jittered
         collective costs per op key are pure in (task, config); building
         them up front keeps the launch path allocation-only and lets
-        both engines share identical values by construction.
+        both engines share identical values by construction. The built
+        tables are additionally shared process-wide (_SHARED_TABLES):
+        they are read-only and pure in (tasks, gpu, cost_model, seed,
+        sigma), so two simulations of the same memoized plan — e.g. a
+        cell's overlapped and ideal modes — reuse one build.
         """
         seed = self.config.seed
         sigma = self.config.jitter_sigma
-        self._compute_table: Dict[int, Tuple[float, float, float, float]] = {}
-        self._comm_cost: Dict[str, CollectiveCost] = {}
+        max_clock = self.config.max_clock_frac
+        key = (
+            id(self._tasks_src),
+            id(self.gpu),
+            id(self.cost_model),
+            seed,
+            sigma,
+            max_clock,
+        )
+        with _SHARED_EVALUATORS_LOCK:
+            entry = _SHARED_TABLES.get(key)
+            if (
+                entry is not None
+                and entry[0] is self._tasks_src
+                and entry[1] is self.gpu
+                and entry[2] is self.cost_model
+            ):
+                self._compute_table = entry[3]
+                self._comm_cost = entry[4]
+                return
+        compute_table: Dict[
+            int, Tuple[float, float, float, float, float, bool, float]
+        ] = {}
+        comm_cost: Dict[str, CollectiveCost] = {}
+        # Plans repeat a handful of kernels across hundreds of layer
+        # tasks; resolving each kernel's invariants once by identity
+        # (and, for value-equal copies, once by value — a single
+        # dataclass hash instead of one per RateModel memo) keeps this
+        # loop allocation-only.
+        per_kernel: Dict[int, Tuple[float, float, float, float, bool]] = {}
+        by_value: Dict[object, Tuple[float, float, float, float, bool]] = {}
+        jittered = sigma > 0
+        if jittered:
+            with _SHARED_EVALUATORS_LOCK:
+                factor_memo = _JITTER_MEMO.setdefault((seed, sigma), {})
+                if len(factor_memo) > _JITTER_MEMO_MAX:
+                    factor_memo.clear()
+        else:
+            factor_memo = {}
+        memo_get = factor_memo.get
         for task in self.tasks.values():
             if isinstance(task, ComputeTask):
-                factor = _lognormal_factor(f"c{task.task_id}", seed, sigma)
                 kernel = task.kernel
-                peak_eff, ai = self._rates.kernel_params(kernel)
-                self._compute_table[task.task_id] = (
-                    kernel.flops * factor,
-                    self._rates.isolated_duration(kernel) * factor,
+                info = per_kernel.get(id(kernel))
+                if info is None:
+                    info = by_value.get(kernel)
+                    if info is None:
+                        peak_eff, ai = self._rates.kernel_params(kernel)
+                        info = (
+                            peak_eff,
+                            ai,
+                            self._rates.isolated_duration(kernel),
+                            self._rates.free_utilization(kernel, max_clock),
+                            kernel.path.datapath is Datapath.VECTOR,
+                        )
+                        by_value[kernel] = info
+                    per_kernel[id(kernel)] = info
+                peak_eff, ai, iso_base, free_util0, is_vector = info
+                if jittered:
+                    label = f"c{task.task_id}"
+                    factor = memo_get(label)
+                    if factor is None:
+                        factor = _lognormal_factor(label, seed, sigma)
+                        factor_memo[label] = factor
+                    iso = iso_base * factor
+                    flops = kernel.flops * factor
+                else:
+                    iso = iso_base
+                    flops = kernel.flops
+                compute_table[task.task_id] = (
+                    flops,
+                    iso,
                     peak_eff,
                     ai,
+                    iso / (iso + 50e-6),
+                    is_vector,
+                    free_util0,
                 )
             elif isinstance(task, CommTask):
-                key = task.op.key
-                if key in self._comm_cost:
+                key_op = task.op.key
+                if key_op in comm_cost:
                     continue
                 cost = self.cost_model.cost(task.op)
-                factor = _lognormal_factor(f"k{key}", seed, sigma)
+                if jittered:
+                    label = f"k{key_op}"
+                    factor = memo_get(label)
+                    if factor is None:
+                        factor = _lognormal_factor(label, seed, sigma)
+                        factor_memo[label] = factor
+                else:
+                    factor = 1.0
                 if factor != 1.0:
                     # Jitter stretches the duration; the same bytes over
                     # a longer window means proportionally less HBM
@@ -331,7 +513,16 @@ class Simulator:
                         duration_s=cost.duration_s * factor,
                         hbm_bytes_per_s=cost.hbm_bytes_per_s / factor,
                     )
-                self._comm_cost[key] = cost
+                comm_cost[key_op] = cost
+        self._compute_table = compute_table
+        self._comm_cost = comm_cost
+        with _SHARED_EVALUATORS_LOCK:
+            if len(_SHARED_TABLES) >= _SHARED_TABLES_MAX:
+                _SHARED_TABLES.clear()
+            _SHARED_TABLES[key] = (
+                self._tasks_src, self.gpu, self.cost_model,
+                compute_table, comm_cost,
+            )
 
     # ------------------------------------------------------------------
     # incremental hooks (no-ops in the reference engine)
@@ -395,11 +586,18 @@ class Simulator:
             self._recompute()
             self._ensure_ticks()
 
+        return self._finalize()
+
+    def _finalize(self) -> SimulationResult:
+        """Close out the run: stats, segments, validated result."""
         self.stats.stale_events = self.queue.stale_dropped
         self._close_segments()
         result = SimulationResult(
             end_time_s=self.time,
-            records=sorted(self.records, key=lambda r: (r.start_s, r.task_id)),
+            # (start_s, task_id) sort key; itemgetter over the record
+            # namedtuple's slots runs in C, and this touches every
+            # record of the run.
+            records=sorted(self.records, key=_RECORD_SORT_KEY),
             power_segments=self._segments if self.config.trace_power else {},
             num_gpus=self.node.num_gpus,
             min_clock_frac_seen=self._min_clock_seen,
@@ -433,27 +631,34 @@ class Simulator:
         return order[pos]
 
     def _pop_head(self, key: Tuple[int, str], expected: int) -> None:
-        head = self._head(key)
+        # _head, inlined (called once per task completion).
+        order = self.streams[key]
+        pos = self._stream_pos[key]
+        head = order[pos] if pos < len(order) else None
         if head != expected:
             raise SimulationError(
                 f"stream {key}: completing task {expected} but head is {head}"
             )
-        self._stream_pos[key] += 1
+        self._stream_pos[key] = pos + 1
 
     def _deps_met(self, task: Task) -> bool:
         return task.deps <= self.done
 
     def _maybe_launch_head(self, key: Tuple[int, str]) -> bool:
         """Launch/post the head of one stream if it is runnable."""
-        tid = self._head(key)
-        if tid is None:
+        # _head, inlined (this runs for every candidate stream on
+        # every completion).
+        order = self.streams[key]
+        pos = self._stream_pos[key]
+        if pos >= len(order):
             return False
+        tid = order[pos]
         if tid in self.running or tid in self._waiting:
             return False
         if tid in self._comm_started:
             return False
         task = self.tasks[tid]
-        if not self._deps_met(task):
+        if not task.deps <= self.done:
             return False
         if isinstance(task, ComputeTask):
             self._launch_compute(task)
@@ -472,15 +677,14 @@ class Simulator:
                     progressed = True
 
     def _launch_compute(self, task: ComputeTask) -> None:
-        work, iso, peak_eff, ai = self._compute_table[task.task_id]
+        work, iso, peak_eff, ai, ramp, is_vector, free_util0 = (
+            self._compute_table[task.task_id]
+        )
+        # Positional: rate=1.0 is a placeholder the first recompute
+        # overwrites.
         entry = _RunningCompute(
-            task=task,
-            work_remaining=work,
-            rate=1.0,  # overwritten by the recompute that follows
-            isolated_s=iso,
-            started_at=self.time,
-            peak_eff=peak_eff,
-            ai=ai,
+            task, work, 1.0, iso, self.time,
+            peak_eff, ai, ramp, is_vector, free_util0,
         )
         self.running[task.task_id] = entry
         self._on_compute_launched(entry)
@@ -516,15 +720,15 @@ class Simulator:
         self.done.add(tid)
         self.records.append(
             TaskRecord(
-                task_id=tid,
-                gpu=task.gpu,
-                stream=task.stream,
-                label=task.label,
-                category=task.category,
-                phase=task.phase,
-                start_s=entry.started_at,
-                end_s=self.time,
-                isolated_duration_s=entry.isolated_s,
+                tid,
+                task.gpu,
+                task.stream,
+                task.label,
+                task.category,
+                task.phase,
+                entry.started_at,
+                self.time,
+                entry.isolated_s,
             )
         )
         self._on_compute_finished(entry)
@@ -540,15 +744,15 @@ class Simulator:
             self.done.add(task.task_id)
             self.records.append(
                 TaskRecord(
-                    task_id=task.task_id,
-                    gpu=task.gpu,
-                    stream=task.stream,
-                    label=task.label,
-                    category=task.category,
-                    phase=task.phase,
-                    start_s=started,
-                    end_s=self.time,
-                    isolated_duration_s=inst.cost.duration_s,
+                    task.task_id,
+                    task.gpu,
+                    task.stream,
+                    task.label,
+                    task.category,
+                    task.phase,
+                    started,
+                    self.time,
+                    inst.cost.duration_s,
                 )
             )
             self._on_task_done(task)
@@ -797,7 +1001,10 @@ class Simulator:
             tuple(sm_util.items()),
         )
         self._power_now[gpu_index] = power
-        self._tick_blocked.discard(gpu_index)
+        blocked = self._tick_blocked
+        if gpu_index in blocked:
+            blocked.remove(gpu_index)
+            self._tick_unscheduled.add(gpu_index)
         self._maybe_roll_segment(
             gpu_index,
             power,
@@ -842,6 +1049,7 @@ class Simulator:
             return
         adaptive = self.config.adaptive_governor
         blocked = self._tick_blocked
+        unscheduled = self._tick_unscheduled
         for gpu_index, pending in self._tick_pending.items():
             if pending or gpu_index in blocked:
                 continue
@@ -852,8 +1060,10 @@ class Simulator:
                 ):
                     self.stats.ticks_skipped += 1
                     blocked.add(gpu_index)
+                    unscheduled.discard(gpu_index)
                     continue
             self._tick_pending[gpu_index] = True
+            unscheduled.discard(gpu_index)
             self._ticks_outstanding += 1
             self.queue.schedule(
                 self.time + self.config.governor_period_s,
@@ -863,6 +1073,7 @@ class Simulator:
 
     def _governor_tick(self, gpu_index: int) -> None:
         self._tick_pending[gpu_index] = False
+        self._tick_unscheduled.add(gpu_index)
         self._ticks_outstanding -= 1
         governor = self._governors.get(gpu_index)
         if governor is None:
@@ -1026,11 +1237,54 @@ class IncrementalSimulator(Simulator):
         self._stream_order: Dict[Tuple[int, str], int] = {
             key: index for index, key in enumerate(self.streams)
         }
-        #: Reverse dependency index: task id -> tasks waiting on it.
-        self._dependents: Dict[int, List[int]] = {}
+        #: Reverse dependency index (task id -> tasks waiting on it)
+        #: and the wake set per completion: the task's own stream (its
+        #: successor is exposed) plus every dependent's stream (their
+        #: deps may now be met), pre-resolved to stream keys so the
+        #: per-completion hook is one set update. Both are pure in the
+        #: task list and read-only, so repeat simulations of one
+        #: memoized plan share a single build (_SHARED_DEPS).
+        src = self._tasks_src
+        with _SHARED_EVALUATORS_LOCK:
+            entry = _SHARED_DEPS.get(id(src))
+            if entry is not None and entry[0] is src:
+                self._dependents = entry[1]
+                self._wake_streams = entry[2]
+                return
+        dependents: Dict[int, List[int]] = {}
         for task in self.tasks.values():
             for dep in task.deps:
-                self._dependents.setdefault(dep, []).append(task.task_id)
+                dependents.setdefault(dep, []).append(task.task_id)
+        wake_streams: Dict[int, Tuple[Tuple[int, str], ...]] = {}
+        all_tasks = self.tasks
+        deps_get = dependents.get
+        for task in all_tasks.values():
+            own = (task.gpu, task.stream)
+            waiters = deps_get(task.task_id)
+            # The wake set is tiny (own stream plus usually zero or one
+            # dependent's); build the common shapes without a set. The
+            # consumer only ever set-unions these tuples, so member
+            # order is free — dedup is what matters.
+            if not waiters:
+                wake_streams[task.task_id] = (own,)
+            elif len(waiters) == 1:
+                dependent = all_tasks[waiters[0]]
+                other = (dependent.gpu, dependent.stream)
+                wake_streams[task.task_id] = (
+                    (own,) if other == own else (own, other)
+                )
+            else:
+                streams = {own}
+                for tid in waiters:
+                    dependent = all_tasks[tid]
+                    streams.add((dependent.gpu, dependent.stream))
+                wake_streams[task.task_id] = tuple(streams)
+        self._dependents = dependents
+        self._wake_streams = wake_streams
+        with _SHARED_EVALUATORS_LOCK:
+            if len(_SHARED_DEPS) >= _SHARED_TABLES_MAX:
+                _SHARED_DEPS.clear()
+            _SHARED_DEPS[id(src)] = (src, dependents, wake_streams)
 
     # ------------------------------------------------------------------
     # lazy banking
@@ -1122,10 +1376,7 @@ class IncrementalSimulator(Simulator):
         self._active_inst_count -= 1
 
     def _on_task_done(self, task: Task) -> None:
-        self._launch_candidates.add((task.gpu, task.stream))
-        for tid in self._dependents.get(task.task_id, ()):
-            dependent = self.tasks[tid]
-            self._launch_candidates.add((dependent.gpu, dependent.stream))
+        self._launch_candidates.update(self._wake_streams[task.task_id])
 
     def _on_clock_changed(self, gpu_index: int) -> None:
         self._dirty_gpus.add(gpu_index)
@@ -1145,48 +1396,84 @@ class IncrementalSimulator(Simulator):
         # completion satisfies deps or exposes a new head), so one pass
         # over the candidate streams — in the reference engine's stream
         # order — launches exactly what its full fixpoint scan would.
-        while self._launch_candidates:
-            if len(self._launch_candidates) == 1:
-                batch = list(self._launch_candidates)
+        candidates = self._launch_candidates
+        streams = self.streams
+        stream_pos = self._stream_pos
+        running = self.running
+        waiting = self._waiting
+        comm_started = self._comm_started
+        done = self.done
+        tasks = self.tasks
+        while candidates:
+            if len(candidates) == 1:
+                batch = list(candidates)
             else:
                 batch = sorted(
-                    self._launch_candidates,
-                    key=self._stream_order.__getitem__,
+                    candidates, key=self._stream_order.__getitem__
                 )
-            self._launch_candidates.clear()
+            candidates.clear()
             for key in batch:
-                self._maybe_launch_head(key)
+                # _maybe_launch_head, inlined (one call per candidate
+                # stream per completion adds up).
+                order = streams[key]
+                pos = stream_pos[key]
+                if pos >= len(order):
+                    continue
+                tid = order[pos]
+                if (
+                    tid in running
+                    or tid in waiting
+                    or tid in comm_started
+                ):
+                    continue
+                task = tasks[tid]
+                if not task.deps <= done:
+                    continue
+                if isinstance(task, ComputeTask):
+                    self._launch_compute(task)
+                elif isinstance(task, CommTask):
+                    self._post_comm(task)
+                else:  # pragma: no cover - defensive
+                    raise PlanError(
+                        f"unknown task type for {task.label}"
+                    )
 
     def _recompute(self) -> None:
         if self._dirty_insts:
-            # Creation order == the reference engine's global
-            # instances-dict order, so same-time finish events are
-            # pushed with the same relative heap priority.
-            for seq in sorted(self._dirty_insts):
-                inst = self._insts_by_seq.get(seq)
-                if inst is None or not inst.active:
-                    continue
-                self.stats.instance_rate_passes += 1
-                new_rate = self._instance_rate(inst)
-                if new_rate != inst.rate:
-                    self._bank_instance(inst)
-                    inst.rate = new_rate
-                    finish = self.time + inst.work_remaining / max(
-                        new_rate, 1e-12
-                    )
-                    self.queue.schedule(
-                        finish, EventKind.COLLECTIVE_FINISH, inst.op.key
-                    )
-                    self._on_instance_rate_changed(inst)
-                    # The instance's HBM/link draw scales with its
-                    # rate; every participant's contention changed.
-                    self._dirty_gpus.update(inst.op.participants)
-            self._dirty_insts.clear()
+            self._recompute_insts()
 
         if self._dirty_gpus:
             for gpu_index in sorted(self._dirty_gpus):
                 self._recompute_dirty_gpu(gpu_index)
             self._dirty_gpus.clear()
+
+    def _recompute_insts(self) -> None:
+        """Re-derive dirty instances' rates (shared with the batched
+        engine, whose banking dispatch differs but whose instance-rate
+        discipline is identical)."""
+        # Creation order == the reference engine's global
+        # instances-dict order, so same-time finish events are
+        # pushed with the same relative heap priority.
+        for seq in sorted(self._dirty_insts):
+            inst = self._insts_by_seq.get(seq)
+            if inst is None or not inst.active:
+                continue
+            self.stats.instance_rate_passes += 1
+            new_rate = self._instance_rate(inst)
+            if new_rate != inst.rate:
+                self._bank_instance(inst)
+                inst.rate = new_rate
+                finish = self.time + inst.work_remaining / max(
+                    new_rate, 1e-12
+                )
+                self.queue.schedule(
+                    finish, EventKind.COLLECTIVE_FINISH, inst.op.key
+                )
+                self._on_instance_rate_changed(inst)
+                # The instance's HBM/link draw scales with its
+                # rate; every participant's contention changed.
+                self._dirty_gpus.update(inst.op.participants)
+        self._dirty_insts.clear()
 
     def _on_instance_rate_changed(self, inst: CollectiveInstance) -> None:
         """Hook for subclasses tracking rate-derived aggregates."""
@@ -1366,11 +1653,1018 @@ class FastSimulator(IncrementalSimulator):
         )
 
 
+class BatchedSimulator(FastSimulator):
+    """Cohort-batched fast tier over the struct-of-arrays store.
+
+    Three mechanisms on top of :class:`FastSimulator`, all within the
+    same tolerance contract (gated by the equivalence suite's
+    tolerance tier):
+
+    * **Cohort batching** — all events sharing a timestamp are popped
+      as one cohort (:meth:`EventQueue.pop_live_cohort`), their state
+      deltas applied together, and rates/power/DVFS re-evaluated once
+      per (cohort x dirty GPU) instead of once per event. Applying a
+      cohort member never reschedules or invalidates another member
+      (finishes and ticks only mutate state the *recompute* reads), so
+      draining the whole timestamp before recomputing is sound.
+      Governor ticks landing mid-cohort observe the pre-cohort power
+      and are applied after the finishes (:func:`observe_many`).
+    * **Struct-of-arrays hot state** — per-GPU clock, power and the
+      additive contention aggregates live in one
+      :class:`~repro.sim.soa.SoAStore`; the per-GPU recompute is fused
+      into a single pass that derives each running kernel's rate *and*
+      its power terms, evaluating the power formula directly. When a
+      cohort dirties many GPUs at once the evaluation goes through the
+      numpy-vectorized ``*_many`` entry points; the pure-python
+      fallback (no numpy, or ``REPRO_SIM_NO_NUMPY=1``) is bit-for-bit
+      identical.
+    * **O(1) banking** — progress banks against a running cumulative
+      simulated time (``bank_cum``) in one multiply instead of
+      replaying the per-step log. Value-equal for a constant rate
+      (rates only change after banking), but the single fused multiply
+      rounds differently than the per-step replay — a tolerance-tier
+      difference, never a semantic one.
+    """
+
+    def __init__(
+        self,
+        node: NodeSpec,
+        tasks: Sequence[Task],
+        config: Optional[SimConfig] = None,
+        cost_model: Optional[CollectiveCostModel] = None,
+    ):
+        super().__init__(node, tasks, config, cost_model=cost_model)
+        config = self.config
+        idle = self._power_eval.idle_power()
+        store = SoAStore(node.num_gpus, config.max_clock_frac, idle)
+        self._soa = store
+        # Alias the store's arrays over the dict/list state the parent
+        # classes created: inherited hooks, the fused loops and the
+        # pre-flip exact path (AutoSimulator) all share this storage.
+        self._clock = store.clock
+        self._power_now = store.power
+        self._agg_comm_sm = store.comm_sm
+        self._agg_spin_sm = store.spin_sm
+        self._agg_hbm = store.hbm
+        self._agg_link = store.link
+        #: Cumulative simulated time — the O(1) banking base.
+        self._cum_dt = 0.0
+        self._np = numpy_or_none()
+        self._adaptive = config.adaptive_governor
+        # Hot invariants for the fused evaluation loop.
+        self._contention = config.contention_enabled
+        self._one_minus_interf = 1.0 - self._interference
+        self._hbm_floor = _MIN_HBM_FRACTION * self._hbm_eff
+        self._max_clock0 = config.max_clock_frac
+        #: Bound method of the shared evaluator's clock-pow memo; the
+        #: fused loop calls it once per dirty GPU per cohort.
+        self._clock_term = self._power_eval.clock_term
+        coeffs = self._power_eval.coeffs
+        sm_max = coeffs.sm_max_frac
+        needed = {Datapath.VECTOR}
+        for row in self._compute_table.values():
+            if not row[5]:
+                needed.add(Datapath.TENSOR)
+        for path in needed:
+            if sm_max.get(path) is None:
+                raise ConfigurationError(
+                    f"no SM power coefficient for {path}"
+                )
+        self._vec_max = sm_max.get(Datapath.VECTOR, 0.0)
+        self._ten_max = sm_max.get(Datapath.TENSOR, 0.0)
+        self._idle_frac = coeffs.idle_frac
+        self._hbm_max = coeffs.hbm_max_frac
+        self._link_max = coeffs.link_max_frac
+        self._tdp = self._power_eval.tdp_w
+        # Closure over the now-complete hot state (see the factory's
+        # docstring); every piece it binds is initialized above.
+        self._recompute_gpu_fused = self._make_fused_recompute()
+
+    # ------------------------------------------------------------------
+    # O(1) banking
+    # ------------------------------------------------------------------
+
+    def _advance_to(self, t: float) -> None:
+        time = self.time
+        if t > time:
+            self._cum_dt += t - time
+            self.time = t
+        elif t < time - 1e-12:
+            raise SimulationError("event time went backwards")
+
+    def _bank_entry(self, entry: _RunningCompute) -> None:
+        cum = self._cum_dt
+        behind = cum - entry.bank_cum
+        if behind > 0.0:
+            w = entry.work_remaining - entry.rate * behind
+            entry.work_remaining = w if w > 0.0 else 0.0
+            entry.bank_cum = cum
+
+    def _bank_instance(self, inst: CollectiveInstance) -> None:
+        cum = self._cum_dt
+        behind = cum - inst.bank_cum
+        if behind > 0.0:
+            w = inst.work_remaining - inst.rate * behind
+            inst.work_remaining = w if w > 0.0 else 0.0
+            inst.bank_cum = cum
+            inst.last_update_s = self.time
+
+    def _on_compute_launched(self, entry: _RunningCompute) -> None:
+        # The incremental hook, inlined (one frame per launch);
+        # bank_idx still primes the auto engine's exact phase.
+        entry.bank_idx = len(self._dts)
+        entry.bank_cum = self._cum_dt
+        gpu = entry.task.gpu
+        self._running_on[gpu][entry.task.task_id] = entry
+        self._dirty_gpus.add(gpu)
+
+    def _on_instance_started(self, inst: CollectiveInstance) -> None:
+        super()._on_instance_started(inst)
+        inst.bank_cum = self._cum_dt
+
+    def _finish_compute(self, tid: int) -> None:
+        # The base method with _pop_head and the per-completion hooks
+        # (_on_compute_finished, _on_task_done) inlined: three python
+        # frames per finished task otherwise, on the hottest dispatch.
+        # Keep line-for-line equivalent to those methods.
+        entry = self.running.pop(tid)
+        task = entry.task
+        gpu = task.gpu
+        key = (gpu, task.stream)
+        order = self.streams[key]
+        pos = self._stream_pos[key]
+        head = order[pos] if pos < len(order) else None
+        if head != tid:
+            raise SimulationError(
+                f"stream {key}: completing task {tid} but head is {head}"
+            )
+        self._stream_pos[key] = pos + 1
+        self.done.add(tid)
+        self.records.append(
+            TaskRecord(
+                tid,
+                gpu,
+                task.stream,
+                task.label,
+                task.category,
+                task.phase,
+                entry.started_at,
+                self.time,
+                entry.isolated_s,
+            )
+        )
+        self._running_on[gpu].pop(tid, None)
+        self._dirty_gpus.add(gpu)
+        self._launch_candidates.update(self._wake_streams[tid])
+
+    # ------------------------------------------------------------------
+    # cohort event loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        self._open_segments()
+        self._try_launch()
+        self._recompute()
+        self._ensure_ticks()
+        # The cohort loop allocates only tuples and small lists that
+        # die immediately or survive to the result — no cycles — so
+        # generational collection scans are pure overhead (several
+        # percent of the run). Suspend GC while the loop runs; the
+        # finally block restores the caller's setting even on
+        # simulation errors.
+        was_enabled = gc.isenabled()
+        if was_enabled:
+            gc.disable()
+        try:
+            self._event_loop()
+        finally:
+            if was_enabled:
+                gc.enable()
+        return self._finalize()
+
+    def _event_loop(self) -> None:
+        """The cohort loop, with the per-cohort path fully flattened.
+
+        The finish / launch / recompute dispatch bodies are inlined
+        here on hoisted locals — line-for-line equivalent to
+        :meth:`_finish_compute`, :meth:`_try_launch` (plus
+        :meth:`_launch_compute`) and :meth:`_recompute`, which remain
+        the canonical copies (the auto engine's pre-flip loop and the
+        non-loop callers still dispatch through them). Python frames
+        are the dominant cost at this call rate; keep the copies in
+        sync when touching either.
+        """
+        config = self.config
+        max_time = config.max_sim_time_s
+        total = len(self.tasks)
+        stats = self.stats
+        pop_cohort = self.queue.pop_live_cohort
+        finish_collective = self._finish_collective
+        fused = self._recompute_gpu_fused
+        recompute_insts = self._recompute_insts
+        ensure_ticks = self._ensure_ticks
+        post_comm = self._post_comm
+        stream_order_key = self._stream_order.__getitem__
+        np = self._np
+        have_governors = bool(self._governors)
+        # Hot state hoisted as locals: every object below keeps its
+        # identity across the run (mutated in place, never rebound).
+        done = self.done
+        tasks = self.tasks
+        running = self.running
+        records = self.records
+        streams = self.streams
+        stream_pos = self._stream_pos
+        waiting = self._waiting
+        comm_started = self._comm_started
+        launch_candidates = self._launch_candidates
+        wake_streams = self._wake_streams
+        compute_table = self._compute_table
+        running_on = self._running_on
+        dirty_gpus = self._dirty_gpus
+        dirty_insts = self._dirty_insts
+        tick_unscheduled = self._tick_unscheduled
+        dts = self._dts
+        events = 0
+        cohorts = 0
+        try:
+            while len(done) < total:
+                cohort = pop_cohort()
+                if cohort is None:
+                    raise DeadlockError(self._deadlock_report())
+                t = cohort[0][0]
+                if t > max_time:
+                    raise SimulationError(
+                        f"simulation exceeded {max_time}s"
+                    )
+                events += len(cohort)
+                cohorts += 1
+                # _advance_to, inlined (the auto engine's override is
+                # equivalent once flipped).
+                time_now = self.time
+                if t > time_now:
+                    self._cum_dt += t - time_now
+                    self.time = t
+                elif t < time_now - 1e-12:
+                    raise SimulationError("event time went backwards")
+                ticks = None
+                for _etime, kind, payload, _ver in cohort:
+                    if kind is _TASK_FINISH:
+                        # _finish_compute, inlined.
+                        entry = running.pop(payload)
+                        task = entry.task
+                        gpu = task.gpu
+                        key = (gpu, task.stream)
+                        order = streams[key]
+                        pos = stream_pos[key]
+                        head = order[pos] if pos < len(order) else None
+                        if head != payload:
+                            raise SimulationError(
+                                f"stream {key}: completing task "
+                                f"{payload} but head is {head}"
+                            )
+                        stream_pos[key] = pos + 1
+                        done.add(payload)
+                        started = entry.started_at
+                        if t < started:
+                            raise SimulationError(
+                                f"task {task.label}: end before start"
+                            )
+                        records.append(
+                            tuple.__new__(
+                                TaskRecord,
+                                (
+                                    payload, gpu, task.stream,
+                                    task.label, task.category,
+                                    task.phase, started, t,
+                                    entry.isolated_s,
+                                ),
+                            )
+                        )
+                        running_on[gpu].pop(payload, None)
+                        dirty_gpus.add(gpu)
+                        launch_candidates.update(wake_streams[payload])
+                    elif kind is _COLLECTIVE_FINISH:
+                        finish_collective(payload)
+                    elif ticks is None:
+                        ticks = [payload]
+                    else:
+                        ticks.append(payload)
+                if len(done) >= total:
+                    # Any same-time remainder can only be governor
+                    # ticks; the per-event loop would have stopped
+                    # before them.
+                    break
+                if ticks is not None:
+                    self._apply_ticks(ticks)
+                # _try_launch + _launch_compute, inlined.
+                while launch_candidates:
+                    if len(launch_candidates) == 1:
+                        batch = list(launch_candidates)
+                    else:
+                        batch = sorted(
+                            launch_candidates, key=stream_order_key
+                        )
+                    launch_candidates.clear()
+                    for key in batch:
+                        order = streams[key]
+                        pos = stream_pos[key]
+                        if pos >= len(order):
+                            continue
+                        tid = order[pos]
+                        if (
+                            tid in running
+                            or tid in waiting
+                            or tid in comm_started
+                        ):
+                            continue
+                        task = tasks[tid]
+                        if not task.deps <= done:
+                            continue
+                        if isinstance(task, ComputeTask):
+                            (
+                                work, iso, peak_eff, ai, ramp,
+                                is_vector, free_util0,
+                            ) = compute_table[tid]
+                            entry = _RunningCompute(
+                                task, work, 1.0, iso, self.time,
+                                peak_eff, ai, ramp, is_vector,
+                                free_util0,
+                            )
+                            running[tid] = entry
+                            entry.bank_idx = len(dts)
+                            entry.bank_cum = self._cum_dt
+                            running_on[task.gpu][tid] = entry
+                            dirty_gpus.add(task.gpu)
+                        elif isinstance(task, CommTask):
+                            post_comm(task)
+                        else:  # pragma: no cover - defensive
+                            raise PlanError(
+                                f"unknown task type for {task.label}"
+                            )
+                # _recompute, inlined.
+                if dirty_insts:
+                    recompute_insts()
+                if dirty_gpus:
+                    if len(dirty_gpus) == 1:
+                        fused(dirty_gpus.pop())
+                    else:
+                        if np is not None and len(dirty_gpus) >= VECTOR_MIN:
+                            self._recompute_gpus_vectorized(
+                                sorted(dirty_gpus), np
+                            )
+                        else:
+                            for gpu_index in sorted(dirty_gpus):
+                                fused(gpu_index)
+                        dirty_gpus.clear()
+                if have_governors and tick_unscheduled:
+                    ensure_ticks()
+        finally:
+            stats.events += events
+            stats.cohorts += cohorts
+
+    def _apply_ticks(self, gpus: List[int]) -> None:
+        """Apply a cohort's governor ticks in one batched dispatch.
+
+        Every tick observes the pre-cohort power (power is re-evaluated
+        only after the cohort), matching the single-tick discipline.
+        """
+        governors = self._governors
+        pending = self._tick_pending
+        for gpu_index in gpus:
+            pending[gpu_index] = False
+        self._tick_unscheduled.update(gpus)
+        self._ticks_outstanding -= len(gpus)
+        if not governors:  # pragma: no cover - ticks imply governors
+            return
+        clock = self._clock
+        power = self._power_now
+        new_clocks = observe_many(
+            [governors[g] for g in gpus], [power[g] for g in gpus]
+        )
+        min_seen = self._min_clock_seen
+        for gpu_index, new_clock in zip(gpus, new_clocks):
+            if new_clock != clock[gpu_index]:
+                clock[gpu_index] = new_clock
+                self._on_clock_changed(gpu_index)
+            if new_clock < min_seen:
+                min_seen = new_clock
+        self._min_clock_seen = min_seen
+
+    # ------------------------------------------------------------------
+    # governor (list-backed state; bit-equal to the base dispatch)
+    # ------------------------------------------------------------------
+
+    def _governor_tick(self, gpu_index: int) -> None:
+        self._tick_pending[gpu_index] = False
+        self._tick_unscheduled.add(gpu_index)
+        self._ticks_outstanding -= 1
+        governor = self._governors.get(gpu_index)
+        if governor is None:
+            return
+        # _power_now is primed with idle power at construction, so the
+        # base dispatch's None fallback cannot trigger here.
+        new_clock = governor.observe(self._power_now[gpu_index])
+        if new_clock != self._clock[gpu_index]:
+            self._clock[gpu_index] = new_clock
+            self._on_clock_changed(gpu_index)
+        self._min_clock_seen = min(self._min_clock_seen, new_clock)
+
+    def _ensure_ticks(self) -> None:
+        governors = self._governors
+        if not governors or not self._has_activity():
+            return
+        unscheduled = self._tick_unscheduled
+        if not unscheduled:
+            return
+        # The auto engine runs non-adaptively before its flip; the
+        # instance attribute (not the config) is the live switch.
+        adaptive = self._adaptive
+        blocked = self._tick_blocked
+        pending = self._tick_pending
+        power_now = self._power_now
+        schedule = self.queue.schedule
+        next_t = self.time + self.config.governor_period_s
+        # sorted() keeps the scheduling order identical to the base
+        # dispatch's gpu-ascending sweep (same-time FIFO pop order);
+        # blocked GPUs are disjoint from this set by invariant. A
+        # lone entry (the dominant case: one GPU unblocked per cohort)
+        # needs no sort.
+        if len(unscheduled) == 1:
+            sweep = tuple(unscheduled)
+        else:
+            sweep = sorted(unscheduled)
+        for gpu_index in sweep:
+            if adaptive and governors[gpu_index].would_noop(
+                power_now[gpu_index]
+            ):
+                self.stats.ticks_skipped += 1
+                blocked.add(gpu_index)
+            else:
+                pending[gpu_index] = True
+                self._ticks_outstanding += 1
+                schedule(next_t, EventKind.GOVERNOR_TICK, gpu_index)
+            unscheduled.discard(gpu_index)
+
+    # ------------------------------------------------------------------
+    # fused recompute
+    # ------------------------------------------------------------------
+
+    def _recompute(self) -> None:
+        if self._dirty_insts:
+            self._recompute_insts()
+        dirty = self._dirty_gpus
+        if dirty:
+            if len(dirty) == 1:
+                # Common case (one finish dirties one GPU) first.
+                for gpu_index in dirty:
+                    self._recompute_gpu_fused(gpu_index)
+            else:
+                np = self._np
+                if np is not None and len(dirty) >= VECTOR_MIN:
+                    self._recompute_gpus_vectorized(sorted(dirty), np)
+                else:
+                    for gpu_index in sorted(dirty):
+                        self._recompute_gpu_fused(gpu_index)
+            dirty.clear()
+
+    def _fused_availability(
+        self, gpu_index: int, clock: float, active_count: int
+    ) -> Tuple[float, float, float]:
+        """:meth:`_availability` from the aggregates, branch-inlined.
+
+        Same clamps, floors and interference scaling in the same
+        order; the ``max(0.0, agg)`` guards mirror the unbatched fast
+        tier's reads of the additive aggregates.
+        """
+        if not self._contention:
+            return 1.0, self._hbm_eff, self.config.max_clock_frac
+        comm_sm = self._agg_comm_sm[gpu_index]
+        if comm_sm < 0.0:
+            comm_sm = 0.0
+        spin_sm = self._agg_spin_sm[gpu_index]
+        if spin_sm < 0.0:
+            spin_sm = 0.0
+        total_sm = comm_sm + self._spin_scale * spin_sm
+        if total_sm > _MAX_COMM_SM:
+            total_sm = _MAX_COMM_SM
+        sm_avail = 1.0 - total_sm
+        if sm_avail < _MIN_SM_FRACTION:
+            sm_avail = _MIN_SM_FRACTION
+        comm_hbm = self._agg_hbm[gpu_index]
+        if comm_hbm < 0.0:
+            comm_hbm = 0.0
+        hbm_avail = self._hbm_eff - comm_hbm
+        if hbm_avail < self._hbm_floor:
+            hbm_avail = self._hbm_floor
+        if active_count:
+            hbm_avail *= self._one_minus_interf
+        return sm_avail, hbm_avail, clock
+
+    def _make_fused_recompute(self):
+        """Build the fused rate + power evaluation for one dirty GPU.
+
+        One pass over the GPU's running kernels derives each rate
+        (push-on-change, O(1) banking) *and* accumulates the SM/HBM
+        power terms, then evaluates the power formula directly — the
+        same arithmetic as the unbatched fast tier's two-pass
+        ``_update_entry_rates`` + ``_update_power_fast`` (power-term
+        summation runs vector-then-tensor, which is bitwise-commutative
+        with any two-term order), touching each entry once per cohort
+        instead of once per event.
+
+        Returned as a closure and installed as the instance's
+        ``_recompute_gpu_fused`` at the end of ``__init__``: this is
+        the hottest function in the batched tier, and binding the
+        identity-stable state (arrays, sets, dicts, model constants)
+        as closure cells removes ~30 ``self._x`` attribute walks per
+        call. Only the rebound scalars ``self.time`` / ``self._cum_dt``
+        still read through ``self``. Everything bound here is created
+        once in ``__init__`` and mutated in place, never reassigned.
+        """
+        stats = self.stats
+        clock_arr = self._clock
+        active_on = self._active_on
+        contention = self._contention
+        hbm_eff = self._hbm_eff
+        max_clock0 = self._max_clock0
+        spin_scale = self._spin_scale
+        agg_comm_sm = self._agg_comm_sm
+        agg_spin_sm = self._agg_spin_sm
+        agg_hbm = self._agg_hbm
+        agg_link = self._agg_link
+        hbm_floor = self._hbm_floor
+        one_minus_interf = self._one_minus_interf
+        running_on = self._running_on
+        schedule = self.queue.schedule
+        stall_frac = self._stall_frac
+        free_utilization = self._rates.free_utilization
+        spinning_on = self._spinning_on
+        vec_max = self._vec_max
+        ten_max = self._ten_max
+        hbm_bw = self._hbm_bw
+        tdp = self._tdp
+        idle_frac = self._idle_frac
+        hbm_max = self._hbm_max
+        link_max = self._link_max
+        clock_term = self._clock_term
+        power_now = self._power_now
+        blocked = self._tick_blocked
+        unscheduled = self._tick_unscheduled
+        segment_open = self._segment_open
+        segments = self._segments
+
+        def fused(gpu_index: int) -> None:
+            stats.gpu_rate_passes += 1
+            clock = clock_arr[gpu_index]
+            active_count = len(active_on[gpu_index])
+            # _fused_availability, inlined: the call overhead alone is
+            # measurable here. Keep line-for-line equivalent to that
+            # method (the vectorized path still calls it).
+            if not contention:
+                sm_avail = 1.0
+                hbm_avail = hbm_eff
+                eff_clock = max_clock0
+            else:
+                comm_sm = agg_comm_sm[gpu_index]
+                if comm_sm < 0.0:
+                    comm_sm = 0.0
+                spin_sm = agg_spin_sm[gpu_index]
+                if spin_sm < 0.0:
+                    spin_sm = 0.0
+                total_sm = comm_sm + spin_scale * spin_sm
+                if total_sm > _MAX_COMM_SM:
+                    total_sm = _MAX_COMM_SM
+                sm_avail = 1.0 - total_sm
+                if sm_avail < _MIN_SM_FRACTION:
+                    sm_avail = _MIN_SM_FRACTION
+                comm_hbm = agg_hbm[gpu_index]
+                if comm_hbm < 0.0:
+                    comm_hbm = 0.0
+                hbm_avail = hbm_eff - comm_hbm
+                if hbm_avail < hbm_floor:
+                    hbm_avail = hbm_floor
+                if active_count:
+                    hbm_avail *= one_minus_interf
+                eff_clock = clock
+            running = running_on[gpu_index]
+            uv = 0.0
+            ut = 0.0
+            hbm_used = 0.0
+            n = len(running)
+            if n:
+                share_sm = sm_avail / n
+                share_hbm = hbm_avail / n
+                now = self.time
+                cum = self._cum_dt
+                at_cap = clock == max_clock0
+                for entry in running.values():
+                    peak_eff = entry.peak_eff
+                    ai = entry.ai
+                    # rate_from_params, branch-inlined.
+                    rate = peak_eff * share_sm * eff_clock
+                    if ai != _INF:
+                        bandwidth = ai * share_hbm
+                        if bandwidth < rate:
+                            rate = bandwidth
+                    if rate <= 0.0:
+                        rate = peak_eff * 1e-4
+                        if rate < 1.0:
+                            rate = 1.0
+                    if rate != entry.rate or not entry.scheduled:
+                        behind = cum - entry.bank_cum
+                        if behind > 0.0:
+                            w = entry.work_remaining - entry.rate * behind
+                            entry.work_remaining = w if w > 0.0 else 0.0
+                            entry.bank_cum = cum
+                        entry.rate = rate
+                        entry.scheduled = True
+                        schedule(
+                            now + entry.work_remaining / rate,
+                            _TASK_FINISH,
+                            entry.task.task_id,
+                        )
+                    # sm_utilization_from_params with sm_fraction=1.0.
+                    peak = peak_eff * clock
+                    if peak <= 0.0:
+                        util = 0.0
+                    else:
+                        util = rate / peak
+                        if util > 1.0:
+                            util = 1.0
+                    if at_cap:
+                        free_util = entry.free_util0
+                    else:
+                        cache = entry.free_util_cache
+                        free_util = cache.get(clock)
+                        if free_util is None:
+                            free_util = free_utilization(
+                                entry.task.kernel, clock
+                            )
+                            cache[clock] = free_util
+                    if free_util > util:
+                        util += stall_frac * (free_util - util)
+                    util *= entry.ramp
+                    if entry.is_vector:
+                        uv += util
+                    else:
+                        ut += util
+                    if ai != _INF and ai > 0.0:
+                        hbm_used += rate / ai
+            link_frac = 0.0
+            if active_count:
+                agg = agg_hbm[gpu_index]
+                if agg > 0.0:
+                    hbm_used += agg
+                agg = agg_link[gpu_index]
+                if agg > 0.0:
+                    link_frac = agg
+                agg = agg_comm_sm[gpu_index]
+                if agg > 0.0:
+                    uv += _COMM_VECTOR_UTIL * agg
+            if spinning_on[gpu_index]:
+                agg = agg_spin_sm[gpu_index]
+                if agg > 0.0:
+                    uv += _SPIN_VECTOR_UTIL * agg
+            # evaluate_parts with sm_items ((VECTOR, uv), (TENSOR, ut)),
+            # branch-inlined and sharing its clock-pow memo.
+            if uv > 1.0:
+                uv = 1.0
+            elif uv < 0.0:
+                uv = 0.0
+            dynamic_sm = vec_max * uv
+            if ut != 0.0:
+                if ut > 1.0:
+                    ut = 1.0
+                dynamic_sm += ten_max * ut
+            hbm_frac = hbm_used / hbm_bw
+            if hbm_frac > 1.0:
+                hbm_frac = 1.0
+            if link_frac > 1.0:
+                link_frac = 1.0
+            power = tdp * (
+                idle_frac
+                + dynamic_sm * clock_term(clock)
+                + hbm_max * hbm_frac
+                + link_max * link_frac
+            )
+            # Publish (shared _commit_power semantics) + segment roll.
+            power_now[gpu_index] = power
+            if blocked and gpu_index in blocked:
+                blocked.remove(gpu_index)
+                unscheduled.add(gpu_index)
+            current = segment_open.get(gpu_index)
+            if current is not None:
+                compute_active = n > 0
+                comm_active = active_count > 0
+                start_s, cur_power, cur_compute, cur_comm, cur_clock = current
+                if (
+                    cur_compute != compute_active
+                    or cur_comm != comm_active
+                    or abs(cur_power - power) >= 1e-6
+                    or abs(cur_clock - clock) >= 1e-9
+                ):
+                    now = self.time
+                    if now > start_s:
+                        segments[gpu_index].append(
+                            PowerSegment(
+                                gpu=gpu_index,
+                                start_s=start_s,
+                                end_s=now,
+                                power_w=cur_power,
+                                compute_active=cur_compute,
+                                comm_active=cur_comm,
+                                clock_frac=cur_clock,
+                            )
+                        )
+                    segment_open[gpu_index] = (
+                        now, power, compute_active, comm_active, clock,
+                    )
+
+        return fused
+
+    def _recompute_gpus_vectorized(self, gpus: List[int], np) -> None:
+        """Many dirty GPUs at once through the ``*_many`` entry points.
+
+        Produces the same floats as :meth:`_recompute_gpu_fused` run
+        per GPU (the ``*_many`` helpers are bit-identical to their
+        scalar forms); it exists so large cohorts — e.g. the initial
+        full-dirty pass on a big node — amortize into a few numpy
+        kernels instead of a python loop per GPU.
+        """
+        stats = self.stats
+        stats.gpu_rate_passes += len(gpus)
+        stats.vector_batches += 1
+        # Phase 1: availability per GPU; flatten entry rate inputs.
+        per_gpu = []
+        acc: Dict[int, List[float]] = {}
+        flat: List[Tuple[int, _RunningCompute]] = []
+        pe_list: List[float] = []
+        ai_list: List[float] = []
+        sm_list: List[float] = []
+        hbm_list: List[float] = []
+        clk_rate: List[float] = []
+        clk_util: List[float] = []
+        for gpu_index in gpus:
+            clock = self._clock[gpu_index]
+            active_count = len(self._active_on[gpu_index])
+            sm_avail, hbm_avail, eff_clock = self._fused_availability(
+                gpu_index, clock, active_count
+            )
+            running = self._running_on[gpu_index]
+            n = len(running)
+            if n:
+                share_sm = sm_avail / n
+                share_hbm = hbm_avail / n
+                for entry in running.values():
+                    flat.append((gpu_index, entry))
+                    pe_list.append(entry.peak_eff)
+                    ai_list.append(entry.ai)
+                    sm_list.append(share_sm)
+                    hbm_list.append(share_hbm)
+                    clk_rate.append(eff_clock)
+                    clk_util.append(clock)
+            per_gpu.append((gpu_index, clock, n, active_count))
+            acc[gpu_index] = [0.0, 0.0, 0.0]  # uv, ut, hbm_used
+        # Phase 2: batched rate + utilisation evaluation.
+        if flat:
+            rates = RateModel.rate_from_params_many(
+                pe_list, ai_list, sm_list, hbm_list, clk_rate, np=np
+            )
+            utils = RateModel.sm_utilization_from_params_many(
+                pe_list, rates, 1.0, clk_util, np=np
+            )
+        else:
+            rates = utils = []
+        # Phase 3: apply rates (push-on-change, O(1) banking) and fold
+        # stall/ramp discounts into the per-GPU accumulators.
+        now = self.time
+        cum = self._cum_dt
+        schedule = self.queue.schedule
+        stall_frac = self._stall_frac
+        free_utilization = self._rates.free_utilization
+        max_clock0 = self._max_clock0
+        for i, (gpu_index, entry) in enumerate(flat):
+            rate = rates[i]
+            if rate != entry.rate or not entry.scheduled:
+                behind = cum - entry.bank_cum
+                if behind > 0.0:
+                    w = entry.work_remaining - entry.rate * behind
+                    entry.work_remaining = w if w > 0.0 else 0.0
+                    entry.bank_cum = cum
+                entry.rate = rate
+                entry.scheduled = True
+                schedule(
+                    now + entry.work_remaining / rate,
+                    _TASK_FINISH,
+                    entry.task.task_id,
+                )
+            util = utils[i]
+            clock = clk_util[i]
+            if clock == max_clock0:
+                free_util = entry.free_util0
+            else:
+                cache = entry.free_util_cache
+                free_util = cache.get(clock)
+                if free_util is None:
+                    free_util = free_utilization(entry.task.kernel, clock)
+                    cache[clock] = free_util
+            if free_util > util:
+                util += stall_frac * (free_util - util)
+            util *= entry.ramp
+            slot = acc[gpu_index]
+            if entry.is_vector:
+                slot[0] += util
+            else:
+                slot[1] += util
+            ai = entry.ai
+            if ai != _INF and ai > 0.0:
+                slot[2] += rate / ai
+        # Phase 4: per-GPU communication terms -> power inputs.
+        clocks: List[float] = []
+        hbm_fracs: List[float] = []
+        link_fracs: List[float] = []
+        vec_utils: List[float] = []
+        ten_utils: List[float] = []
+        hbm_bw = self._hbm_bw
+        for gpu_index, clock, n, active_count in per_gpu:
+            uv, ut, hbm_used = acc[gpu_index]
+            link_frac = 0.0
+            if active_count:
+                agg = self._agg_hbm[gpu_index]
+                if agg > 0.0:
+                    hbm_used += agg
+                agg = self._agg_link[gpu_index]
+                if agg > 0.0:
+                    link_frac = agg
+                agg = self._agg_comm_sm[gpu_index]
+                if agg > 0.0:
+                    uv += _COMM_VECTOR_UTIL * agg
+            if self._spinning_on[gpu_index]:
+                agg = self._agg_spin_sm[gpu_index]
+                if agg > 0.0:
+                    uv += _SPIN_VECTOR_UTIL * agg
+            clocks.append(clock)
+            hbm_fracs.append(hbm_used / hbm_bw)
+            link_fracs.append(link_frac if link_frac < 1.0 else 1.0)
+            vec_utils.append(uv)
+            ten_utils.append(ut)
+        # Phase 5: batched power evaluation + publish.
+        powers = self._power_eval.evaluate_parts_many(
+            clocks, hbm_fracs, link_fracs, vec_utils, ten_utils, np=np
+        )
+        power_now = self._power_now
+        blocked = self._tick_blocked
+        unscheduled = self._tick_unscheduled
+        for i, (gpu_index, clock, n, active_count) in enumerate(per_gpu):
+            power = powers[i]
+            power_now[gpu_index] = power
+            if gpu_index in blocked:
+                blocked.remove(gpu_index)
+                unscheduled.add(gpu_index)
+            self._maybe_roll_segment(
+                gpu_index,
+                power,
+                compute_active=n > 0,
+                comm_active=active_count > 0,
+                clock=clock,
+            )
+
+
+class AutoSimulator(BatchedSimulator):
+    """Adaptive engine: bit-exact start, one flip to the batched path.
+
+    Runs the exact incremental discipline — replay banking, per-event
+    dispatch, exact resident-set recompute, non-adaptive governor
+    cadence — until the queue's live event population reaches
+    ``SimConfig.auto_tier_threshold``, then banks all progress exactly
+    and switches every dispatch to :class:`BatchedSimulator`'s cohort
+    path for the remainder of the run. Runs that never reach the
+    threshold are bit-identical to the exact tier (the equivalence
+    suite pins this); runs that flip carry the fast tier's bounded
+    relative error only from the flip point on.
+
+    The fast tier's aggregate bookkeeping runs from the start (it is
+    state-only and by construction consistent with the exact reduction
+    inputs), so the aggregates are warm the moment the engine flips.
+    """
+
+    def __init__(
+        self,
+        node: NodeSpec,
+        tasks: Sequence[Task],
+        config: Optional[SimConfig] = None,
+        cost_model: Optional[CollectiveCostModel] = None,
+    ):
+        super().__init__(node, tasks, config, cost_model=cost_model)
+        self._flipped = False
+        # Pre-flip execution is bit-exact: replay banking plus the
+        # non-adaptive governor cadence.
+        self._adaptive = False
+
+    # Pre/post-flip dispatch. Pre-flip the replay log must be fed and
+    # consulted; post-flip the O(1) cumulative banking takes over.
+
+    def _advance_to(self, t: float) -> None:
+        time = self.time
+        if t > time:
+            dt = t - time
+            self._cum_dt += dt
+            if not self._flipped:
+                self._dts.append(dt)
+            self.time = t
+        elif t < time - 1e-12:
+            raise SimulationError("event time went backwards")
+
+    def _bank_entry(self, entry: _RunningCompute) -> None:
+        if self._flipped:
+            BatchedSimulator._bank_entry(self, entry)
+        else:
+            IncrementalSimulator._bank_entry(self, entry)
+
+    def _bank_instance(self, inst: CollectiveInstance) -> None:
+        if self._flipped:
+            BatchedSimulator._bank_instance(self, inst)
+        else:
+            IncrementalSimulator._bank_instance(self, inst)
+
+    def _recompute(self) -> None:
+        if self._flipped:
+            BatchedSimulator._recompute(self)
+        else:
+            IncrementalSimulator._recompute(self)
+
+    def _recompute_dirty_gpu(self, gpu_index: int) -> None:
+        # Reached only pre-flip (via IncrementalSimulator._recompute):
+        # the exact resident-set reduction, not the aggregate path.
+        IncrementalSimulator._recompute_dirty_gpu(self, gpu_index)
+
+    def _event_loop(self) -> None:
+        config = self.config
+        threshold = config.auto_tier_threshold
+        max_time = config.max_sim_time_s
+        total = len(self.tasks)
+        done = self.done
+        stats = self.stats
+        queue = self.queue
+        while len(done) < total:
+            if queue.live_count >= threshold:
+                self._flip()
+                BatchedSimulator._event_loop(self)
+                return
+            # Exact per-event dispatch, mirroring Simulator.run.
+            event = queue.pop_live()
+            if event is None:
+                raise DeadlockError(self._deadlock_report())
+            if event.time > max_time:
+                raise SimulationError(
+                    f"simulation exceeded {max_time}s"
+                )
+            stats.events += 1
+            self._advance_to(event.time)
+            kind = event.kind
+            if kind is _TASK_FINISH:
+                self._finish_compute(event.payload)
+            elif kind is _COLLECTIVE_FINISH:
+                self._finish_collective(event.payload)
+            else:
+                self._governor_tick(event.payload)
+            if len(done) >= total:
+                break
+            self._try_launch()
+            self._recompute()
+            self._ensure_ticks()
+
+    def _flip(self) -> None:
+        """Bank all in-flight progress exactly, then go batched.
+
+        The exact replay runs one last time so the flip point carries
+        zero banking error; from here on every dispatch override takes
+        the ``_flipped`` branch.
+        """
+        for entry in self.running.values():
+            IncrementalSimulator._bank_entry(self, entry)
+        for inst in self.instances.values():
+            if inst.active:
+                IncrementalSimulator._bank_instance(self, inst)
+        cum = self._cum_dt
+        for entry in self.running.values():
+            entry.bank_cum = cum
+        for inst in self.instances.values():
+            inst.bank_cum = cum
+        self._dts.clear()
+        self._flipped = True
+        self._adaptive = self.config.adaptive_governor
+        self.stats.auto_flips += 1
+
+
 #: Engine class per accuracy tier (see :mod:`repro.sim.config`).
 _ENGINE_TIERS = {
     "reference": Simulator,
     "incremental": IncrementalSimulator,
     "fast": FastSimulator,
+    "batched": BatchedSimulator,
+    "auto": AutoSimulator,
 }
 
 
@@ -1383,7 +2677,9 @@ def make_simulator(
     """Build the engine ``config`` selects (incremental by default).
 
     ``reference_engine`` wins (the correctness oracle), then
-    ``fast_contention`` picks the additive-aggregate fast tier;
+    ``auto_tier_threshold`` picks the adaptive auto engine,
+    ``fast_contention`` + ``cohort_batching`` the cohort-batched fast
+    tier, ``fast_contention`` alone the unbatched fast tier;
     everything else runs the bit-exact incremental engine. The event
     queue backend and the adaptive governor cadence are orthogonal
     knobs read by all engines from the config itself.
@@ -1392,6 +2688,10 @@ def make_simulator(
         config = SimConfig()
     if config.reference_engine:
         cls = _ENGINE_TIERS["reference"]
+    elif config.auto_tier_threshold is not None:
+        cls = _ENGINE_TIERS["auto"]
+    elif config.fast_contention and config.cohort_batching:
+        cls = _ENGINE_TIERS["batched"]
     elif config.fast_contention:
         cls = _ENGINE_TIERS["fast"]
     else:

@@ -36,8 +36,7 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
-from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, NamedTuple, Optional, Tuple
 
 from repro.errors import SimulationError
 
@@ -45,6 +44,10 @@ from repro.errors import SimulationError
 #: holds at least this many events and more than half are tombstones.
 #: An *explicit* :meth:`EventQueue.compact` call always rebuilds.
 _COMPACT_MIN_SIZE = 64
+
+#: Hot-path alias; ``0.0 <= t < _INF`` is the fast-path validity test
+#: (NaN fails both comparisons and falls through to the slow path).
+_INF = float("inf")
 
 #: Default calendar bucket width when no governor period is supplied.
 _DEFAULT_BUCKET_WIDTH_S = 2e-3
@@ -66,14 +69,18 @@ class EventKind(enum.Enum):
     __hash__ = object.__hash__
 
 
-@dataclass(frozen=True)
-class Event:
+class Event(NamedTuple):
     """One scheduled occurrence.
 
     ``epoch`` supports lazy invalidation: finish events carry the
     version of their ``(kind, payload)`` key at scheduling time and are
     dropped on pop if the version has since advanced (i.e. the finish
     was rescheduled or cancelled).
+
+    A named tuple rather than a (frozen) dataclass: the engine creates
+    one per schedule call, and ``tuple.__new__`` construction is about
+    half the cost of a frozen dataclass's ``object.__setattr__`` loop
+    on that hot path.
     """
 
     time: float
@@ -139,6 +146,19 @@ class EventQueue:
             return None
         return self._heap[0]
 
+    def _store_pop_if_time(
+        self, time: float
+    ) -> Optional[Tuple[float, int, Event]]:
+        """Pop the head only if it is scheduled exactly at ``time``.
+
+        One storage walk instead of a peek followed by a pop — the
+        cohort drain calls this once per cohort event.
+        """
+        heap = self._heap
+        if not heap or heap[0][0] != time:
+            return None
+        return heapq.heappop(heap)
+
     def _store_len(self) -> int:
         return len(self._heap)
 
@@ -179,6 +199,15 @@ class EventQueue:
 
     def _push(self, event: Event) -> None:
         self._validate_time(event.time, event.kind)
+        self._push_validated(event)
+
+    def _push_validated(self, event: Event) -> None:
+        """Storage insert for a time :meth:`_validate_time` already saw.
+
+        :meth:`schedule` validates before touching any bookkeeping and
+        then skips the recheck — one validation per event, not two, on
+        the engine's hottest call.
+        """
         key = (event.kind, event.payload)
         self._key_copies[key] = self._key_copies.get(key, 0) + 1
         self._store_push((event.time, next(self._counter), event))
@@ -249,21 +278,33 @@ class EventQueue:
         """
         # Validate before touching any bookkeeping: a rejected time
         # must leave versions/live-keys/tombstone counts untouched.
-        self._validate_time(time, kind)
+        if not (0.0 <= time < _INF):
+            self._validate_time(time, kind)
         key = (kind, payload)
-        if key not in self._versions and self._key_copies.get(key, 0) > 0:
-            raise SimulationError(
-                f"event key ({kind}, {payload!r}) has raw push() copies "
-                f"outstanding; it cannot become version-managed"
-            )
-        version = self._versions.get(key, 0) + 1
-        self._versions[key] = version
+        versions = self._versions
+        version = versions.get(key)
+        if version is None:
+            if self._key_copies.get(key, 0) > 0:
+                raise SimulationError(
+                    f"event key ({kind}, {payload!r}) has raw push() "
+                    f"copies outstanding; it cannot become "
+                    f"version-managed"
+                )
+            version = 1
+        else:
+            version += 1
+        versions[key] = version
         if key in self._live_keys:
             self._tombstones += 1
         else:
             self._live_keys.add(key)
-        event = Event(time, kind, payload, version)
-        self._push(event)
+        # tuple.__new__ directly: NamedTuple's generated __new__ is an
+        # extra python frame per event on the engine's hottest call.
+        event = tuple.__new__(Event, (time, kind, payload, version))
+        # _push_validated, inlined (same key tuple, no second frame).
+        copies = self._key_copies
+        copies[key] = copies.get(key, 0) + 1
+        self._store_push((time, next(self._counter), event))
         return event
 
     def cancel(self, kind: EventKind, payload: Any) -> None:
@@ -300,6 +341,82 @@ class EventQueue:
             if size >= _COMPACT_MIN_SIZE and self._tombstones > size // 2:
                 self.compact()
             return event
+
+    def pop_live_cohort(self) -> Optional[List[Event]]:
+        """Every live event sharing the earliest timestamp, or None.
+
+        The cohort-batched engine processes all state deltas landing on
+        one timestamp together and re-evaluates rates/power once. Only
+        *exactly equal* float times share a cohort — no epsilon — so
+        the pop order (time, then FIFO within a time) is precisely the
+        order repeated :meth:`pop_live` calls would produce. Stale
+        copies encountered while draining the head time are discarded
+        and counted exactly as :meth:`pop_live` would.
+        """
+        # _note_removed is inlined below (twice): this runs once per
+        # engine cohort and the call/tuple overhead is measurable. The
+        # bookkeeping must stay line-for-line equivalent to it.
+        versions = self._versions
+        live_keys = self._live_keys
+        key_copies = self._key_copies
+        store_pop = self._store_pop
+        first: Optional[Event] = None
+        while True:
+            item = store_pop()
+            if item is None:
+                break
+            event = item[2]
+            key = (event[1], event[2])
+            current = versions.get(key)
+            stale = current is not None and event[3] != current
+            if stale:
+                self._tombstones -= 1
+            else:
+                live_keys.discard(key)
+            remaining = key_copies.get(key, 0) - 1
+            if remaining > 0:
+                key_copies[key] = remaining
+            else:
+                key_copies.pop(key, None)
+                if key not in live_keys:
+                    versions.pop(key, None)
+            if stale:
+                self.stale_dropped += 1
+                continue
+            first = event
+            break
+        if first is None:
+            return None
+        cohort = [first]
+        time = first[0]
+        store_pop_if_time = self._store_pop_if_time
+        while True:
+            item = store_pop_if_time(time)
+            if item is None:
+                break
+            event = item[2]
+            key = (event[1], event[2])
+            current = versions.get(key)
+            stale = current is not None and event[3] != current
+            if stale:
+                self._tombstones -= 1
+            else:
+                live_keys.discard(key)
+            remaining = key_copies.get(key, 0) - 1
+            if remaining > 0:
+                key_copies[key] = remaining
+            else:
+                key_copies.pop(key, None)
+                if key not in live_keys:
+                    versions.pop(key, None)
+            if stale:
+                self.stale_dropped += 1
+                continue
+            cohort.append(event)
+        size = self._store_len()
+        if size >= _COMPACT_MIN_SIZE and self._tombstones > size // 2:
+            self.compact()
+        return cohort
 
     def compact(self) -> None:
         """Drop every tombstone from storage in one rebuild.
@@ -437,6 +554,16 @@ class CalendarEventQueue(EventQueue):
             return None
         return bucket[0]
 
+    def _store_pop_if_time(
+        self, time: float
+    ) -> Optional[Tuple[float, int, Event]]:
+        bucket = self._head_bucket()
+        if bucket is None or bucket[0][0] != time:
+            return None
+        item = heapq.heappop(bucket)
+        self._count -= 1
+        return item
+
     def _store_len(self) -> int:
         return self._count
 
@@ -448,6 +575,137 @@ class CalendarEventQueue(EventQueue):
         self._store_init()
         for item in items:
             self._store_push(item)
+
+    # ------------------------------------------------------------------
+    # hot-path specializations
+    #
+    # The two methods below re-state their EventQueue versions with the
+    # _store_* indirection inlined: the batched engine funnels every
+    # (re)schedule and every cohort pop through them, and the dispatch
+    # frames alone are measurable at that call rate. The bookkeeping
+    # must stay line-for-line equivalent to the base methods (and to
+    # _note_removed); keep them in sync when touching either side.
+    # ------------------------------------------------------------------
+
+    def schedule(self, time: float, kind: EventKind, payload: Any) -> Event:
+        if not (0.0 <= time < _INF):
+            self._validate_time(time, kind)
+        key = (kind, payload)
+        versions = self._versions
+        copies = self._key_copies
+        version = versions.get(key)
+        if version is None:
+            if copies.get(key, 0) > 0:
+                raise SimulationError(
+                    f"event key ({kind}, {payload!r}) has raw push() "
+                    f"copies outstanding; it cannot become "
+                    f"version-managed"
+                )
+            version = 1
+        else:
+            version += 1
+        versions[key] = version
+        if key in self._live_keys:
+            self._tombstones += 1
+        else:
+            self._live_keys.add(key)
+        event = tuple.__new__(Event, (time, kind, payload, version))
+        # Reschedules dominate, so the key usually has a copy count
+        # already; += with a KeyError fallback beats get()+store.
+        try:
+            copies[key] += 1
+        except KeyError:
+            copies[key] = 1
+        # _store_push, inlined. The bucket index formula must match it
+        # exactly (raw push() copies land via the base method).
+        index = int(time / self.bucket_width_s)
+        buckets = self._buckets
+        bucket = buckets.get(index)
+        if bucket is None:
+            buckets[index] = bucket = []
+        heapq.heappush(bucket, (time, next(self._counter), event))
+        queued = self._queued
+        if index not in queued:
+            queued.add(index)
+            heapq.heappush(self._order, index)
+        self._count += 1
+        return event
+
+    def pop_live_cohort(self) -> Optional[List[Event]]:
+        versions = self._versions
+        live_keys = self._live_keys
+        key_copies = self._key_copies
+        buckets = self._buckets
+        order = self._order
+        heappop = heapq.heappop
+        first: Optional[Event] = None
+        bucket: Optional[List[Tuple[float, int, Event]]] = None
+        while True:
+            # _head_bucket + _store_pop, inlined.
+            bucket = None
+            while order:
+                index = order[0]
+                bucket = buckets.get(index)
+                if bucket:
+                    break
+                heappop(order)
+                self._queued.discard(index)
+                buckets.pop(index, None)
+            if not bucket:
+                break
+            event = heappop(bucket)[2]
+            self._count -= 1
+            # _note_removed, inlined.
+            key = (event[1], event[2])
+            current = versions.get(key)
+            stale = current is not None and event[3] != current
+            if stale:
+                self._tombstones -= 1
+            else:
+                live_keys.discard(key)
+            remaining = key_copies.get(key, 0) - 1
+            if remaining > 0:
+                key_copies[key] = remaining
+            else:
+                key_copies.pop(key, None)
+                if key not in live_keys:
+                    versions.pop(key, None)
+            if stale:
+                self.stale_dropped += 1
+                continue
+            first = event
+            break
+        if first is None:
+            return None
+        cohort = [first]
+        time = first[0]
+        # Equal floats always share a bucket index, so the same-time
+        # drain never has to look past the bucket the head came from.
+        while bucket and bucket[0][0] == time:
+            event = heappop(bucket)[2]
+            self._count -= 1
+            key = (event[1], event[2])
+            current = versions.get(key)
+            stale = current is not None and event[3] != current
+            if stale:
+                self._tombstones -= 1
+            else:
+                live_keys.discard(key)
+            remaining = key_copies.get(key, 0) - 1
+            if remaining > 0:
+                key_copies[key] = remaining
+            else:
+                key_copies.pop(key, None)
+                if key not in live_keys:
+                    versions.pop(key, None)
+            if stale:
+                self.stale_dropped += 1
+                continue
+            cohort.append(event)
+        size = self._count
+        if size >= _COMPACT_MIN_SIZE and self._tombstones > size // 2:
+            self.compact()
+        return cohort
 
 
 #: Valid ``SimConfig.event_queue`` selectors.

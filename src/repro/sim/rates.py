@@ -167,6 +167,79 @@ class RateModel:
         util = rate_flops_per_s / peak
         return min(util, sm_fraction if sm_fraction > 0 else 1.0, 1.0)
 
+    @staticmethod
+    def rate_from_params_many(
+        peak_effs,
+        ais,
+        sm_fractions,
+        hbm_rates,
+        clock_fracs,
+        np=None,
+    ):
+        """Batched :meth:`rate_from_params` over parallel arrays.
+
+        Pass a numpy module as ``np`` to vectorize (worthwhile above
+        :data:`repro.sim.soa.VECTOR_MIN` elements); with ``np=None``
+        the pure-python loop runs instead. Both paths perform the same
+        float64 arithmetic in the same association order, so the
+        results are bit-for-bit identical (pinned by the SoA tests).
+        """
+        if np is not None:
+            pe = np.asarray(peak_effs)
+            ai = np.asarray(ais)
+            ceiling = pe * np.asarray(sm_fractions) * np.asarray(clock_fracs)
+            with np.errstate(invalid="ignore"):
+                # inf * 0.0 is NaN; the isinf branch discards it below,
+                # exactly like the scalar early-out for infinite AI.
+                bandwidth = ai * np.asarray(hbm_rates)
+            rate = np.where(
+                np.isinf(ai), ceiling, np.minimum(ceiling, bandwidth)
+            )
+            return np.where(
+                rate <= 0, np.maximum(pe * 1e-4, 1.0), rate
+            ).tolist()
+        rate_from_params = RateModel.rate_from_params
+        return [
+            rate_from_params(
+                peak_effs[i], ais[i], sm_fractions[i],
+                hbm_rates[i], clock_fracs[i],
+            )
+            for i in range(len(peak_effs))
+        ]
+
+    @staticmethod
+    def sm_utilization_from_params_many(
+        peak_effs,
+        rates,
+        sm_fractions,
+        clock_fracs,
+        np=None,
+    ):
+        """Batched :meth:`sm_utilization_from_params` over arrays.
+
+        ``sm_fractions`` may be a single float (broadcast to every
+        element) or a parallel array. Same numpy/pure-python contract
+        as :meth:`rate_from_params_many`.
+        """
+        if np is not None:
+            pe = np.asarray(peak_effs)
+            peak = pe * np.asarray(clock_fracs)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                util = np.asarray(rates) / peak
+            sm = np.asarray(sm_fractions)
+            cap = np.where(sm > 0, sm, 1.0)
+            util = np.minimum(np.minimum(util, cap), 1.0)
+            return np.where(peak <= 0, 0.0, util).tolist()
+        if isinstance(sm_fractions, (int, float)):
+            sm_fractions = [sm_fractions] * len(peak_effs)
+        util_from_params = RateModel.sm_utilization_from_params
+        return [
+            util_from_params(
+                peak_effs[i], rates[i], sm_fractions[i], clock_fracs[i]
+            )
+            for i in range(len(peak_effs))
+        ]
+
     def compute_rate(
         self,
         kernel: KernelSpec,

@@ -2,38 +2,71 @@
 
 from __future__ import annotations
 
+import collections
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.task import TaskCategory
 
+_TaskRecordBase = collections.namedtuple(
+    "_TaskRecordBase",
+    (
+        "task_id",
+        "gpu",
+        "stream",
+        "label",
+        "category",
+        "phase",
+        "start_s",
+        "end_s",
+        "isolated_duration_s",
+    ),
+)
 
-@dataclass(frozen=True)
-class TaskRecord:
+
+class TaskRecord(_TaskRecordBase):
     """Execution record of one finished task (a profiler row).
 
     ``isolated_duration_s`` is the time this task would have taken with
     the whole GPU at full clock — the reference the paper's Eq. 1 uses
     via its sequential run; recording it per kernel also enables
     per-kernel slowdown attribution.
+
+    A named tuple rather than a (frozen) dataclass: the engine creates
+    one per finished task, and ``tuple.__new__`` construction beats a
+    frozen dataclass's per-field ``object.__setattr__`` on that hot
+    path while keeping field names, equality and ordering semantics.
     """
 
-    task_id: int
-    gpu: int
-    stream: str
-    label: str
-    category: TaskCategory
-    phase: str
-    start_s: float
-    end_s: float
-    isolated_duration_s: float
+    __slots__ = ()
 
-    def __post_init__(self) -> None:
-        if self.end_s < self.start_s:
-            raise SimulationError(
-                f"task {self.label}: end before start"
-            )
+    def __new__(
+        cls,
+        task_id,
+        gpu,
+        stream,
+        label,
+        category,
+        phase,
+        start_s,
+        end_s,
+        isolated_duration_s,
+    ):
+        if end_s < start_s:
+            raise SimulationError(f"task {label}: end before start")
+        return _TaskRecordBase.__new__(
+            cls,
+            task_id,
+            gpu,
+            stream,
+            label,
+            category,
+            phase,
+            start_s,
+            end_s,
+            isolated_duration_s,
+        )
 
     @property
     def duration_s(self) -> float:
@@ -48,17 +81,27 @@ class TaskRecord:
         return self.duration_s / self.isolated_duration_s - 1.0
 
 
-@dataclass(frozen=True)
-class PowerSegment:
-    """A constant-power interval on one GPU."""
+class PowerSegment(
+    collections.namedtuple(
+        "_PowerSegmentBase",
+        (
+            "gpu",
+            "start_s",
+            "end_s",
+            "power_w",
+            "compute_active",
+            "comm_active",
+            "clock_frac",
+        ),
+    )
+):
+    """A constant-power interval on one GPU.
 
-    gpu: int
-    start_s: float
-    end_s: float
-    power_w: float
-    compute_active: bool
-    comm_active: bool
-    clock_frac: float
+    Named tuple for the same hot-path construction reason as
+    :class:`TaskRecord` — segment rolls happen on every power change.
+    """
+
+    __slots__ = ()
 
     @property
     def duration_s(self) -> float:

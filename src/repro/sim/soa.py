@@ -1,0 +1,92 @@
+"""Struct-of-arrays backing store for the batched fast tier.
+
+The cohort-batched engine keeps its per-GPU hot state — clock
+fraction, last published power, and the additive contention
+aggregates — in parallel arrays indexed by GPU, instead of the
+per-GPU dicts the exact engines use. One :class:`SoAStore` owns those
+arrays; the engine aliases them so inherited bookkeeping hooks and
+the batched evaluation loops touch the same storage.
+
+The arrays are plain python lists on purpose: scalar indexing into a
+numpy array boxes a fresh ``np.float64`` per read, which is *slower*
+than a list access for the one-GPU-dirty case that dominates event
+processing. numpy enters only through the batched ``*_many``
+evaluation entry points (:meth:`~repro.sim.rates.RateModel.
+rate_from_params_many`, :meth:`~repro.hw.power.PowerEvaluator.
+evaluate_parts_many`, ...), which vectorize once a batch is large
+enough to amortize the array round-trip (:data:`VECTOR_MIN`) and
+fall back to a pure-python loop otherwise. The two paths are
+bit-for-bit identical (the SoA test suite pins this), so the numpy
+dependency is strictly optional: set :data:`NO_NUMPY_ENV` (or run on
+a box without numpy) and every simulation produces the same floats.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+#: Environment variable forcing the pure-python array fallback even
+#: when numpy is importable (``1``/``true``/...; any non-empty value
+#: that is not ``0``/``false``/``no``/``off`` disables numpy). The
+#: fallback is bit-identical, so this is a perf knob and a CI axis,
+#: never an accuracy one.
+NO_NUMPY_ENV = "REPRO_SIM_NO_NUMPY"
+
+_FALSY = ("", "0", "false", "no", "off")
+
+#: Minimum batch size before the ``*_many`` helpers hand work to
+#: numpy. Below this the fixed cost of building arrays exceeds the
+#: per-element win (measured crossover is ~tens of elements); the
+#: pure-python loop is used instead. Engines compare their batch
+#: sizes against this before passing a numpy module down.
+VECTOR_MIN = 32
+
+try:  # pragma: no cover - import probe
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - numpy-less environment
+    _numpy = None
+
+
+def numpy_or_none():
+    """The numpy module, or None when absent or disabled by env.
+
+    Checked at simulator construction (not import) so tests and CI
+    can flip :data:`NO_NUMPY_ENV` per run without re-importing.
+    """
+    if os.environ.get(NO_NUMPY_ENV, "").strip().lower() not in _FALSY:
+        return None
+    return _numpy
+
+
+class SoAStore:
+    """Per-GPU hot state as parallel arrays (struct-of-arrays).
+
+    One slot per GPU:
+
+    * ``clock`` — current clock fraction (the governor's output).
+    * ``power`` — last published instantaneous power (W).
+    * ``comm_sm`` / ``spin_sm`` — additive SM-share aggregates of
+      active / spinning collectives.
+    * ``hbm`` / ``link`` — additive HBM-draw and link-utilisation
+      aggregates of active collectives.
+
+    The store is dumb by design: the engine owns every update rule
+    (snap-to-zero on empty resident sets, exact-delta rate folds);
+    this class just fixes the memory layout.
+    """
+
+    __slots__ = (
+        "num_gpus", "clock", "power", "comm_sm", "spin_sm", "hbm", "link",
+    )
+
+    def __init__(
+        self, num_gpus: int, max_clock_frac: float, idle_power_w: float
+    ):
+        self.num_gpus = num_gpus
+        self.clock: List[float] = [max_clock_frac] * num_gpus
+        self.power: List[float] = [idle_power_w] * num_gpus
+        self.comm_sm: List[float] = [0.0] * num_gpus
+        self.spin_sm: List[float] = [0.0] * num_gpus
+        self.hbm: List[float] = [0.0] * num_gpus
+        self.link: List[float] = [0.0] * num_gpus

@@ -46,9 +46,23 @@ def test_sim_config_fast_turns_on_every_mechanism():
     fast = SimConfig(power_limit_w=300.0, seed=7).fast()
     assert fast.event_queue == "calendar"
     assert fast.fast_contention and fast.adaptive_governor
+    assert fast.cohort_batching
     assert not fast.reference_engine
     # Unrelated knobs survive the copy.
     assert fast.power_limit_w == 300.0 and fast.seed == 7
+
+
+def test_sim_config_auto_rides_the_fast_tier():
+    auto = SimConfig(seed=3).auto(threshold=128)
+    assert auto.auto_tier_threshold == 128
+    assert auto.fast_contention and auto.cohort_batching
+    assert auto.event_queue == "calendar"
+    with pytest.raises(ConfigurationError):
+        SimConfig().auto(threshold=0)
+    with pytest.raises(ConfigurationError):
+        # The auto engine is the batched engine plus an exact phase;
+        # a non-fast auto config is contradictory.
+        dataclasses.replace(SimConfig(), auto_tier_threshold=64)
 
 
 def test_sim_config_ideal_preserves_tier_knobs():
