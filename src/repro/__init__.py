@@ -43,11 +43,19 @@ from repro.exec import (
     ExecutionService,
     JobOutcome,
     ParallelExecutor,
+    RemoteExecutor,
     ResultCache,
     SerialExecutor,
     ShardPlan,
     SimJob,
     default_service,
+)
+from repro.fleet import (
+    FleetCoordinator,
+    FleetWorker,
+    SimTask,
+    compile_fleet_plan,
+    task_from_job,
 )
 from repro.scenario import (
     Constraint,
@@ -74,6 +82,8 @@ __all__ = [
     "ExecutionService",
     "ExperimentConfig",
     "ExperimentResult",
+    "FleetCoordinator",
+    "FleetWorker",
     "GpuSpec",
     "InfeasibleConfigError",
     "JobOutcome",
@@ -82,6 +92,7 @@ __all__ = [
     "ParallelExecutor",
     "PlanError",
     "Precision",
+    "RemoteExecutor",
     "ReproError",
     "ResultCache",
     "Scenario",
@@ -91,6 +102,7 @@ __all__ = [
     "ShardPlan",
     "SimConfig",
     "SimJob",
+    "SimTask",
     "SimulationError",
     "SimulationResult",
     "Strategy",
@@ -100,6 +112,7 @@ __all__ = [
     "Vendor",
     "__version__",
     "build_plan",
+    "compile_fleet_plan",
     "default_service",
     "get_gpu",
     "get_model",
@@ -115,4 +128,5 @@ __all__ = [
     "run_scenario",
     "run_spec",
     "simulate",
+    "task_from_job",
 ]

@@ -9,8 +9,12 @@ Subcommands mirror the library's layers:
 * ``scenario`` — the declarative sweep API: ``list`` the named paper
   scenarios, ``show`` a spec, ``run`` a scenario (or a JSON/YAML spec
   file) with manifest-backed incremental re-runs — optionally one
-  shard of it (``--shard i/N``) — and ``merge`` per-shard manifests
-  into the canonical run record;
+  shard of it (``--shard i/N``) — ``merge`` per-shard manifests
+  into the canonical run record, ``serve`` a fleet coordinator that
+  queues the missing cells for pulling workers, and ``fleet-status``
+  a running coordinator;
+* ``worker`` — join a fleet: lease tasks from a coordinator, run them
+  through the local execution service, push the results back;
 * ``microbench`` — the Fig. 8 matmul-vs-all-reduce microbenchmark;
 * ``roofline`` — per-kernel roofline report for a workload on a GPU;
 * ``takeaways`` — validate the paper's seven takeaways;
@@ -54,10 +58,18 @@ def _add_execution_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--executor",
         default=None,
-        choices=("serial", "process", "async"),
+        choices=("serial", "process", "async", "remote"),
         help="how to fan out grid cells (default: process pool when "
         "--jobs > 1, serial otherwise; async drives an event loop "
-        "with --jobs concurrent worker threads)",
+        "with --jobs concurrent worker threads; remote submits cells "
+        "to a fleet coordinator — requires --coordinator)",
+    )
+    parser.add_argument(
+        "--coordinator",
+        default=None,
+        metavar="URL",
+        help="fleet coordinator URL for --executor remote "
+        "(e.g. http://127.0.0.1:8765)",
     )
 
 
@@ -70,20 +82,40 @@ def _configure_execution(args: argparse.Namespace) -> None:
         # set, falling back to $REPRO_CACHE_DIR / in-memory only.
         "cache_dir": getattr(args, "cache_dir", None),
         "executor": getattr(args, "executor", None),
+        "coordinator": getattr(args, "coordinator", None),
     }
     if getattr(args, "jobs", None) is not None:
         kwargs["jobs"] = args.jobs  # flag beats $REPRO_JOBS
     configure(**kwargs)
 
 
-def _print_execution_stats() -> None:
+def _print_execution_stats(detailed: bool = False) -> None:
     from repro.exec.service import default_service
 
-    stats = default_service().stats
+    service = default_service()
+    stats = service.stats
     if stats.submitted:
         print(
             f"[exec] {stats.submitted} jobs: {stats.simulated} simulated, "
             f"{stats.cache_hits} from cache, {stats.skipped} infeasible",
+            file=sys.stderr,
+        )
+    if not detailed:
+        return
+    executor = service.executor
+    print(
+        f"[exec] executor {type(executor).__name__}: "
+        f"{executor.jobs_executed} job(s) executed this process",
+        file=sys.stderr,
+    )
+    cache = service.cache
+    if cache is None:
+        print("[exec] cache: disabled (--no-cache)", file=sys.stderr)
+    else:
+        where = cache.directory if cache.directory is not None else "memory"
+        print(
+            f"[exec] cache [{where}]: {cache.hits} hit(s), "
+            f"{cache.misses} miss(es)",
             file=sys.stderr,
         )
 
@@ -338,7 +370,7 @@ def _cmd_scenario_run(args: argparse.Namespace) -> int:
             f"merged manifest -> {report.merged_manifest_file}",
             file=sys.stderr,
         )
-    _print_execution_stats()
+    _print_execution_stats(detailed=getattr(args, "stats", False))
     if args.out:
         from repro.harness.io import write_json
 
@@ -354,8 +386,140 @@ def _cmd_scenario_status(args: argparse.Namespace) -> int:
     report = scenario_status(
         args.name, quick=not args.full, shards=args.shards
     )
-    print(report.describe())
+    if getattr(args, "json", False):
+        import json
+
+        print(json.dumps(report.to_payload(), indent=2))
+    else:
+        print(report.describe())
     return 0
+
+
+def _cmd_scenario_serve(args: argparse.Namespace) -> int:
+    from repro.exec.service import default_service
+    from repro.fleet.coordinator import FleetCoordinator, compile_fleet_plan
+
+    _configure_execution(args)
+    plan = compile_fleet_plan(args.name, quick=not args.full)
+    coordinator = FleetCoordinator(
+        cache=default_service().cache,
+        host=args.host,
+        port=args.port,
+        lease_timeout=args.lease_timeout,
+        max_retries=args.max_retries,
+    )
+    queued, precached = coordinator.seed_scenario(plan)
+    coordinator.start()
+    print(f"[fleet] serving scenario {plan.name} at {coordinator.url}")
+    print(
+        f"[fleet] {plan.cells} cell(s), {len(plan.jobs_by_key)} distinct "
+        f"key(s): {queued} queued, {precached} already cached"
+    )
+    print(f"[fleet] attach workers with: repro worker {coordinator.url}")
+    ok = coordinator.serve_until_drained(timeout=args.timeout)
+    stats = coordinator.queue.stats
+    print(
+        f"[fleet] queue drained: {stats.completed} completed "
+        f"({stats.infeasible} infeasible), {stats.leased} lease(s), "
+        f"{stats.requeued} requeued, {stats.retries} retried, "
+        f"{stats.dead_workers} dead worker(s), {stats.failed} failed"
+    )
+    if coordinator.manifest_file is not None:
+        print(f"[fleet] manifest -> {coordinator.manifest_file}")
+    if not ok:
+        failed = coordinator.queue.failed_keys()
+        for key, error in sorted(failed.items()):
+            print(f"[fleet] FAILED {key[:16]}...: {error}", file=sys.stderr)
+        print(
+            "[fleet] sweep incomplete; no manifest written", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
+def _cmd_scenario_fleet_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.fleet.protocol import normalize_url, request_json
+
+    status = request_json(f"{normalize_url(args.url)}/status")
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    print(f"coordinator {normalize_url(args.url)} "
+          f"({status.get('code_version', '?')})"
+          + (" [draining]" if status.get("draining") else ""))
+    queue = status.get("queue", {})
+    print(
+        f"  queue: {queue.get('pending', 0)} pending, "
+        f"{queue.get('leased', 0)} leased, {queue.get('done', 0)} done, "
+        f"{queue.get('failed', 0)} failed"
+    )
+    workers = queue.get("workers") or []
+    if workers:
+        print(f"  active workers: {', '.join(workers)}")
+    stats = queue.get("stats", {})
+    if stats:
+        print(
+            f"  stats: {stats.get('submitted', 0)} submitted, "
+            f"{stats.get('leased', 0)} leased, "
+            f"{stats.get('completed', 0)} completed "
+            f"({stats.get('infeasible', 0)} infeasible), "
+            f"{stats.get('requeued', 0)} requeued, "
+            f"{stats.get('retries', 0)} retried, "
+            f"{stats.get('duplicates', 0)} duplicate(s), "
+            f"{stats.get('dead_workers', 0)} dead worker(s)"
+        )
+    cache = status.get("cache", {})
+    if cache:
+        where = cache.get("dir") or "memory"
+        print(
+            f"  cache [{where}]: {cache.get('hits', 0)} hit(s), "
+            f"{cache.get('misses', 0)} miss(es)"
+        )
+    scenario = status.get("scenario")
+    if scenario:
+        print(
+            f"  scenario {scenario.get('name')} "
+            f"(spec {str(scenario.get('spec_hash', ''))[:12]}...): "
+            f"{scenario.get('resolved_keys', 0)}/"
+            f"{scenario.get('distinct_keys', 0)} key(s) resolved over "
+            f"{scenario.get('cells', 0)} cell(s)"
+        )
+        if scenario.get("manifest_file"):
+            print(f"  manifest -> {scenario['manifest_file']}")
+    for key, error in sorted((status.get("failed") or {}).items()):
+        print(f"  FAILED {key}...: {error}")
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.exec.service import default_service
+    from repro.fleet.worker import FleetWorker
+
+    if getattr(args, "executor", None) == "remote":
+        # A worker that re-submits its own leased task would poll the
+        # coordinator for an outcome only it can produce.
+        raise ConfigurationError(
+            "a fleet worker cannot itself use the remote executor"
+        )
+    _configure_execution(args)
+    worker = FleetWorker(
+        url=args.url,
+        executor=default_service().executor,
+        max_tasks=args.max_tasks,
+        max_idle_s=args.max_idle,
+    )
+    print(f"[fleet] worker {worker.worker_id} -> {worker.url}", file=sys.stderr)
+    stats = worker.run()
+    print(
+        f"[fleet] worker {worker.worker_id} done: {stats.completed} "
+        f"completed ({stats.infeasible} infeasible), {stats.errors} "
+        f"error(s), {stats.waits} wait(s)",
+        file=sys.stderr,
+    )
+    return 0 if stats.errors == 0 else 1
 
 
 def _cmd_scenario_diff(args: argparse.Namespace) -> int:
@@ -623,6 +787,12 @@ def build_parser() -> argparse.ArgumentParser:
         "use the generic per-cell rows and a hash-qualified manifest "
         "name; fields swept by an axis are rejected",
     )
+    sc_run.add_argument(
+        "--stats",
+        action="store_true",
+        help="print detailed execution-service statistics "
+        "(executor job count, cache hit/miss counters)",
+    )
     _add_execution_args(sc_run)
     sc_run.set_defaults(func=_cmd_scenario_run)
     sc_status = scenario_sub.add_parser(
@@ -641,8 +811,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="report on the N-way partitioning (default: the largest "
         "one found among persisted shard manifests)",
     )
+    sc_status.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of the text report",
+    )
     _add_execution_args(sc_status)
     sc_status.set_defaults(func=_cmd_scenario_status)
+    sc_serve = scenario_sub.add_parser(
+        "serve",
+        help="run a fleet coordinator: queue the scenario's missing "
+        "cells and serve them to pulling workers until the sweep drains",
+    )
+    sc_serve.add_argument("name", help="scenario name or spec file")
+    sc_serve.add_argument(
+        "--full", action="store_true", help="full paper-scale sweep"
+    )
+    sc_serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: localhost only)",
+    )
+    sc_serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="bind port (0 = ephemeral; default: 8765)",
+    )
+    sc_serve.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="seconds a lease survives without a heartbeat before the "
+        "task requeues (default: 30)",
+    )
+    sc_serve.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="re-lease budget per task before dead-lettering (default: 3)",
+    )
+    sc_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="give up if the sweep has not drained after S seconds "
+        "(default: wait indefinitely)",
+    )
+    _add_execution_args(sc_serve)
+    sc_serve.set_defaults(func=_cmd_scenario_serve)
+    sc_fleet = scenario_sub.add_parser(
+        "fleet-status",
+        help="query a running coordinator's status endpoint",
+    )
+    sc_fleet.add_argument("url", help="coordinator URL (host:port works)")
+    sc_fleet.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw JSON status instead of the text report",
+    )
+    sc_fleet.set_defaults(func=_cmd_scenario_fleet_status)
     sc_diff = scenario_sub.add_parser(
         "diff",
         help="compare two scenario manifest files; exit 1 on drift",
@@ -671,6 +902,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_execution_args(sc_merge)
     sc_merge.set_defaults(func=_cmd_scenario_merge)
+
+    worker_parser = sub.add_parser(
+        "worker",
+        help="join a fleet: lease tasks from a coordinator, simulate "
+        "them locally, push the results back",
+    )
+    worker_parser.add_argument(
+        "url", help="coordinator URL (host:port works)"
+    )
+    worker_parser.add_argument(
+        "--max-tasks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after N tasks (default: run until the sweep drains)",
+    )
+    worker_parser.add_argument(
+        "--max-idle",
+        type=float,
+        default=None,
+        metavar="S",
+        help="exit after S seconds with nothing leasable "
+        "(default: wait for the coordinator to drain)",
+    )
+    _add_execution_args(worker_parser)
+    worker_parser.set_defaults(func=_cmd_worker)
 
     micro_parser = sub.add_parser(
         "microbench", help="Fig. 8 matmul vs all-reduce"

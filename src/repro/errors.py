@@ -38,6 +38,16 @@ class ShardMergeError(ReproError):
     job-key sets)."""
 
 
+class FleetError(ReproError):
+    """A fleet (coordinator/worker job-queue) operation failed."""
+
+
+class TaskContractError(FleetError):
+    """A :class:`~repro.fleet.task.SimTask` violates the wire contract
+    (missing fields, malformed payload, or a declared cache key that
+    does not match the task's own config + modes)."""
+
+
 class SimulationError(ReproError):
     """The discrete-event simulation reached an invalid state."""
 

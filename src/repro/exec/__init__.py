@@ -14,8 +14,9 @@ job-based service:
   were already simulated;
 * :mod:`repro.exec.executors` — pluggable executors behind one
   interface: :class:`SerialExecutor`, a process-pool backed
-  :class:`ParallelExecutor` (``--jobs N``) and an asyncio-driven
-  :class:`AsyncExecutor` (``--executor async``);
+  :class:`ParallelExecutor` (``--jobs N``), an asyncio-driven
+  :class:`AsyncExecutor` (``--executor async``) and a fleet-dispatch
+  :class:`RemoteExecutor` (``--executor remote --coordinator URL``);
 * :mod:`repro.exec.shard` — :class:`ShardPlan`, the deterministic
   round-robin partition (sorted cache keys) that splits a compiled job
   list across independent workers (``--shard i/N``);
@@ -35,6 +36,7 @@ from repro.exec.executors import (
     AsyncExecutor,
     Executor,
     ParallelExecutor,
+    RemoteExecutor,
     SerialExecutor,
     execute_job,
 )
@@ -53,6 +55,7 @@ __all__ = [
     "JobOutcome",
     "ParallelExecutor",
     "Planner",
+    "RemoteExecutor",
     "ResultCache",
     "SerialExecutor",
     "ShardPlan",

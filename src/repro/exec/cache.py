@@ -45,6 +45,31 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 CACHE_MAX_ENV = "REPRO_CACHE_MAX"
 
 
+def write_json_atomic(path: Path, payload: dict) -> None:
+    """Write ``payload`` to ``path`` so readers never see a torn file.
+
+    Unique temp name per writer (concurrent processes sharing the
+    directory must not interleave into each other's file) + an atomic
+    ``os.replace``: any number of writers may race on the same key and
+    the file is always one writer's complete JSON — last writer wins,
+    which is safe here because equal keys mean equal payloads.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.stem, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 def _max_entries_from_env() -> Optional[int]:
     raw = os.environ.get(CACHE_MAX_ENV)
     if not raw:
@@ -202,6 +227,9 @@ class ResultCache:
             raise ConfigurationError("max_entries must be >= 1")
         self.max_entries = max_entries
         self._memory: "OrderedDict[str, JobOutcome]" = OrderedDict()
+        #: Raw payloads pushed via :meth:`put_payload` when no disk
+        #: tier exists (the memory-only coordinator case).
+        self._payloads: dict = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -233,18 +261,20 @@ class ResultCache:
                 skipped_reason=cached.skipped_reason,
                 from_cache=True,
             )
-        path = self._path_for(key)
-        if path is not None and path.exists():
-            try:
-                payload = json.loads(path.read_text())
-            except (OSError, json.JSONDecodeError):
-                payload = None
-            if payload is not None:
-                outcome = outcome_from_payload(job, payload)
-                if outcome is not None:
-                    self._remember(key, outcome)
-                    self.hits += 1
-                    return outcome
+        payload = self._payloads.get(key)
+        if payload is None:
+            path = self._path_for(key)
+            if path is not None and path.exists():
+                try:
+                    payload = json.loads(path.read_text())
+                except (OSError, json.JSONDecodeError):
+                    payload = None
+        if payload is not None:
+            outcome = outcome_from_payload(job, payload)
+            if outcome is not None:
+                self._remember(key, outcome)
+                self.hits += 1
+                return outcome
         self.misses += 1
         return None
 
@@ -255,23 +285,54 @@ class ResultCache:
         path = self._path_for(key)
         if path is None:
             return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        # Unique temp name per writer: concurrent processes sharing the
-        # directory must not interleave into each other's file. The
-        # rename is atomic, so readers only ever see complete entries.
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=path.stem, suffix=".tmp"
-        )
+        write_json_atomic(path, outcome_to_payload(outcome))
+
+    def put_payload(self, key: str, payload: dict) -> None:
+        """Store an already-serialized outcome payload under ``key``.
+
+        The fleet coordinator's write path: a worker pushes the JSON
+        payload over the wire and the coordinator has no live config to
+        rebuild a :class:`JobOutcome` from, so the bytes land directly
+        in the disk tier (the memory tier hydrates lazily on the next
+        keyed :meth:`get`). The payload's schema version is validated —
+        a worker running incompatible code must not poison the cache.
+        Memory-only caches keep the payload in a side map so
+        :meth:`contains` and :meth:`load_payload` still resolve it.
+        """
+        if not isinstance(payload, dict) or (
+            payload.get("schema") != CACHE_SCHEMA_VERSION
+        ):
+            raise ConfigurationError(
+                f"refusing to cache a payload with schema "
+                f"{payload.get('schema') if isinstance(payload, dict) else payload!r} "
+                f"(this build writes schema {CACHE_SCHEMA_VERSION})"
+            )
+        path = self._path_for(key)
+        if path is None:
+            self._payloads[key] = payload
+            return
+        write_json_atomic(path, payload)
+
+    def load_payload(self, key: str) -> Optional[dict]:
+        """The raw stored payload for ``key``, or ``None``.
+
+        Serves the coordinator's outcome endpoint: the payload is
+        relayed to remote clients verbatim, without rebuilding (or
+        needing) the live result objects.
+        """
+        payload = self._payloads.get(key)
+        if payload is not None:
+            return payload
+        path = self._path_for(key)
+        if path is None or not path.exists():
+            return None
         try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(outcome_to_payload(outcome), handle)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        return payload
 
     def contains(self, key: str) -> bool:
         """Whether ``key`` is resolvable from either tier.
@@ -282,7 +343,7 @@ class ResultCache:
         corrupted disk entry therefore reports present here and heals
         on the next real :meth:`get`.
         """
-        if key in self._memory:
+        if key in self._memory or key in self._payloads:
             return True
         path = self._path_for(key)
         return path is not None and path.exists()

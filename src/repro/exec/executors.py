@@ -1,12 +1,15 @@
 """Pluggable job executors.
 
-One interface, three implementations:
+One interface, four implementations:
 
 * :class:`SerialExecutor` runs jobs in-process, in order;
 * :class:`ParallelExecutor` fans out over a
   :class:`concurrent.futures.ProcessPoolExecutor` (``--jobs N``);
 * :class:`AsyncExecutor` drives the batch from an asyncio event loop,
-  offloading each job to a worker thread (``--executor async``).
+  offloading each job to a worker thread (``--executor async``);
+* :class:`RemoteExecutor` submits the batch to a fleet coordinator
+  (``--executor remote --coordinator URL``) and collects the outcome
+  payloads as remote workers land them in the coordinator's cache.
 
 All return outcomes in submission order and all count every job they
 actually execute in :attr:`Executor.jobs_executed` — a warm-cache rerun
@@ -19,6 +22,7 @@ from __future__ import annotations
 
 import abc
 import asyncio
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import List, Optional, Sequence
 
@@ -146,3 +150,107 @@ class AsyncExecutor(Executor):
 
     def _run_batch(self, jobs: Sequence[SimJob]) -> List[JobOutcome]:
         return asyncio.run(self._gather(jobs))
+
+
+class RemoteExecutor(Executor):
+    """Dispatch the batch to a fleet coordinator's task queue.
+
+    Each job compiles to its :class:`~repro.fleet.task.SimTask` wire
+    form and is submitted in one request; the coordinator deduplicates
+    against its queue and cache, remote workers execute the misses,
+    and this executor polls the outcome endpoint until every key
+    resolves, rebuilding outcomes from the returned payloads. Because
+    tasks carry canonical job payloads and workers serialize with the
+    cache's own functions, results are bit-for-bit what a local
+    executor produces.
+
+    ``run``/``run_async`` mirror :class:`AsyncExecutor`'s surface, so
+    the service (and any asyncio caller) treats remote fan-out as just
+    another executor kind.
+    """
+
+    def __init__(
+        self,
+        coordinator: str,
+        poll_interval: float = 0.2,
+        timeout: Optional[float] = None,
+    ):
+        super().__init__()
+        from repro.fleet.protocol import normalize_url
+
+        self.coordinator = normalize_url(coordinator)
+        if poll_interval <= 0:
+            raise ConfigurationError("poll_interval must be positive")
+        self.poll_interval = poll_interval
+        self.timeout = timeout
+
+    def _run_batch(self, jobs: Sequence[SimJob]) -> List[JobOutcome]:
+        from repro.errors import FleetError
+        from repro.exec.cache import outcome_from_payload
+        from repro.fleet.protocol import ProtocolError, request_json
+        from repro.fleet.task import ADHOC_SPEC_HASH, task_from_job
+
+        by_key = {}
+        for job in jobs:
+            by_key.setdefault(job.cache_key(), job)
+        request_json(
+            f"{self.coordinator}/submit",
+            {
+                "tasks": [
+                    task_from_job(job, ADHOC_SPEC_HASH).to_payload()
+                    for job in by_key.values()
+                ]
+            },
+        )
+        deadline = (
+            None if self.timeout is None
+            else time.monotonic() + self.timeout
+        )
+        payloads = {}
+        waiting = list(by_key)
+        while waiting:
+            still = []
+            for key in waiting:
+                try:
+                    payloads[key] = request_json(
+                        f"{self.coordinator}/outcome/{key}"
+                    )
+                except ProtocolError as exc:
+                    if exc.code == 404:  # not executed yet
+                        still.append(key)
+                        continue
+                    raise
+            waiting = still
+            if waiting:
+                if deadline is not None and time.monotonic() > deadline:
+                    raise FleetError(
+                        f"coordinator {self.coordinator} did not resolve "
+                        f"{len(waiting)} job(s) within {self.timeout}s"
+                    )
+                time.sleep(self.poll_interval)
+        outcomes = []
+        for job in jobs:
+            outcome = outcome_from_payload(
+                job, payloads[job.cache_key()]
+            )
+            if outcome is None:
+                raise FleetError(
+                    f"coordinator returned an unusable payload for "
+                    f"{job.cache_key()[:16]}..."
+                )
+            # These outcomes *were* executed for this batch (possibly
+            # served from the coordinator's cache — the remote analogue
+            # of a local executor's fresh run, not a local cache hit).
+            outcomes.append(
+                JobOutcome(
+                    job=job,
+                    result=outcome.result,
+                    skipped_reason=outcome.skipped_reason,
+                    from_cache=False,
+                )
+            )
+        return outcomes
+
+    async def run_async(self, jobs: Sequence[SimJob]) -> List[JobOutcome]:
+        """Awaitable batch submission (same accounting as ``run``)."""
+        return await asyncio.to_thread(self.run, list(jobs))

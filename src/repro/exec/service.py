@@ -21,6 +21,7 @@ from repro.exec.executors import (
     AsyncExecutor,
     Executor,
     ParallelExecutor,
+    RemoteExecutor,
     SerialExecutor,
 )
 from repro.exec.job import DEFAULT_MODES, JobOutcome, SimJob
@@ -29,8 +30,9 @@ from repro.exec.job import DEFAULT_MODES, JobOutcome, SimJob
 JOBS_ENV = "REPRO_JOBS"
 
 #: Executor kinds ``--executor`` / :func:`configure` accept. ``None``
-#: (auto) picks the process pool when ``jobs > 1``, serial otherwise.
-EXECUTOR_KINDS = ("serial", "process", "async")
+#: (auto) picks the process pool when ``jobs > 1``, serial otherwise;
+#: ``remote`` needs a coordinator URL (``--coordinator``).
+EXECUTOR_KINDS = ("serial", "process", "async", "remote")
 
 
 @dataclass
@@ -149,6 +151,9 @@ class ExecutionSettings:
     #: auto choice. ``--jobs N`` doubles as the concurrency bound for
     #: the async executor.
     executor: Optional[str] = None
+    #: Fleet coordinator URL; required by (and only used with) the
+    #: ``remote`` executor kind.
+    coordinator: Optional[str] = None
 
     def build_executor(self) -> Executor:
         # Validated here, not just in configure(): library code builds
@@ -165,6 +170,13 @@ class ExecutionSettings:
             return ParallelExecutor(max_workers=self.jobs)
         if self.executor == "async":
             return AsyncExecutor(max_concurrency=self.jobs)
+        if self.executor == "remote":
+            if not self.coordinator:
+                raise ConfigurationError(
+                    "the remote executor needs a fleet coordinator URL "
+                    "(--coordinator URL, e.g. http://127.0.0.1:8765)"
+                )
+            return RemoteExecutor(self.coordinator)
         if self.jobs > 1:
             return ParallelExecutor(max_workers=self.jobs)
         return SerialExecutor()
@@ -197,6 +209,7 @@ def configure(
     cache=_UNSET,
     cache_dir=_UNSET,
     executor=_UNSET,
+    coordinator=_UNSET,
 ) -> ExecutionService:
     """Reconfigure and rebuild the process-wide default service.
 
@@ -222,6 +235,8 @@ def configure(
                 f"(known: {', '.join(EXECUTOR_KINDS)})"
             )
         _settings.executor = executor
+    if coordinator is not _UNSET:
+        _settings.coordinator = coordinator
     _default_service = _settings.build_service()
     return _default_service
 

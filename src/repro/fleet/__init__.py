@@ -1,0 +1,60 @@
+"""The remote sweep fleet: a coordinator/worker job-queue service.
+
+This package is the step from "N machines run ``--shard i/N`` by hand"
+to "a fleet drains a queue":
+
+* :mod:`repro.fleet.task` — :class:`SimTask`, the frozen, validated
+  wire contract (code-version ref + spec hash + cache key + canonical
+  config + modes + seed) that one unit of fleet work travels as;
+* :mod:`repro.fleet.queue` — :class:`TaskQueue`, the lease state
+  machine (heartbeats, deadlines, requeue-on-death with bounded
+  retries and exponential backoff) behind the coordinator;
+* :mod:`repro.fleet.coordinator` — :class:`FleetCoordinator`, the
+  stdlib-HTTP job service: compiles a scenario spec into tasks
+  (skipping keys the shared result cache already holds), leases them
+  to pulling workers, lands pushed payloads in the cache, and writes
+  the canonical scenario manifest when the queue drains;
+* :mod:`repro.fleet.worker` — :class:`FleetWorker`, the pull loop
+  that executes leased tasks through the existing
+  :class:`~repro.exec.executors.Executor` surface;
+* :mod:`repro.fleet.protocol` — the JSON-over-HTTP wire helpers both
+  sides share (zero new dependencies).
+
+A fleet run is bit-for-bit identical to a serial ``scenario run`` of
+the same spec: tasks carry canonical job payloads, workers serialize
+outcomes with the same functions the local disk cache uses, and the
+coordinator's manifest reproduces the serial accounting exactly.
+"""
+
+from repro.fleet.coordinator import (
+    FleetCoordinator,
+    FleetPlan,
+    compile_fleet_plan,
+)
+from repro.fleet.protocol import (
+    CoordinatorUnreachable,
+    ProtocolError,
+    normalize_url,
+    request_json,
+)
+from repro.fleet.queue import FleetStats, Lease, TaskQueue
+from repro.fleet.task import SimTask, code_version, task_from_job
+from repro.fleet.worker import FleetWorker, WorkerStats
+
+__all__ = [
+    "CoordinatorUnreachable",
+    "FleetCoordinator",
+    "FleetPlan",
+    "FleetStats",
+    "FleetWorker",
+    "Lease",
+    "ProtocolError",
+    "SimTask",
+    "TaskQueue",
+    "WorkerStats",
+    "code_version",
+    "compile_fleet_plan",
+    "normalize_url",
+    "request_json",
+    "task_from_job",
+]

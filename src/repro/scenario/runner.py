@@ -447,6 +447,16 @@ class ShardStatus:
             )
         return f"shard {self.index}/{self.count}: {self.cells} cell(s) landed"
 
+    def to_payload(self) -> dict:
+        """Plain-JSON form for ``scenario status --json``."""
+        return {
+            "index": self.index,
+            "count": self.count,
+            "present": self.present,
+            "spec_match": self.spec_match,
+            "cells": self.cells,
+        }
+
 
 @dataclass
 class ScenarioStatusReport:
@@ -520,6 +530,32 @@ class ScenarioStatusReport:
                 f"manifest(s) (other partitionings or edited specs)"
             )
         return "\n".join(lines)
+
+    def to_payload(self) -> dict:
+        """Machine-readable status (``scenario status --json``).
+
+        Everything :meth:`describe` prints, as plain JSON types — a
+        fleet operator (or the CI smoke job) can gate on
+        ``missing_keys == []`` / ``shards_complete`` without parsing
+        the human rendering.
+        """
+        return {
+            "name": self.name,
+            "spec_hash": self.spec_hash,
+            "cells": self.cells,
+            "distinct_keys": self.distinct_keys,
+            "cached_keys": self.cached_keys,
+            "missing_keys": list(self.missing_keys),
+            "cache_dir": (
+                str(self.cache_dir) if self.cache_dir is not None else None
+            ),
+            "manifest_present": self.manifest_present,
+            "manifest_current": self.manifest_current,
+            "shard_count": self.shard_count,
+            "shards": [s.to_payload() for s in self.shards],
+            "shards_complete": self.shards_complete,
+            "stale_shard_manifests": self.stale_shard_manifests,
+        }
 
 
 def scenario_status(

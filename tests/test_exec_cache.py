@@ -1,8 +1,12 @@
-"""ResultCache policies: LRU eviction, $REPRO_CACHE_MAX, and tolerance
-of corrupted on-disk entries (they must read as misses and be repaired,
-never crash the run)."""
+"""ResultCache policies: LRU eviction, $REPRO_CACHE_MAX, tolerance of
+corrupted on-disk entries (they must read as misses and be repaired,
+never crash the run), and atomicity of the disk tier under concurrent
+multi-process writers (fleet workers and sharded runs share one
+directory)."""
 
 import json
+import multiprocessing
+from pathlib import Path
 
 import pytest
 
@@ -148,3 +152,122 @@ def test_corrupted_entry_is_resimulated_and_overwritten(tmp_path):
         assert again.executor.jobs_executed == 0
     # Atomic replace leaves no temp droppings behind.
     assert list(tmp_path.glob("*.tmp")) == []
+
+
+# ----------------------------------------------------------------------
+# Concurrent writers (the fleet / sharded-run case)
+# ----------------------------------------------------------------------
+
+def _hammer_key(directory: str, writer_id: int, iterations: int) -> None:
+    """One racing process: rewrite the same key over and over."""
+    from repro.exec.cache import write_json_atomic
+
+    path = Path(directory) / "contested.json"
+    for i in range(iterations):
+        write_json_atomic(
+            path,
+            {
+                "schema": 1,
+                "writer": writer_id,
+                "iteration": i,
+                # Big enough that a torn/interleaved write could not
+                # accidentally parse as valid JSON.
+                "pad": f"w{writer_id}" * 2048,
+            },
+        )
+
+
+def test_concurrent_process_writers_last_writer_wins(tmp_path):
+    writers = 4
+    iterations = 25
+    processes = [
+        multiprocessing.Process(
+            target=_hammer_key, args=(str(tmp_path), wid, iterations)
+        )
+        for wid in range(writers)
+    ]
+    for proc in processes:
+        proc.start()
+    for proc in processes:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+    # The surviving file is exactly one writer's complete payload —
+    # never an interleaving of two — and no temp files leak.
+    payload = json.loads((tmp_path / "contested.json").read_text())
+    wid = payload["writer"]
+    assert wid in range(writers)
+    assert payload["pad"] == f"w{wid}" * 2048
+    assert 0 <= payload["iteration"] < iterations
+    assert list(tmp_path.glob("*.tmp")) == []
+
+
+def _put_outcome(directory: str, batch: int) -> None:
+    """One racing process: land the same outcome through put()."""
+    from repro.exec.cache import ResultCache
+
+    cache = ResultCache(directory)
+    for _ in range(10):
+        cache.put(_outcome(batch))
+
+
+def test_concurrent_cache_put_of_the_same_key_is_safe(tmp_path):
+    processes = [
+        multiprocessing.Process(target=_put_outcome, args=(str(tmp_path), 8))
+        for _ in range(3)
+    ]
+    for proc in processes:
+        proc.start()
+    for proc in processes:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+    # Any reader (fresh process, cold memory tier) gets a usable entry.
+    reloaded = ResultCache(tmp_path).get(_job(8))
+    assert reloaded is not None
+    assert reloaded.skipped_reason == "test entry"
+    assert list(tmp_path.glob("*.tmp")) == []
+
+
+# ----------------------------------------------------------------------
+# The payload-level surface the fleet coordinator uses
+# ----------------------------------------------------------------------
+
+def test_put_payload_round_trips_through_both_tiers(tmp_path):
+    key = _job(8).cache_key()
+    payload = {"schema": 1, "infeasible": "too big"}
+
+    disk = ResultCache(tmp_path)
+    disk.put_payload(key, payload)
+    assert disk.contains(key)
+    assert json.loads((tmp_path / f"{key}.json").read_text()) == payload
+    assert disk.load_payload(key) == payload
+    # A keyed get() hydrates the outcome from the stored payload.
+    outcome = disk.get(_job(8))
+    assert outcome is not None and outcome.skipped_reason == "too big"
+
+    memory = ResultCache()
+    memory.put_payload(key, payload)
+    assert memory.contains(key)
+    assert memory.load_payload(key) == payload
+    outcome = memory.get(_job(8))
+    assert outcome is not None and outcome.skipped_reason == "too big"
+
+
+def test_put_payload_rejects_wrong_schema(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = _job(8).cache_key()
+    with pytest.raises(ConfigurationError, match="schema"):
+        cache.put_payload(key, {"schema": 99, "infeasible": "x"})
+    with pytest.raises(ConfigurationError, match="schema"):
+        cache.put_payload(key, {"infeasible": "x"})
+    with pytest.raises(ConfigurationError, match="schema"):
+        cache.put_payload(key, ["not", "a", "dict"])
+    assert not cache.contains(key)
+
+
+def test_load_payload_tolerates_missing_and_corrupt_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.load_payload("0" * 64) is None
+    (tmp_path / "bad.json").write_text('{"torn')
+    assert cache.load_payload("bad") is None
+    (tmp_path / "list.json").write_text("[1, 2]")
+    assert cache.load_payload("list") is None

@@ -1,0 +1,227 @@
+"""TaskQueue semantics under an injected clock: lease ordering,
+heartbeats, reap-and-requeue with exponential backoff, the bounded
+retry budget and dead-letter state, and late completions from limping
+workers (results are deterministic, so late work is honored)."""
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.modes import ExecutionMode
+from repro.errors import FleetError
+from repro.exec.job import SimJob
+from repro.fleet.queue import TaskQueue
+from repro.fleet.task import task_from_job
+
+MODES = (ExecutionMode.OVERLAPPED, ExecutionMode.SEQUENTIAL)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def _task(batch: int):
+    job = SimJob(
+        config=ExperimentConfig(
+            gpu="A100", model="gpt3-xl", batch_size=batch, runs=1
+        ),
+        modes=MODES,
+    )
+    return task_from_job(job, "spec")
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def queue(clock):
+    return TaskQueue(
+        lease_timeout=10.0, max_retries=2, backoff_base=1.0, clock=clock
+    )
+
+
+def test_constructor_validates_bounds():
+    with pytest.raises(FleetError, match="lease_timeout"):
+        TaskQueue(lease_timeout=0.0)
+    with pytest.raises(FleetError, match="max_retries"):
+        TaskQueue(max_retries=-1)
+
+
+def test_add_deduplicates_by_cache_key(queue):
+    assert queue.add(_task(8)) is True
+    assert queue.add(_task(8)) is False  # same key
+    assert queue.add(_task(16)) is True
+    assert queue.stats.submitted == 2
+
+
+def test_lease_order_is_submission_order(queue):
+    first, second = _task(8), _task(16)
+    queue.add(first)
+    queue.add(second)
+    _, t1 = queue.lease("w")
+    _, t2 = queue.lease("w")
+    assert t1.cache_key == first.cache_key
+    assert t2.cache_key == second.cache_key
+    assert queue.lease("w") is None  # nothing left to lease
+
+
+def test_complete_drains_the_queue(queue):
+    queue.add(_task(8))
+    lease, task = queue.lease("w")
+    assert not queue.drained
+    assert queue.complete(task.cache_key, False, lease.lease_id) is True
+    assert queue.drained and queue.succeeded
+    assert queue.done_keys() == {task.cache_key: False}
+    assert queue.stats.completed == 1
+
+
+def test_duplicate_completion_is_counted_not_crashed(queue):
+    queue.add(_task(8))
+    lease, task = queue.lease("w")
+    assert queue.complete(task.cache_key, False, lease.lease_id) is True
+    assert queue.complete(task.cache_key, False, None) is False
+    assert queue.stats.duplicates == 1
+    assert queue.stats.completed == 1
+
+
+def test_expired_lease_reaps_and_requeues(queue, clock):
+    queue.add(_task(8))
+    lease, task = queue.lease("limping")
+    clock.advance(10.1)  # past the lease deadline
+    reaped = queue.reap()
+    assert reaped == [task.cache_key]
+    assert queue.stats.requeued == 1
+    assert queue.stats.dead_workers == 1
+    # Backoff gates the re-lease: not leasable until not_before passes.
+    assert queue.lease("w2") is None
+    clock.advance(1.1)  # backoff_base * 2^0 = 1.0
+    _, retried = queue.lease("w2")
+    assert retried.cache_key == task.cache_key
+    assert retried.attempt == 1
+    assert queue.stats.retries == 1
+
+
+def test_heartbeat_extends_the_deadline(queue, clock):
+    queue.add(_task(8))
+    lease, task = queue.lease("w")
+    clock.advance(8.0)
+    assert queue.heartbeat(lease.lease_id) is True
+    clock.advance(8.0)  # 16s total: dead without the heartbeat
+    assert queue.reap() == []
+    assert queue.heartbeat("L999") is False  # unknown lease
+    clock.advance(10.1)
+    assert queue.reap() == [task.cache_key]
+    assert queue.heartbeat(lease.lease_id) is False  # expired lease
+
+
+def test_backoff_grows_exponentially_then_dead_letters(queue, clock):
+    queue.add(_task(8))
+    key = None
+    # max_retries=2 allows attempts 0, 1, 2; the third expiry kills it.
+    for attempt, backoff in ((0, 1.0), (1, 2.0)):
+        leased = queue.lease("w")
+        assert leased is not None
+        _, task = leased
+        key = task.cache_key
+        assert task.attempt == attempt
+        clock.advance(10.1)
+        assert queue.reap() == [key]
+        assert queue.lease("w") is None  # backoff gate closed
+        clock.advance(backoff)  # 1.0 then 2.0 (base * 2^(attempts-1))
+    _, task = queue.lease("w")
+    assert task.attempt == 2
+    clock.advance(10.1)
+    queue.reap()
+    assert queue.failed_keys() and key in queue.failed_keys()
+    assert "expired" in queue.failed_keys()[key]
+    assert queue.stats.failed == 1
+    assert queue.drained and not queue.succeeded
+    # A dead-lettered key cannot be re-added (it is still known).
+    assert queue.add(_task(8)) is False
+
+
+def test_reported_failure_requeues_with_backoff(queue, clock):
+    queue.add(_task(8))
+    lease, task = queue.lease("w")
+    queue.fail(lease.lease_id, "RuntimeError: boom")
+    assert queue.stats.requeued == 1
+    clock.advance(1.1)
+    _, retried = queue.lease("w")
+    assert retried.attempt == 1
+
+
+def test_late_completion_from_a_limping_worker_is_honored(queue, clock):
+    queue.add(_task(8))
+    lease, task = queue.lease("limping")
+    clock.advance(10.1)
+    queue.reap()  # lease expired; task back in pending
+    # The reaped worker finishes anyway and pushes its (deterministic)
+    # result: the task is done and never re-leases.
+    assert queue.complete(task.cache_key, False, lease.lease_id) is True
+    clock.advance(5.0)
+    assert queue.lease("w2") is None
+    assert queue.drained and queue.succeeded
+
+
+def test_late_completion_drops_the_replacement_lease(queue, clock):
+    queue.add(_task(8))
+    lease1, task = queue.lease("limping")
+    clock.advance(10.1)
+    queue.reap()
+    clock.advance(1.1)
+    lease2, _ = queue.lease("replacement")
+    # The limping worker lands first; the replacement's push duplicates.
+    assert queue.complete(task.cache_key, False, lease1.lease_id) is True
+    assert queue.complete(task.cache_key, False, lease2.lease_id) is False
+    assert queue.stats.completed == 1
+    assert queue.stats.duplicates == 1
+
+
+def test_each_dead_worker_is_counted_once(queue, clock):
+    queue.add(_task(8))
+    queue.add(_task(16))
+    queue.lease("flaky")
+    queue.lease("flaky")
+    clock.advance(10.1)
+    assert len(queue.reap()) == 2
+    assert queue.stats.dead_workers == 1
+
+
+def test_mark_done_resolves_keys_externally(queue):
+    task = _task(8)
+    queue.mark_done(task.cache_key, infeasible=True)
+    assert queue.done_keys() == {task.cache_key: True}
+    assert queue.add(task) is False
+
+
+def test_knows_covers_every_state(queue, clock):
+    task = _task(8)
+    assert not queue.knows(task.cache_key)
+    queue.add(task)
+    assert queue.knows(task.cache_key)  # pending
+    lease, _ = queue.lease("w")
+    assert queue.knows(task.cache_key)  # leased
+    queue.complete(task.cache_key, False, lease.lease_id)
+    assert queue.knows(task.cache_key)  # done
+
+
+def test_snapshot_reports_counts_workers_and_stats(queue):
+    queue.add(_task(8))
+    queue.add(_task(16))
+    queue.lease("w1")
+    snap = queue.snapshot()
+    assert snap["pending"] == 1
+    assert snap["leased"] == 1
+    assert snap["done"] == 0
+    assert snap["failed"] == 0
+    assert snap["workers"] == ["w1"]
+    assert snap["stats"]["submitted"] == 2
+    assert snap["stats"]["leased"] == 1

@@ -1,0 +1,291 @@
+"""End-to-end fleet runs over localhost HTTP.
+
+The acceptance criteria of the fleet subsystem, gated here:
+
+* a coordinator + two workers draining a scenario produce a manifest
+  and per-key cache files *byte-for-byte identical* to a serial
+  ``run_scenario`` of the same spec;
+* killing a worker mid-run (simulated by a leased-but-never-completed
+  zombie) loses no tasks — the lease expires, the task requeues, and
+  the sweep still completes identically;
+* the RemoteExecutor behind the standard Executor surface returns the
+  same outcomes as a SerialExecutor;
+* malformed / hash-mismatched / version-skewed submissions are
+  rejected at the HTTP boundary with 400s.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig
+from repro.core.modes import ExecutionMode
+from repro.errors import ConfigurationError
+from repro.exec.cache import ResultCache, outcome_to_payload
+from repro.exec.executors import RemoteExecutor, SerialExecutor
+from repro.exec.job import SimJob
+from repro.exec.service import configure, reset_default_service
+from repro.fleet import (
+    FleetCoordinator,
+    FleetWorker,
+    compile_fleet_plan,
+    task_from_job,
+)
+from repro.fleet.protocol import ProtocolError, request_json
+from repro.scenario import run_scenario
+
+MODES = (ExecutionMode.OVERLAPPED, ExecutionMode.SEQUENTIAL)
+
+
+@pytest.fixture(autouse=True)
+def fresh_service():
+    reset_default_service()
+    yield
+    reset_default_service()
+
+
+def _job(batch: int) -> SimJob:
+    return SimJob(
+        config=ExperimentConfig(
+            gpu="A100", model="gpt3-xl", batch_size=batch, runs=1
+        ),
+        modes=MODES,
+    )
+
+
+def _start_workers(url: str, count: int, **kwargs):
+    workers = [
+        FleetWorker(url=url, worker_id=f"w{i}", **kwargs)
+        for i in range(count)
+    ]
+    threads = [
+        threading.Thread(target=w.run, daemon=True, name=w.worker_id)
+        for w in workers
+    ]
+    for thread in threads:
+        thread.start()
+    return workers, threads
+
+
+def _tree_bytes(directory):
+    return {
+        path.name: path.read_bytes()
+        for path in sorted(directory.rglob("*.json"))
+    }
+
+
+def test_fleet_run_is_bit_identical_to_serial_run(tmp_path):
+    solo_dir = tmp_path / "solo"
+    fleet_dir = tmp_path / "fleet"
+
+    configure(cache=True, cache_dir=str(solo_dir))
+    solo = run_scenario("fig9")
+    assert solo.simulated == solo.cells > 0
+
+    plan = compile_fleet_plan("fig9")
+    coordinator = FleetCoordinator(cache=ResultCache(fleet_dir))
+    queued, precached = coordinator.seed_scenario(plan)
+    assert (queued, precached) == (len(plan.jobs_by_key), 0)
+    coordinator.start()
+    workers, threads = _start_workers(coordinator.url, 2)
+    assert coordinator.serve_until_drained(timeout=120, grace=0.5) is True
+    for thread in threads:
+        thread.join(timeout=10)
+    assert coordinator.manifest_file is not None
+
+    # Every file — per-key payloads and the manifest — byte-identical.
+    assert _tree_bytes(fleet_dir) == _tree_bytes(solo_dir)
+
+    # The work was actually distributed and clean.
+    stats = coordinator.queue.stats
+    assert stats.completed == len(plan.jobs_by_key)
+    assert stats.requeued == stats.retries == stats.failed == 0
+    assert sum(w.stats.completed for w in workers) == stats.completed
+    assert sum(w.stats.errors for w in workers) == 0
+
+
+def test_killed_worker_loses_no_tasks(tmp_path):
+    solo_dir = tmp_path / "solo"
+    fleet_dir = tmp_path / "fleet"
+
+    configure(cache=True, cache_dir=str(solo_dir))
+    run_scenario("fig9")
+
+    plan = compile_fleet_plan("fig9")
+    coordinator = FleetCoordinator(
+        cache=ResultCache(fleet_dir),
+        lease_timeout=0.75,
+        backoff_base=0.1,
+    )
+    coordinator.seed_scenario(plan)
+    coordinator.start()
+
+    # A "killed" worker: leases a task, then never heartbeats, never
+    # completes, never comes back.
+    zombie = request_json(
+        f"{coordinator.url}/lease", {"worker": "zombie"}
+    )
+    assert zombie["state"] == "task"
+
+    _, threads = _start_workers(coordinator.url, 2)
+    assert coordinator.serve_until_drained(timeout=120, grace=0.5) is True
+    for thread in threads:
+        thread.join(timeout=10)
+
+    stats = coordinator.queue.stats
+    assert stats.dead_workers == 1
+    assert stats.requeued >= 1
+    assert stats.failed == 0
+    assert stats.completed == len(plan.jobs_by_key)  # nothing lost
+    # Recovery is invisible in the results: still byte-identical.
+    assert _tree_bytes(fleet_dir) == _tree_bytes(solo_dir)
+
+
+def test_precached_keys_are_skipped_at_seed_time(tmp_path):
+    configure(cache=True, cache_dir=str(tmp_path))
+    run_scenario("fig9")  # warm the shared cache
+
+    plan = compile_fleet_plan("fig9")
+    coordinator = FleetCoordinator(cache=ResultCache(tmp_path))
+    queued, precached = coordinator.seed_scenario(plan)
+    assert queued == 0
+    assert precached == len(plan.jobs_by_key)
+    # With nothing queued the sweep finalizes without any worker.
+    coordinator.start()
+    assert coordinator.serve_until_drained(timeout=30, grace=0.0) is True
+    assert coordinator.manifest_file is not None
+
+
+def test_remote_executor_matches_serial_outcomes(tmp_path):
+    coordinator = FleetCoordinator(cache=ResultCache(tmp_path))
+    coordinator.start()
+    workers, threads = _start_workers(
+        coordinator.url, 2, max_idle_s=30.0
+    )
+    try:
+        # Duplicates exercise the executor's submit-side dedup.
+        jobs = [_job(8), _job(16), _job(8)]
+        remote = RemoteExecutor(coordinator.url, poll_interval=0.05)
+        outcomes = remote.run(jobs)
+        assert remote.jobs_executed == len(jobs)
+        serial = SerialExecutor().run(jobs)
+        assert [o.job.cache_key() for o in outcomes] == [
+            o.job.cache_key() for o in serial
+        ]
+        assert [outcome_to_payload(o) for o in outcomes] == [
+            outcome_to_payload(o) for o in serial
+        ]
+        assert all(not o.from_cache for o in outcomes)
+    finally:
+        coordinator.stop()  # workers see the vanished coordinator and exit
+        for thread in threads:
+            thread.join(timeout=10)
+
+
+def test_remote_executor_requires_a_coordinator_url():
+    from repro.exec.service import ExecutionSettings
+
+    with pytest.raises(ConfigurationError, match="coordinator"):
+        ExecutionSettings(executor="remote").build_executor()
+    settings = ExecutionSettings(
+        executor="remote", coordinator="127.0.0.1:9"
+    )
+    assert isinstance(settings.build_executor(), RemoteExecutor)
+
+
+def test_http_boundary_rejects_bad_submissions(tmp_path):
+    coordinator = FleetCoordinator(cache=ResultCache(tmp_path))
+    coordinator.start()
+    url = coordinator.url
+    try:
+        good = task_from_job(_job(8), "h").to_payload()
+
+        # Hash-mismatched task: 400 at the wire, nothing queued.
+        other = task_from_job(_job(16), "h").to_payload()
+        tampered = dict(good, cache_key=other["cache_key"])
+        with pytest.raises(ProtocolError, match="does not match") as exc:
+            request_json(f"{url}/submit", {"tasks": [tampered]})
+        assert exc.value.code == 400
+
+        # Version-skewed task: rejected even though internally coherent.
+        skewed = dict(good, code_version="repro-0.0.1/cache-v0")
+        with pytest.raises(ProtocolError, match="code version") as exc:
+            request_json(f"{url}/submit", {"tasks": [skewed]})
+        assert exc.value.code == 400
+
+        # Result push for a key this coordinator never issued.
+        with pytest.raises(ProtocolError, match="never") as exc:
+            request_json(
+                f"{url}/result", {"key": "f" * 64, "payload": {"schema": 1}}
+            )
+        assert exc.value.code == 400
+
+        # Unknown outcome key: 404, polling semantics.
+        with pytest.raises(ProtocolError) as exc:
+            request_json(f"{url}/outcome/{'e' * 64}")
+        assert exc.value.code == 404
+
+        # Unknown paths: 404 on both verbs.
+        with pytest.raises(ProtocolError) as exc:
+            request_json(f"{url}/nope")
+        assert exc.value.code == 404
+        with pytest.raises(ProtocolError) as exc:
+            request_json(f"{url}/nope", {"x": 1})
+        assert exc.value.code == 404
+
+        assert coordinator.queue.snapshot()["pending"] == 0
+    finally:
+        coordinator.stop()
+
+
+def test_status_endpoint_reports_queue_cache_and_scenario(tmp_path):
+    plan = compile_fleet_plan("fig9")
+    coordinator = FleetCoordinator(cache=ResultCache(tmp_path))
+    coordinator.seed_scenario(plan)
+    coordinator.start()
+    try:
+        status = request_json(f"{coordinator.url}/status")
+        assert status["draining"] is False
+        assert status["queue"]["pending"] == len(plan.jobs_by_key)
+        assert status["queue"]["stats"]["submitted"] == len(plan.jobs_by_key)
+        assert status["cache"]["dir"] == str(tmp_path)
+        assert status["scenario"]["name"] == "fig9"
+        assert status["scenario"]["spec_hash"] == plan.spec_hash
+        assert status["scenario"]["cells"] == plan.cells
+        assert status["scenario"]["resolved_keys"] == 0
+    finally:
+        coordinator.stop()
+
+
+def test_cli_fleet_verbs_round_trip(tmp_path, capsys):
+    from repro.cli import main
+
+    cache = str(tmp_path / "cli-cache")
+    # Warm cache first, so serve drains instantly with no workers.
+    assert main(["scenario", "run", "fig9", "--cache-dir", cache]) == 0
+    capsys.readouterr()
+    assert main(
+        [
+            "scenario", "serve", "fig9", "--cache-dir", cache,
+            "--port", "0", "--timeout", "30",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "3 already cached" in out
+    assert "manifest ->" in out
+
+    # status --json is machine readable and agrees with the run.
+    assert main(
+        ["scenario", "status", "fig9", "--cache-dir", cache, "--json"]
+    ) == 0
+    import json
+
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["name"] == "fig9"
+    assert payload["missing_keys"] == []
+    assert payload["cached_keys"] == payload["distinct_keys"]
+    assert payload["manifest_present"] and payload["manifest_current"]
+
+    # A worker pointed at a dead coordinator errors loudly at the CLI.
+    assert main(["scenario", "fleet-status", "127.0.0.1:9"]) == 1
+    assert "error:" in capsys.readouterr().err

@@ -123,6 +123,34 @@ def test_status_cli_roundtrip(tmp_path, capsys):
     assert "0/3 key(s) present" in out  # nothing cached yet
 
 
+def test_status_json_matches_the_report(tmp_path, capsys):
+    configure(cache=True, cache_dir=str(tmp_path))
+    run_scenario("fig9", shard=ShardPlan(0, 2))
+    report = scenario_status("fig9")
+    reset_default_service()
+
+    assert (
+        main(
+            [
+                "scenario", "status", "fig9",
+                "--cache-dir", str(tmp_path), "--json",
+            ]
+        )
+        == 0
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert payload == report.to_payload()
+    # The fields a fleet operator gates on are all plain JSON types.
+    assert payload["name"] == "fig9"
+    assert payload["cells"] == 3
+    assert payload["cached_keys"] == 2
+    assert len(payload["missing_keys"]) == 1
+    assert payload["shard_count"] == 2
+    assert payload["shards_complete"] is False
+    assert [s["present"] for s in payload["shards"]] == [True, False]
+    assert payload["cache_dir"] == str(tmp_path)
+
+
 # ----------------------------------------------------------------------
 # scenario diff
 # ----------------------------------------------------------------------
