@@ -23,6 +23,7 @@ from repro.hw.system import NodeSpec, make_node
 from repro.power.sampling import sampler_for
 from repro.sim.config import SimConfig
 from repro.sim.engine import simulate
+from repro.sim.perturb import PerturbationSpec, normalize_perturbations
 from repro.sim.result import SimulationResult
 from repro.sim.task import TaskCategory
 from repro.workloads.registry import get_model
@@ -117,10 +118,22 @@ class ExperimentConfig:
     #: bit-exact to the cohort-batched fast path. Ignored (and omitted
     #: from cache keys) for the other tiers.
     auto_tier_threshold: int = 64
+    #: Degradation windows (stragglers, slow HBM, flaky links, thermal
+    #: throttling — see :mod:`repro.sim.perturb`) injected into every
+    #: run of this cell. Accepted as specs or plain mappings and
+    #: normalized to a validated tuple of :class:`PerturbationSpec`,
+    #: so configs stay hashable and the windows hash into job cache
+    #: keys. Empty (the default) is the fault-free world and is
+    #: omitted from cache keys, keeping them stable for existing
+    #: caches.
+    perturbations: Tuple[PerturbationSpec, ...] = ()
 
     def __post_init__(self) -> None:
         from repro.errors import ConfigurationError
 
+        object.__setattr__(
+            self, "perturbations", normalize_perturbations(self.perturbations)
+        )
         if self.engine_tier not in ENGINE_TIERS:
             raise ConfigurationError(
                 f"unknown engine_tier {self.engine_tier!r} "
@@ -263,6 +276,7 @@ class ExperimentConfig:
                 if self.engine_tier == "auto"
                 else None
             ),
+            perturbations=self.perturbations,
         )
         return config
 
@@ -275,9 +289,12 @@ class ExperimentConfig:
         tc = "tc" if self.use_tensor_cores else "noTC"
         cap = f" cap={self.power_limit_w:.0f}W" if self.power_limit_w else ""
         tier = "" if self.engine_tier == "exact" else f" [{self.engine_tier}]"
+        perturbed = (
+            f" +{len(self.perturbations)}pert" if self.perturbations else ""
+        )
         return (
             f"{self.gpu}x{self.num_gpus} {self.model} b{self.batch_size} "
-            f"{self.strategy} {self.precision.value}/{tc}{cap}{tier}"
+            f"{self.strategy} {self.precision.value}/{tc}{cap}{tier}{perturbed}"
         )
 
 

@@ -87,6 +87,10 @@ class SimJob:
             # The flip threshold only steers the auto engine; for the
             # other tiers it is inert and must not split cache keys.
             config.pop("auto_tier_threshold", None)
+        if not config.get("perturbations"):
+            # Fault-free cells (the default) keep their pre-existing
+            # cache keys; perturbed cells hash their window specs.
+            config.pop("perturbations", None)
         return {
             "schema": CACHE_SCHEMA_VERSION,
             "config": config,

@@ -261,12 +261,19 @@ class FleetCoordinator:
         worker = str(body.get("worker") or "anonymous")
         if self._draining:
             return {"state": "drained"}
-        leased = self.queue.lease(worker)
+        leased, hint = self.queue.lease_with_hint(worker)
         if leased is None:
             # Nothing leasable *right now*: tasks may be in flight, in
             # backoff, or (bare-queue mode) not submitted yet. Workers
             # wait; only the serve loop flips the state to drained.
-            return {"state": "wait", "retry_after_s": self.poll_interval}
+            if hint is None:
+                return {"state": "wait", "retry_after_s": self.poll_interval}
+            # Every pending task is backoff-gated: tell the worker
+            # exactly how long until the earliest gate opens (floored
+            # at the poll interval, capped so a worker never oversleeps
+            # a drain) and flag the wait so it does not count as idle.
+            retry = min(max(hint, self.poll_interval), 30.0)
+            return {"state": "wait", "retry_after_s": retry, "backoff": True}
         lease, task = leased
         return {
             "state": "task",

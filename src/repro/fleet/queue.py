@@ -163,37 +163,64 @@ class TaskQueue:
         still hold leased tasks or backoff-gated retries; callers
         distinguish via :meth:`drained`.
         """
+        return self.lease_with_hint(worker)[0]
+
+    def lease_with_hint(
+        self, worker: str
+    ) -> Tuple[Optional[Tuple[Lease, SimTask]], Optional[float]]:
+        """:meth:`lease`, plus a retry hint when nothing is leasable.
+
+        The hint is the delta (seconds) until the earliest pending
+        task's backoff gate opens — i.e. how long a worker can sleep
+        before asking again and be *guaranteed* something became
+        leasable in between. ``None`` when a task was leased, or when
+        nothing is pending at all (in-flight leases may still requeue,
+        so callers fall back to their poll interval). Computed under
+        the same lock as the lease scan so the hint can never refer to
+        a task another worker took first.
+        """
         now = self._clock()
         with self._lock:
             self._reap_locked(now)
-            for key, state in self._pending.items():
-                if state.not_before > now:
-                    continue
-                del self._pending[key]
-                lease = Lease(
-                    lease_id=f"L{next(self._lease_ids)}",
-                    key=key,
-                    worker=worker,
-                    deadline=now + self.lease_timeout,
-                )
-                state.lease = lease
-                wire_task = SimTask(
-                    code_version=state.task.code_version,
-                    spec_hash=state.task.spec_hash,
-                    cache_key=state.task.cache_key,
-                    config=state.task.config,
-                    modes=state.task.modes,
-                    seed=state.task.seed,
-                    attempt=state.attempts,
-                )
-                state.attempts += 1
-                self._leased[key] = state
-                self._leases[lease.lease_id] = lease
-                self.stats.leased += 1
-                if wire_task.attempt > 0:
-                    self.stats.retries += 1
-                return lease, wire_task
-            return None
+            leased = self._lease_locked(worker, now)
+            if leased is not None:
+                return leased, None
+            if self._pending:
+                gate = min(s.not_before for s in self._pending.values())
+                return None, max(0.0, gate - now)
+            return None, None
+
+    def _lease_locked(
+        self, worker: str, now: float
+    ) -> Optional[Tuple[Lease, SimTask]]:
+        for key, state in self._pending.items():
+            if state.not_before > now:
+                continue
+            del self._pending[key]
+            lease = Lease(
+                lease_id=f"L{next(self._lease_ids)}",
+                key=key,
+                worker=worker,
+                deadline=now + self.lease_timeout,
+            )
+            state.lease = lease
+            wire_task = SimTask(
+                code_version=state.task.code_version,
+                spec_hash=state.task.spec_hash,
+                cache_key=state.task.cache_key,
+                config=state.task.config,
+                modes=state.task.modes,
+                seed=state.task.seed,
+                attempt=state.attempts,
+            )
+            state.attempts += 1
+            self._leased[key] = state
+            self._leases[lease.lease_id] = lease
+            self.stats.leased += 1
+            if wire_task.attempt > 0:
+                self.stats.retries += 1
+            return lease, wire_task
+        return None
 
     def heartbeat(self, lease_id: str) -> bool:
         """Extend a live lease; ``False`` if it expired or is unknown."""

@@ -53,27 +53,38 @@ class WorkerStats:
 
 
 class _HeartbeatThread(threading.Thread):
-    """Extends one lease until stopped; failures are non-fatal (the
-    lease just expires and the coordinator requeues)."""
+    """Extends one lease until stopped.
+
+    Transient failures are tolerated — the lease has a whole timeout
+    of budget, so one dropped heartbeat must not stop the thread and
+    silently let a long task's lease expire mid-execution. The thread
+    only gives up when the coordinator explicitly reports the lease
+    dead (``ok: false`` — expired or unknown), at which point there is
+    nothing left to keep alive."""
 
     def __init__(self, url: str, lease_id: str, interval: float):
         super().__init__(daemon=True, name=f"heartbeat-{lease_id}")
         self._url = url
         self._lease_id = lease_id
         self._interval = interval
-        self._stop = threading.Event()
+        # Not named ``_stop``: threading.Thread has a private ``_stop``
+        # *method* that join() calls, and shadowing it with an Event
+        # makes join() raise.
+        self._halt = threading.Event()
 
     def run(self) -> None:
-        while not self._stop.wait(self._interval):
+        while not self._halt.wait(self._interval):
             try:
-                request_json(
+                response = request_json(
                     f"{self._url}/heartbeat", {"lease": self._lease_id}
                 )
             except FleetError:
-                return  # coordinator gone or lease dead; nothing to keep
+                continue  # transient: retry at the next beat
+            if not response.get("ok", False):
+                return  # lease expired or unknown; nothing to keep
 
     def stop(self) -> None:
-        self._stop.set()
+        self._halt.set()
 
 
 @dataclass
@@ -110,6 +121,25 @@ class FleetWorker:
                     raise
                 time.sleep(min(5.0, 0.2 * (2 ** failures)))
 
+    def _push_result(self, body: dict) -> dict:
+        """Push one result body, retrying transient connection drops.
+
+        Losing the push would throw away a finished simulation — the
+        lease expires, the coordinator requeues, and another worker
+        redoes the work — so the push gets the same backoff budget as
+        leasing. Protocol errors (the coordinator rejecting the body)
+        still raise immediately: retrying an invalid push cannot help.
+        """
+        failures = 0
+        while True:
+            try:
+                return request_json(f"{self.url}/result", body)
+            except CoordinatorUnreachable:
+                failures += 1
+                if failures > self.connect_retries:
+                    raise
+                time.sleep(min(5.0, 0.2 * (2 ** failures)))
+
     def _execute(self, task: SimTask) -> dict:
         """Run one task through the executor; returns the result body."""
         job = task.to_job()
@@ -140,14 +170,18 @@ class FleetWorker:
         finally:
             heartbeat.stop()
         body["lease"] = lease_id
-        response = request_json(f"{self.url}/result", body)
+        response = self._push_result(body)
+        acked = bool(response.get("ok", False))
         if "error" in body:
             self.stats.errors += 1
-        else:
+        elif acked:
+            # Count completions only once the coordinator acknowledged
+            # landing the payload; an unacked push will be redone after
+            # the lease expires and must not inflate the tally.
             self.stats.completed += 1
             if "infeasible" in body["payload"]:
                 self.stats.infeasible += 1
-        return response.get("ok", False)
+        return acked
 
     def run(self) -> WorkerStats:
         """Drain tasks until the coordinator reports ``drained``.
@@ -176,14 +210,21 @@ class FleetWorker:
                 return self.stats
             if state == "wait":
                 self.stats.waits += 1
-                now = time.monotonic()
-                if idle_since is None:
-                    idle_since = now
-                elif (
-                    self.max_idle_s is not None
-                    and now - idle_since > self.max_idle_s
-                ):
-                    return self.stats
+                if lease.get("backoff"):
+                    # Every pending task is backoff-gated: work is
+                    # *known* to arrive once the earliest retry gate
+                    # opens, so this wait is not idleness and must not
+                    # count toward the max_idle_s exit.
+                    idle_since = None
+                else:
+                    now = time.monotonic()
+                    if idle_since is None:
+                        idle_since = now
+                    elif (
+                        self.max_idle_s is not None
+                        and now - idle_since > self.max_idle_s
+                    ):
+                        return self.stats
                 time.sleep(float(lease.get("retry_after_s", 0.2)))
                 continue
             if state != "task":
@@ -191,4 +232,11 @@ class FleetWorker:
                     f"unexpected lease state {state!r} from {self.url}"
                 )
             idle_since = None
-            self.run_one(lease)
+            try:
+                self.run_one(lease)
+            except CoordinatorUnreachable:
+                # The result push exhausted its retries: the work is
+                # lost to us (the lease will expire and requeue), and a
+                # coordinator that stays unreachable is the normal
+                # end-of-run signal, same as a failed lease above.
+                return self.stats

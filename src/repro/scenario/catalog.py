@@ -22,6 +22,9 @@ import repro.harness.figures.fig9  # noqa: F401
 import repro.harness.figures.fig10  # noqa: F401
 import repro.harness.figures.fig11  # noqa: F401
 
+# Degradation artifacts (fault/perturbation injection grids).
+import repro.harness.figures.degradation  # noqa: F401
+
 # Analysis artifacts.
 import repro.analysis.crossover  # noqa: F401
 import repro.analysis.sensitivity  # noqa: F401

@@ -49,6 +49,7 @@ from repro.errors import ConfigurationError
 from repro.exec.job import DEFAULT_MODES, SimJob
 from repro.hw.calibration import ContentionCalibration
 from repro.hw.datapath import Precision
+from repro.sim.perturb import normalize_perturbations
 
 #: Fields of ExperimentConfig a spec may set or sweep.
 CONFIG_FIELDS: Tuple[str, ...] = tuple(
@@ -141,6 +142,11 @@ def coerce_field(name: str, value: Any) -> Any:
             raise ConfigurationError(
                 f"bad calibration override {dict(value)!r}: {exc}"
             ) from None
+    if name == "perturbations":
+        # JSON/YAML axes carry perturbations as lists of mappings;
+        # ExperimentConfig would normalize anyway, but validating here
+        # fails at spec-load time with the field name in hand.
+        return normalize_perturbations(value)
     return value
 
 

@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.sim.perturb import PerturbationSpec, normalize_perturbations
 from repro.units import MS
 
 
@@ -68,6 +69,12 @@ class SimConfig:
             Runs that never reach the threshold are bit-identical to
             the exact tier. ``None`` (the default) disables the auto
             engine.
+        perturbations: degradation windows injected into the run as
+            ``PERTURB_BEGIN``/``PERTURB_END`` events (stragglers, slow
+            HBM, flaky links, thermal throttling — see
+            :mod:`repro.sim.perturb`). Empty (the default) is the
+            fault-free world. Accepts specs or plain mappings; stored
+            as a validated tuple of :class:`PerturbationSpec`.
     """
 
     contention_enabled: bool = True
@@ -84,10 +91,14 @@ class SimConfig:
     adaptive_governor: bool = False
     cohort_batching: bool = False
     auto_tier_threshold: Optional[int] = None
+    perturbations: Tuple[PerturbationSpec, ...] = ()
 
     def __post_init__(self) -> None:
         from repro.sim.events import EVENT_QUEUE_KINDS
 
+        object.__setattr__(
+            self, "perturbations", normalize_perturbations(self.perturbations)
+        )
         if self.power_limit_w is not None and self.power_limit_w <= 0:
             raise ConfigurationError("power_limit_w must be positive")
         if self.event_queue not in EVENT_QUEUE_KINDS:

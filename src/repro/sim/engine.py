@@ -78,6 +78,8 @@ _SPIN_VECTOR_UTIL = 0.4
 _INF = float("inf")
 _TASK_FINISH = EventKind.TASK_FINISH
 _COLLECTIVE_FINISH = EventKind.COLLECTIVE_FINISH
+_PERTURB_BEGIN = EventKind.PERTURB_BEGIN
+_PERTURB_END = EventKind.PERTURB_END
 #: (start_s, task_id) over TaskRecord's tuple layout — the result-sort
 #: key, evaluated once per record.
 _RECORD_SORT_KEY = operator.itemgetter(6, 0)
@@ -245,6 +247,9 @@ class EngineStats:
     #: Exact-to-batched transitions performed by the auto engine
     #: (0 when the run stayed under the threshold, else 1).
     auto_flips: int = 0
+    #: Perturbation windows opened/closed (one count per applied
+    #: PERTURB_BEGIN/PERTURB_END event).
+    perturb_events: int = 0
 
 
 class Simulator:
@@ -354,6 +359,7 @@ class Simulator:
         }
         self.records: List[TaskRecord] = []
         self._min_clock_seen = config.max_clock_frac
+        self._init_perturbations()
 
     # ------------------------------------------------------------------
     # setup
@@ -524,6 +530,45 @@ class Simulator:
                 compute_table, comm_cost,
             )
 
+    def _init_perturbations(self) -> None:
+        """Arm the degradation injector (``sim/perturb.py``).
+
+        Each :class:`~repro.sim.perturb.PerturbationSpec` becomes a
+        ``PERTURB_BEGIN`` (and, for finite windows, ``PERTURB_END``)
+        event in the ordinary queue, keyed by its index in the config
+        tuple — scheduled here, before any task event exists, so the
+        insertion order (and therefore every same-time tie-break) is
+        identical in every tier. The per-GPU multiplier arrays start
+        at identity; :meth:`_apply_perturb` rebuilds them from the
+        active-perturbation set on every boundary.
+        """
+        perturbs = self.config.perturbations
+        num_gpus = self.node.num_gpus
+        self._perturbs = perturbs
+        self._perturbed = bool(perturbs)
+        self._perturb_rate: List[float] = [1.0] * num_gpus
+        self._perturb_hbm: List[float] = [1.0] * num_gpus
+        self._perturb_link: List[float] = [1.0] * num_gpus
+        self._perturb_cap: List[float] = (
+            [self.config.max_clock_frac] * num_gpus
+        )
+        self._perturb_targets: List[Tuple[int, ...]] = []
+        self._perturb_target_sets: List[frozenset] = []
+        self._active_perturbs: set = set()
+        if not perturbs:
+            return
+        inf = float("inf")
+        for index, spec in enumerate(perturbs):
+            gpus = spec.target_gpus(num_gpus)
+            self._perturb_targets.append(gpus)
+            self._perturb_target_sets.append(frozenset(gpus))
+            if not gpus:
+                continue  # inert on this node width
+            self.queue.schedule(spec.start_s, _PERTURB_BEGIN, index)
+            end = spec.end_s
+            if end < inf:
+                self.queue.schedule(end, _PERTURB_END, index)
+
     # ------------------------------------------------------------------
     # incremental hooks (no-ops in the reference engine)
     # ------------------------------------------------------------------
@@ -580,6 +625,10 @@ class Simulator:
                 self._finish_collective(event.payload)
             elif event.kind is EventKind.GOVERNOR_TICK:
                 self._governor_tick(event.payload)
+            elif event.kind is EventKind.PERTURB_BEGIN:
+                self._apply_perturb(event.payload, True)
+            elif event.kind is EventKind.PERTURB_END:
+                self._apply_perturb(event.payload, False)
             if len(self.done) >= total:
                 break
             self._try_launch()
@@ -783,7 +832,16 @@ class Simulator:
         min_f = min(self._clock[g] for g in inst.op.participants)
         if not self.config.contention_enabled:
             min_f = self.config.max_clock_frac
-        return inst.nominal_rate() * inst.progress_scale(min_f)
+        rate = inst.nominal_rate() * inst.progress_scale(min_f)
+        if self._perturbed:
+            link = self._perturb_link
+            mul = min(link[g] for g in inst.op.participants)
+            if mul != 1.0:
+                # Flaky link: the collective crawls at the worst
+                # participant's link derate (0.0 = full outage; the
+                # finish projection is guarded by max(rate, 1e-12)).
+                rate *= mul
+        return rate
 
     def _recompute(self) -> None:
         # Pass 1: instance rates depend only on participant clocks. A
@@ -835,7 +893,20 @@ class Simulator:
             sum(i.hbm_demand_now() for i in insts),
             bool(insts),
         )
-        self._update_entry_rates(entries, len(entries), sm_avail, hbm_avail, eff_clock)
+        rate_mul = 1.0
+        if self._perturbed:
+            rate_mul = self._perturb_rate[gpu_index]
+            hbm_mul = self._perturb_hbm[gpu_index]
+            if hbm_mul != 1.0:
+                hbm_avail *= hbm_mul
+            cap = self._perturb_cap[gpu_index]
+            if eff_clock > cap:
+                # Only reachable in ideal mode, where _availability
+                # bypasses the (already capped) per-GPU clock.
+                eff_clock = cap
+        self._update_entry_rates(
+            entries, len(entries), sm_avail, hbm_avail, eff_clock, rate_mul
+        )
         self._update_power(gpu_index, entries, insts, spinning, clock)
 
     def _availability(
@@ -870,12 +941,15 @@ class Simulator:
         sm_avail: float,
         hbm_avail: float,
         eff_clock: float,
+        rate_mul: float = 1.0,
     ) -> None:
         """Re-derive each running kernel's rate from its fair share.
 
         Shared verbatim by every engine tier (the tiers differ only in
         how ``sm_avail``/``hbm_avail`` are aggregated), so the roofline
         arithmetic and the push-on-change event discipline live once.
+        ``rate_mul`` is the GPU's straggler derate (1.0 when healthy),
+        applied after the roofline floor so the rate stays positive.
         """
         rate_from_params = RateModel.rate_from_params
         for entry in entries:
@@ -886,6 +960,8 @@ class Simulator:
                 hbm_avail / n,
                 eff_clock,
             )
+            if rate_mul != 1.0:
+                new_rate *= rate_mul
             if new_rate != entry.rate or not entry.scheduled:
                 self._bank_entry(entry)
                 entry.rate = new_rate
@@ -1082,10 +1158,84 @@ class Simulator:
         if power is None:
             power = self._power_eval.idle_power()
         new_clock = governor.observe(power)
+        if self._perturbed:
+            cap = self._perturb_cap[gpu_index]
+            if new_clock > cap:
+                # Thermal ceiling: clamp both the applied clock and the
+                # controller's internal state so its next ramp step
+                # starts from the clock actually running.
+                new_clock = cap
+                governor.clock_frac = cap
         if new_clock != self._clock[gpu_index]:
             self._clock[gpu_index] = new_clock
             self._on_clock_changed(gpu_index)
         self._min_clock_seen = min(self._min_clock_seen, new_clock)
+
+    # ------------------------------------------------------------------
+    # perturbations
+    # ------------------------------------------------------------------
+
+    def _apply_perturb(self, index: int, begin: bool) -> None:
+        """Open or close one degradation window (all tiers share this).
+
+        The targeted GPUs' multipliers are rebuilt from scratch from
+        the *active* perturbation set, composing in spec order — never
+        by multiplying/dividing incrementally, which would accumulate
+        float drift and break cross-tier bit-equality. Every targeted
+        GPU is then dirtied unconditionally via the ordinary
+        clock-changed hook; the push-on-change discipline downstream
+        makes spurious dirtying result-neutral.
+        """
+        if begin:
+            self._active_perturbs.add(index)
+        else:
+            self._active_perturbs.discard(index)
+        self.stats.perturb_events += 1
+        full_cap = self.config.max_clock_frac
+        active = sorted(self._active_perturbs)
+        specs = self._perturbs
+        target_sets = self._perturb_target_sets
+        for g in self._perturb_targets[index]:
+            rate = hbm = link = 1.0
+            cap = full_cap
+            for i in active:
+                if g not in target_sets[i]:
+                    continue
+                spec = specs[i]
+                kind = spec.kind
+                keep = 1.0 - spec.magnitude
+                if kind == "straggler_rank":
+                    rate *= keep
+                elif kind == "slow_hbm":
+                    hbm *= keep
+                elif kind == "flaky_link":
+                    link *= keep
+                else:  # thermal_throttle
+                    ceiling = keep * full_cap
+                    if ceiling < cap:
+                        cap = ceiling
+            self._perturb_rate[g] = rate
+            self._perturb_hbm[g] = hbm
+            self._perturb_link[g] = link
+            if cap != self._perturb_cap[g]:
+                self._perturb_cap[g] = cap
+                self._apply_clock_cap(g, cap)
+            self._on_clock_changed(g)
+
+    def _apply_clock_cap(self, gpu_index: int, cap: float) -> None:
+        """Reconcile a GPU's running clock with a new thermal ceiling."""
+        governor = self._governors.get(gpu_index)
+        clock = self._clock[gpu_index]
+        if clock > cap:
+            self._clock[gpu_index] = cap
+            if governor is not None:
+                governor.clock_frac = cap
+            if cap < self._min_clock_seen:
+                self._min_clock_seen = cap
+        elif governor is None and clock < cap:
+            # No control loop to ramp back up (ideal mode / governor
+            # off): restore the ceiling directly when it lifts.
+            self._clock[gpu_index] = cap
 
     # ------------------------------------------------------------------
     # power segments
@@ -1606,9 +1756,19 @@ class FastSimulator(IncrementalSimulator):
             max(0.0, self._agg_hbm[gpu_index]),
             bool(active_count),
         )
+        rate_mul = 1.0
+        if self._perturbed:
+            rate_mul = self._perturb_rate[gpu_index]
+            hbm_mul = self._perturb_hbm[gpu_index]
+            if hbm_mul != 1.0:
+                hbm_avail *= hbm_mul
+            cap = self._perturb_cap[gpu_index]
+            if eff_clock > cap:
+                eff_clock = cap
         running = self._running_on[gpu_index]
         self._update_entry_rates(
-            running.values(), len(running), sm_avail, hbm_avail, eff_clock
+            running.values(), len(running), sm_avail, hbm_avail, eff_clock,
+            rate_mul,
         )
         self._update_power_fast(gpu_index, clock, active_count)
 
@@ -1707,6 +1867,12 @@ class BatchedSimulator(FastSimulator):
         self._agg_spin_sm = store.spin_sm
         self._agg_hbm = store.hbm
         self._agg_link = store.link
+        # Perturbation multipliers move into the store too (all still
+        # identity: no PERTURB event can have fired during __init__).
+        self._perturb_rate = store.rate_mul
+        self._perturb_hbm = store.hbm_mul
+        self._perturb_link = store.link_mul
+        self._perturb_cap = store.clock_cap
         #: Cumulative simulated time — the O(1) banking base.
         self._cum_dt = 0.0
         self._np = numpy_or_none()
@@ -1946,6 +2112,10 @@ class BatchedSimulator(FastSimulator):
                         launch_candidates.update(wake_streams[payload])
                     elif kind is _COLLECTIVE_FINISH:
                         finish_collective(payload)
+                    elif kind is _PERTURB_BEGIN:
+                        self._apply_perturb(payload, True)
+                    elif kind is _PERTURB_END:
+                        self._apply_perturb(payload, False)
                     elif ticks is None:
                         ticks = [payload]
                     else:
@@ -2043,7 +2213,14 @@ class BatchedSimulator(FastSimulator):
             [governors[g] for g in gpus], [power[g] for g in gpus]
         )
         min_seen = self._min_clock_seen
+        perturbed = self._perturbed
+        caps = self._perturb_cap
         for gpu_index, new_clock in zip(gpus, new_clocks):
+            if perturbed:
+                cap = caps[gpu_index]
+                if new_clock > cap:
+                    new_clock = cap
+                    governors[gpu_index].clock_frac = cap
             if new_clock != clock[gpu_index]:
                 clock[gpu_index] = new_clock
                 self._on_clock_changed(gpu_index)
@@ -2065,6 +2242,11 @@ class BatchedSimulator(FastSimulator):
         # _power_now is primed with idle power at construction, so the
         # base dispatch's None fallback cannot trigger here.
         new_clock = governor.observe(self._power_now[gpu_index])
+        if self._perturbed:
+            cap = self._perturb_cap[gpu_index]
+            if new_clock > cap:
+                new_clock = cap
+                governor.clock_frac = cap
         if new_clock != self._clock[gpu_index]:
             self._clock[gpu_index] = new_clock
             self._on_clock_changed(gpu_index)
@@ -2213,6 +2395,10 @@ class BatchedSimulator(FastSimulator):
         unscheduled = self._tick_unscheduled
         segment_open = self._segment_open
         segments = self._segments
+        perturbed = self._perturbed
+        perturb_rate = self._perturb_rate
+        perturb_hbm = self._perturb_hbm
+        perturb_cap = self._perturb_cap
 
         def fused(gpu_index: int) -> None:
             stats.gpu_rate_passes += 1
@@ -2247,6 +2433,16 @@ class BatchedSimulator(FastSimulator):
                 if active_count:
                     hbm_avail *= one_minus_interf
                 eff_clock = clock
+            if perturbed:
+                rate_mul = perturb_rate[gpu_index]
+                pm = perturb_hbm[gpu_index]
+                if pm != 1.0:
+                    hbm_avail *= pm
+                cap = perturb_cap[gpu_index]
+                if eff_clock > cap:
+                    eff_clock = cap
+            else:
+                rate_mul = 1.0
             running = running_on[gpu_index]
             uv = 0.0
             ut = 0.0
@@ -2271,6 +2467,8 @@ class BatchedSimulator(FastSimulator):
                         rate = peak_eff * 1e-4
                         if rate < 1.0:
                             rate = 1.0
+                    if rate_mul != 1.0:
+                        rate *= rate_mul
                     if rate != entry.rate or not entry.scheduled:
                         behind = cum - entry.bank_cum
                         if behind > 0.0:
@@ -2405,12 +2603,23 @@ class BatchedSimulator(FastSimulator):
         hbm_list: List[float] = []
         clk_rate: List[float] = []
         clk_util: List[float] = []
+        mul_list: List[float] = []
+        perturbed = self._perturbed
         for gpu_index in gpus:
             clock = self._clock[gpu_index]
             active_count = len(self._active_on[gpu_index])
             sm_avail, hbm_avail, eff_clock = self._fused_availability(
                 gpu_index, clock, active_count
             )
+            rate_mul = 1.0
+            if perturbed:
+                rate_mul = self._perturb_rate[gpu_index]
+                pm = self._perturb_hbm[gpu_index]
+                if pm != 1.0:
+                    hbm_avail *= pm
+                cap = self._perturb_cap[gpu_index]
+                if eff_clock > cap:
+                    eff_clock = cap
             running = self._running_on[gpu_index]
             n = len(running)
             if n:
@@ -2424,6 +2633,7 @@ class BatchedSimulator(FastSimulator):
                     hbm_list.append(share_hbm)
                     clk_rate.append(eff_clock)
                     clk_util.append(clock)
+                    mul_list.append(rate_mul)
             per_gpu.append((gpu_index, clock, n, active_count))
             acc[gpu_index] = [0.0, 0.0, 0.0]  # uv, ut, hbm_used
         # Phase 2: batched rate + utilisation evaluation.
@@ -2431,6 +2641,15 @@ class BatchedSimulator(FastSimulator):
             rates = RateModel.rate_from_params_many(
                 pe_list, ai_list, sm_list, hbm_list, clk_rate, np=np
             )
+            if perturbed:
+                # Fold the straggler derate in *before* utilisation so
+                # power tracks the derated rate, exactly as the scalar
+                # fused path does (x * 1.0 is an exact identity, so the
+                # untargeted entries come through bit-unchanged).
+                if np is not None and not isinstance(rates, list):
+                    rates = rates * np.asarray(mul_list)
+                else:
+                    rates = [r * m for r, m in zip(rates, mul_list)]
             utils = RateModel.sm_utilization_from_params_many(
                 pe_list, rates, 1.0, clk_util, np=np
             )
@@ -2627,6 +2846,10 @@ class AutoSimulator(BatchedSimulator):
                 self._finish_compute(event.payload)
             elif kind is _COLLECTIVE_FINISH:
                 self._finish_collective(event.payload)
+            elif kind is _PERTURB_BEGIN:
+                self._apply_perturb(event.payload, True)
+            elif kind is _PERTURB_END:
+                self._apply_perturb(event.payload, False)
             else:
                 self._governor_tick(event.payload)
             if len(done) >= total:

@@ -59,6 +59,8 @@ class EventKind(enum.Enum):
     TASK_FINISH = "task_finish"
     COLLECTIVE_FINISH = "collective_finish"
     GOVERNOR_TICK = "governor_tick"
+    PERTURB_BEGIN = "perturb_begin"
+    PERTURB_END = "perturb_end"
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value

@@ -1,0 +1,207 @@
+"""Fault and degradation injection: perturbation specifications.
+
+Real clusters are not fault-free: a rank straggles because its HBM
+runs hot, an NVLink flaps, a GPU thermally throttles. A
+:class:`PerturbationSpec` describes one such degradation window —
+what degrades (``kind``), where (``target``), when (``start_s`` /
+``duration_s``) and how hard (``magnitude``) — in a validated,
+hashable, JSON-round-trippable form, so perturbations ride
+``ExperimentConfig`` (hashing into job cache keys), sweep as
+``SweepSpec`` axes and arrive at the engine through ``SimConfig``.
+
+The engine turns each spec into a ``PERTURB_BEGIN``/``PERTURB_END``
+event pair in the ordinary event queue; applying one recomputes the
+targeted GPUs' degradation multipliers from the *active-perturbation
+set* (never by incrementally multiplying/dividing, which would
+accumulate float drift) and dirties exactly the affected residents.
+The model is limplock-style — degraded but alive — not crash-stop:
+
+* ``straggler_rank`` — the targeted GPUs' compute kernels progress at
+  ``(1 - magnitude)`` of their modeled rate (a slow rank, not a dead
+  one).
+* ``slow_hbm`` — the targeted GPUs' available HBM bandwidth is
+  derated by ``(1 - magnitude)``; memory-bound kernels feel it,
+  compute-bound ones mostly do not.
+* ``flaky_link`` — collectives with a targeted participant progress
+  at ``(1 - magnitude)`` of their rate; ``magnitude = 1.0`` is a full
+  transient outage (the collective stalls until the window ends).
+* ``thermal_throttle`` — a clock ceiling: the targeted GPUs' clock
+  fraction is capped at ``(1 - magnitude)`` of the configured maximum
+  for the window; the DVFS governor ramps back up afterwards.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Recognized degradation kinds (see the module docstring).
+PERTURBATION_KINDS: Tuple[str, ...] = (
+    "straggler_rank",
+    "slow_hbm",
+    "flaky_link",
+    "thermal_throttle",
+)
+
+#: Kinds whose multiplier must stay strictly positive: a rate or clock
+#: of exactly zero would make finish projections divide by zero. A
+#: full outage is expressible only for links, whose finish path is
+#: guarded (``max(rate, 1e-12)``).
+_STRICT_KINDS = ("straggler_rank", "slow_hbm", "thermal_throttle")
+
+_SPEC_KEYS = ("kind", "target", "start_s", "duration_s", "magnitude")
+
+
+@dataclass(frozen=True)
+class PerturbationSpec:
+    """One degradation window.
+
+    Attributes:
+        kind: one of :data:`PERTURBATION_KINDS`.
+        target: which GPUs degrade — ``"all"``, ``"gpu:N"`` or a
+            comma list ``"gpu:N,M"``. Indices beyond the simulated
+            node's GPU count are ignored (so one spec can ride a
+            ``num_gpus`` sweep); a spec whose targets are all out of
+            range is simply inert for that cell. For ``flaky_link``
+            the targets are the link *endpoints*: any collective with
+            a targeted participant degrades.
+        start_s: simulated time the window opens (>= 0).
+        duration_s: window length (> 0; ``inf`` = rest of the run).
+        magnitude: degradation strength in (0, 1) — fraction of the
+            nominal rate / bandwidth / clock removed. ``flaky_link``
+            alone admits 1.0 (full outage).
+    """
+
+    kind: str
+    target: str = "all"
+    start_s: float = 0.0
+    duration_s: float = math.inf
+    magnitude: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.kind not in PERTURBATION_KINDS:
+            raise ConfigurationError(
+                f"unknown perturbation kind {self.kind!r} "
+                f"(known: {', '.join(PERTURBATION_KINDS)})"
+            )
+        object.__setattr__(self, "start_s", float(self.start_s))
+        object.__setattr__(self, "duration_s", float(self.duration_s))
+        object.__setattr__(self, "magnitude", float(self.magnitude))
+        if not (self.start_s >= 0.0) or math.isinf(self.start_s):
+            raise ConfigurationError(
+                f"perturbation start_s must be finite and >= 0, "
+                f"got {self.start_s!r}"
+            )
+        if not self.duration_s > 0.0:
+            raise ConfigurationError(
+                f"perturbation duration_s must be > 0, "
+                f"got {self.duration_s!r}"
+            )
+        upper_ok = (
+            self.magnitude <= 1.0
+            if self.kind not in _STRICT_KINDS
+            else self.magnitude < 1.0
+        )
+        if not (0.0 < self.magnitude and upper_ok):
+            bound = "(0, 1]" if self.kind not in _STRICT_KINDS else "(0, 1)"
+            raise ConfigurationError(
+                f"perturbation magnitude for {self.kind!r} must be in "
+                f"{bound}, got {self.magnitude!r}"
+            )
+        # Parse the target eagerly so a bad selector fails at config
+        # construction, not mid-simulation.
+        self._parse_target()
+
+    def _parse_target(self) -> Optional[Tuple[int, ...]]:
+        """``None`` for ``"all"``, else the explicit GPU index tuple."""
+        target = self.target.strip().lower()
+        if target == "all":
+            return None
+        if not target.startswith("gpu:"):
+            raise ConfigurationError(
+                f"perturbation target must be 'all' or 'gpu:N[,M...]', "
+                f"got {self.target!r}"
+            )
+        indices = []
+        for part in target[len("gpu:"):].split(","):
+            part = part.strip()
+            if not part.isdigit():
+                raise ConfigurationError(
+                    f"bad GPU index {part!r} in perturbation target "
+                    f"{self.target!r}"
+                )
+            indices.append(int(part))
+        if not indices:
+            raise ConfigurationError(
+                f"perturbation target {self.target!r} names no GPUs"
+            )
+        return tuple(sorted(set(indices)))
+
+    @property
+    def end_s(self) -> float:
+        """Simulated time the window closes (may be ``inf``)."""
+        return self.start_s + self.duration_s
+
+    def target_gpus(self, num_gpus: int) -> Tuple[int, ...]:
+        """The targeted GPU indices on an ``num_gpus``-wide node."""
+        explicit = self._parse_target()
+        if explicit is None:
+            return tuple(range(num_gpus))
+        return tuple(g for g in explicit if g < num_gpus)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "target": self.target,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "magnitude": self.magnitude,
+        }
+
+    @classmethod
+    def from_value(cls, value: Any) -> "PerturbationSpec":
+        """Build from a spec, a mapping, or reject anything else."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, Mapping):
+            unknown = set(value) - set(_SPEC_KEYS)
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown perturbation keys: "
+                    f"{', '.join(sorted(unknown))} "
+                    f"(known: {', '.join(_SPEC_KEYS)})"
+                )
+            if "kind" not in value:
+                raise ConfigurationError(
+                    "a perturbation needs a 'kind' "
+                    f"(known: {', '.join(PERTURBATION_KINDS)})"
+                )
+            return cls(**dict(value))
+        raise ConfigurationError(
+            f"cannot build a PerturbationSpec from {value!r} "
+            f"(expected a mapping or a PerturbationSpec)"
+        )
+
+
+def normalize_perturbations(value: Any) -> Tuple[PerturbationSpec, ...]:
+    """Canonical tuple form from any accepted spelling.
+
+    Accepts ``None``/empty (no perturbations), a single spec or
+    mapping, or a sequence of either. The *order* is preserved: it
+    numbers the begin/end events, and active multipliers compose in
+    spec order, so two orderings of the same set are distinct configs
+    (and hash distinctly) by design.
+    """
+    if value is None:
+        return ()
+    if isinstance(value, (PerturbationSpec, Mapping)):
+        value = (value,)
+    if isinstance(value, (str, bytes)) or not isinstance(value, Sequence):
+        raise ConfigurationError(
+            f"perturbations must be a sequence of specs or mappings, "
+            f"got {value!r}"
+        )
+    return tuple(PerturbationSpec.from_value(v) for v in value)

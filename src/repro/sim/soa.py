@@ -70,14 +70,20 @@ class SoAStore:
       active / spinning collectives.
     * ``hbm`` / ``link`` — additive HBM-draw and link-utilisation
       aggregates of active collectives.
+    * ``rate_mul`` / ``hbm_mul`` / ``link_mul`` / ``clock_cap`` — the
+      degradation multipliers and clock ceiling maintained by the
+      perturbation injector (``sim/perturb.py``); identity values
+      (1.0 / ``max_clock_frac``) when no perturbation targets the GPU.
 
     The store is dumb by design: the engine owns every update rule
-    (snap-to-zero on empty resident sets, exact-delta rate folds);
-    this class just fixes the memory layout.
+    (snap-to-zero on empty resident sets, exact-delta rate folds,
+    active-set multiplier recomputes); this class just fixes the
+    memory layout.
     """
 
     __slots__ = (
         "num_gpus", "clock", "power", "comm_sm", "spin_sm", "hbm", "link",
+        "rate_mul", "hbm_mul", "link_mul", "clock_cap",
     )
 
     def __init__(
@@ -90,3 +96,7 @@ class SoAStore:
         self.spin_sm: List[float] = [0.0] * num_gpus
         self.hbm: List[float] = [0.0] * num_gpus
         self.link: List[float] = [0.0] * num_gpus
+        self.rate_mul: List[float] = [1.0] * num_gpus
+        self.hbm_mul: List[float] = [1.0] * num_gpus
+        self.link_mul: List[float] = [1.0] * num_gpus
+        self.clock_cap: List[float] = [max_clock_frac] * num_gpus

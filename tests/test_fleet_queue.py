@@ -213,6 +213,47 @@ def test_knows_covers_every_state(queue, clock):
     assert queue.knows(task.cache_key)  # done
 
 
+def test_lease_with_hint_reports_earliest_backoff_gate(queue, clock):
+    queue.add(_task(8))
+    queue.lease("limping")
+    clock.advance(10.1)
+    queue.reap()  # requeued with not_before = now + backoff_base
+    leased, hint = queue.lease_with_hint("w2")
+    assert leased is None
+    assert hint == pytest.approx(1.0)
+    clock.advance(0.4)
+    leased, hint = queue.lease_with_hint("w2")
+    assert leased is None
+    assert hint == pytest.approx(0.6)
+    clock.advance(0.7)  # past the gate: leasable again, no hint
+    leased, hint = queue.lease_with_hint("w2")
+    assert leased is not None
+    assert hint is None
+
+
+def test_lease_with_hint_is_none_when_only_in_flight(queue):
+    queue.add(_task(8))
+    leased, hint = queue.lease_with_hint("w")
+    assert leased is not None and hint is None
+    # Nothing pending (the task is leased elsewhere): no gate to wait
+    # out, so no hint — callers fall back to their poll interval.
+    leased, hint = queue.lease_with_hint("w2")
+    assert leased is None and hint is None
+
+
+def test_lease_with_hint_takes_the_minimum_gate(queue, clock):
+    queue.add(_task(8))
+    queue.add(_task(16))
+    lease1, _ = queue.lease("w")
+    lease2, _ = queue.lease("w")
+    queue.fail(lease1.lease_id, "boom")  # gate at t = 1.0
+    clock.advance(0.5)
+    queue.fail(lease2.lease_id, "boom")  # gate at t = 1.5
+    leased, hint = queue.lease_with_hint("w")
+    assert leased is None
+    assert hint == pytest.approx(0.5)  # earliest gate wins
+
+
 def test_snapshot_reports_counts_workers_and_stats(queue):
     queue.add(_task(8))
     queue.add(_task(16))

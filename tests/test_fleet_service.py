@@ -238,6 +238,142 @@ def test_http_boundary_rejects_bad_submissions(tmp_path):
         coordinator.stop()
 
 
+def test_result_push_retries_transient_connection_drops(
+    tmp_path, monkeypatch
+):
+    """A dropped /result push must not lose a finished simulation."""
+    import repro.fleet.worker as worker_mod
+    from repro.fleet.protocol import CoordinatorUnreachable
+
+    coordinator = FleetCoordinator(cache=ResultCache(tmp_path))
+    coordinator.start()
+    try:
+        task = task_from_job(_job(8), "h")
+        request_json(
+            f"{coordinator.url}/submit", {"tasks": [task.to_payload()]}
+        )
+        worker = FleetWorker(url=coordinator.url, worker_id="flaky")
+        real = worker_mod.request_json
+        drops = {"n": 0}
+
+        def flaky(url, body=None, **kwargs):
+            if url.endswith("/result") and drops["n"] < 2:
+                drops["n"] += 1
+                raise CoordinatorUnreachable(f"injected drop {drops['n']}")
+            return real(url, body, **kwargs)
+
+        monkeypatch.setattr(worker_mod, "request_json", flaky)
+        lease = worker._lease()
+        assert lease["state"] == "task"
+        assert worker.run_one(lease) is True
+        assert drops["n"] == 2  # both drops happened, then the retry won
+        assert worker.stats.completed == 1
+        assert worker.stats.errors == 0
+        assert coordinator.queue.stats.completed == 1
+        assert coordinator.queue.drained and coordinator.queue.succeeded
+    finally:
+        coordinator.stop()
+
+
+def test_unacked_result_push_does_not_count_completed(monkeypatch):
+    """stats.completed is an ack count, not a push-attempt count."""
+    import repro.fleet.worker as worker_mod
+
+    task = task_from_job(_job(8), "h")
+
+    def fake(url, body=None, **kwargs):
+        if url.endswith("/heartbeat"):
+            return {"ok": True}
+        assert url.endswith("/result")
+        return {"ok": False}
+
+    monkeypatch.setattr(worker_mod, "request_json", fake)
+    worker = FleetWorker(url="127.0.0.1:9", worker_id="w")
+    lease_body = {
+        "task": task.to_payload(), "lease": "L1", "heartbeat_s": 30.0,
+    }
+    assert worker.run_one(lease_body) is False
+    assert worker.stats.completed == 0
+    assert worker.stats.infeasible == 0
+
+
+def test_heartbeat_thread_survives_transient_errors(monkeypatch):
+    """One dropped heartbeat must not silently let the lease expire;
+    only an explicit dead-lease response stops the thread."""
+    import repro.fleet.worker as worker_mod
+    from repro.fleet.protocol import CoordinatorUnreachable
+
+    script = [
+        CoordinatorUnreachable("blip"),
+        {"ok": True},
+        CoordinatorUnreachable("blip again"),
+        {"ok": True},
+        {"ok": False},  # lease reaped: now the thread may stop
+    ]
+    drained = threading.Event()
+
+    def fake(url, body=None, **kwargs):
+        assert url.endswith("/heartbeat")
+        step = script.pop(0)
+        if not script:
+            drained.set()
+        if isinstance(step, Exception):
+            raise step
+        return step
+
+    monkeypatch.setattr(worker_mod, "request_json", fake)
+    thread = worker_mod._HeartbeatThread("http://127.0.0.1:9", "L1", 0.01)
+    thread.start()
+    assert drained.wait(10.0)  # survived both transients to the end
+    thread.join(timeout=10.0)
+    assert not thread.is_alive()
+
+
+def test_wait_response_carries_backoff_hint(tmp_path):
+    """All-pending-gated: the wait tells workers how long to sleep."""
+    coordinator = FleetCoordinator(
+        cache=ResultCache(tmp_path), backoff_base=5.0
+    )
+    coordinator.queue.add(task_from_job(_job(8), "h"))
+    body = coordinator.handle_lease({"worker": "w"})
+    assert body["state"] == "task"
+    coordinator.queue.fail(body["lease"], "RuntimeError: boom")
+    wait = coordinator.handle_lease({"worker": "w"})
+    assert wait["state"] == "wait"
+    assert wait.get("backoff") is True
+    # The hint is the (floored) delta to the backoff gate, not the
+    # fixed poll interval.
+    assert coordinator.poll_interval < wait["retry_after_s"] <= 5.0
+    assert wait["retry_after_s"] > 4.0
+
+
+def test_backoff_waits_do_not_count_as_idle(monkeypatch):
+    """A worker waiting out a known backoff gate is not idle."""
+    import repro.fleet.worker as worker_mod
+
+    responses = [
+        {"state": "wait", "retry_after_s": 0.01, "backoff": True},
+        {"state": "wait", "retry_after_s": 0.01, "backoff": True},
+        {"state": "wait", "retry_after_s": 0.01},
+        {"state": "wait", "retry_after_s": 0.01},
+        {"state": "drained"},
+    ]
+
+    def fake(url, body=None, **kwargs):
+        assert url.endswith("/lease")
+        return responses.pop(0)
+
+    monkeypatch.setattr(worker_mod, "request_json", fake)
+    worker = FleetWorker(
+        url="127.0.0.1:9", worker_id="w", max_idle_s=0.0
+    )
+    worker.run()
+    # The two backoff waits must not have tripped the idle exit; the
+    # two plain waits then do (max_idle_s=0), before "drained" is read.
+    assert worker.stats.waits == 4
+    assert responses == [{"state": "drained"}]
+
+
 def test_status_endpoint_reports_queue_cache_and_scenario(tmp_path):
     plan = compile_fleet_plan("fig9")
     coordinator = FleetCoordinator(cache=ResultCache(tmp_path))

@@ -1,9 +1,10 @@
 """Golden regression snapshots of figure summary metrics.
 
 `tests/golden/<name>.json` pins the exact quick-mode numbers of the
-Fig. 8 microbenchmark, the Fig. 9 power-cap sweep and the shared
-Figs. 4-6 evaluation grid (per-cell slowdown/overlap/e2e plus
-overlapped-mode power and energy). The simulator is deterministic
+Fig. 8 microbenchmark, the Fig. 9 power-cap sweep, the straggler
+degradation grid (magnitude x strategy x power cap, slowdowns vs the
+healthy twin cell) and the shared Figs. 4-6 evaluation grid (per-cell
+slowdown/overlap/e2e plus overlapped-mode power and energy). The simulator is deterministic
 (jitter is seeded from the config), so any drift here means a refactor
 changed simulated physics, not noise. When a change is *intentional*,
 regenerate the snapshots and commit the diff:
@@ -37,6 +38,12 @@ def _generate_fig9():
     return fig9.generate(quick=True)
 
 
+def _generate_degradation():
+    from repro.harness.figures import degradation
+
+    return degradation.straggler_generate(quick=True)
+
+
 def _generate_grid():
     from repro.core.modes import ExecutionMode
     from repro.harness.figures.grid import grid_rows
@@ -67,6 +74,7 @@ def _generate_grid():
 GENERATORS = {
     "fig8": _generate_fig8,
     "fig9": _generate_fig9,
+    "degradation": _generate_degradation,
     "grid": _generate_grid,
 }
 
