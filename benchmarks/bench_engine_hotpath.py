@@ -28,6 +28,12 @@ and incremental engines and exits nonzero unless the full result
 payloads are byte-identical (the CI equivalence gate; the fast tier is
 gated by its tolerance tests, not by byte identity).
 
+Timed sections run with cyclic GC suspended (the ``timeit`` module's
+convention, applied identically to every tier): collection scheduling
+is allocation-count driven, so whether a major sweep lands inside a
+timed pass is random noise, not engine cost. Records carry
+``gc_paused: true``.
+
 This file is a standalone script, not a pytest-benchmark module: run
 ``python benchmarks/bench_engine_hotpath.py [--quick]``.
 """
@@ -36,6 +42,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import gc
 import json
 import os
 import sys
@@ -62,6 +69,7 @@ from repro.sim.engine import (  # noqa: E402
     make_simulator,
     reset_shared_evaluators,
 )
+from repro.sim.prep import prep_stats  # noqa: E402
 
 #: Exact engines (``--verify`` pins them byte-identical).
 ENGINES = ("reference", "incremental")
@@ -88,6 +96,27 @@ VERIFY_CELL = ExperimentConfig(
     jitter_sigma=0.02,
     runs=1,
 )
+
+
+@contextlib.contextmanager
+def _paused_gc():
+    """Suspend cyclic GC around a timed section (timeit's convention).
+
+    Collection scheduling is driven by process-global allocation
+    counters, so whether a gen-2 sweep (hundreds of ms against the
+    planner's persistent caches) lands inside a timed pass is
+    essentially random — pausing it measures the code, not the
+    collector.  Every tier is paused identically; the record carries
+    ``gc_paused`` so the numbers are comparable across revisions.
+    """
+    was_enabled = gc.isenabled()
+    if was_enabled:
+        gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
 
 
 @contextlib.contextmanager
@@ -138,22 +167,52 @@ def bench_single_cell(repeats: int, profile: bool = False) -> dict:
     for engine in TIERS:
         # Every tier starts with cold process-wide evaluator memos so
         # the recorded speedups compare engines, not cache inheritance
-        # from whichever tier ran first.
+        # from whichever tier ran first. The first construction after
+        # the reset therefore *builds* the tier's PreparedSim (cold
+        # setup); every later construction fetches it from the prep
+        # cache (warm setup) — both are recorded so the prepared-layer
+        # amortization is a gateable series, not folded into noise.
         reset_shared_evaluators()
         config = _tier_sim_config(engine)
+        prep_before = prep_stats()
         best = None
+        setup_times = []
         events = 0
-        for _ in range(repeats):
-            sim = make_simulator(node, plan.tasks, config, cost_model=cost_model)
-            t0 = time.perf_counter()
-            sim.run()
-            elapsed = time.perf_counter() - t0
-            best = elapsed if best is None else min(best, elapsed)
-            events = sim.stats.events
+        with _paused_gc():
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                sim = make_simulator(
+                    node, plan.tasks, config, cost_model=cost_model
+                )
+                t1 = time.perf_counter()
+                sim.run()
+                elapsed = time.perf_counter() - t1
+                setup_times.append(t1 - t0)
+                best = elapsed if best is None else min(best, elapsed)
+                events = sim.stats.events
+            if len(setup_times) == 1:
+                # --quick runs once; add one untimed-run construction
+                # so the warm-setup series exists in every record.
+                t0 = time.perf_counter()
+                make_simulator(node, plan.tasks, config, cost_model=cost_model)
+                setup_times.append(time.perf_counter() - t0)
+        prep_after = prep_stats()
+        setup_cold = setup_times[0]
+        setup_warm = min(setup_times[1:])
         out[engine] = {
             "seconds": best,
+            "setup_cold_s": setup_cold,
+            "setup_warm_s": setup_warm,
+            "setup_cold_over_warm": (
+                setup_cold / setup_warm if setup_warm > 0 else None
+            ),
+            "drain_s": best,
             "events": events,
             "events_per_s": events / best,
+            "prep": {
+                "hits": prep_after["hits"] - prep_before["hits"],
+                "builds": prep_after["builds"] - prep_before["builds"],
+            },
             "gpu_rate_passes": sim.stats.gpu_rate_passes,
             "stale_events": sim.stats.stale_events,
             "ticks_skipped": sim.stats.ticks_skipped,
@@ -214,16 +273,25 @@ def bench_grid() -> dict:
         # share them, which is the product behaviour being measured).
         reset_shared_evaluators()
         service = ExecutionService(executor=SerialExecutor(), cache=None)
-        with _engine_env(engine):
+        planner_before = planner.stats()["prepared_sims"]
+        with _engine_env(engine), _paused_gc():
             t0 = time.perf_counter()
             outcomes = service.run_jobs(jobs)
             elapsed = time.perf_counter() - t0
+        planner_after = planner.stats()["prepared_sims"]
         ran = sum(1 for o in outcomes if o.ran)
         out[engine] = {
             "seconds": elapsed,
             "cells_per_s": len(jobs) / elapsed,
             "simulated": ran,
             "infeasible": len(jobs) - ran,
+            # Planner-level PreparedSim reuse across the grid's cells:
+            # every hit is a cell whose tables were shared instead of
+            # rebuilt.
+            "prepared_sims": {
+                "hits": planner_after["hits"] - planner_before["hits"],
+                "builds": planner_after["builds"] - planner_before["builds"],
+            },
         }
     out["speedup"] = (
         out["incremental"]["cells_per_s"] / out["reference"]["cells_per_s"]
@@ -310,15 +378,22 @@ def main(argv=None) -> int:
         "schema": 1,
         "generated_by": "benchmarks/bench_engine_hotpath.py",
         "quick": args.quick,
+        # Timed sections run with cyclic GC suspended (see _paused_gc).
+        "gc_paused": True,
     }
     print(f"single-cell event throughput ({repeats} repeat(s))...")
     record["single_cell"] = bench_single_cell(repeats, profile=args.profile)
     sc = record["single_cell"]
     for engine in TIERS:
+        tier = sc[engine]
         print(
-            f"  {engine:>11}: {sc[engine]['events']} events in "
-            f"{sc[engine]['seconds'] * 1e3:.1f} ms "
-            f"({sc[engine]['events_per_s']:.0f} events/s)"
+            f"  {engine:>11}: {tier['events']} events, "
+            f"setup {tier['setup_cold_s'] * 1e3:.2f} ms cold / "
+            f"{tier['setup_warm_s'] * 1e3:.2f} ms warm, "
+            f"drain {tier['drain_s'] * 1e3:.1f} ms "
+            f"({tier['events_per_s']:.0f} events/s; prep "
+            f"{tier['prep']['hits']} hit(s), "
+            f"{tier['prep']['builds']} build(s))"
         )
     print(
         f"  speedup: {sc['speedup']:.2f}x incremental, "
@@ -331,10 +406,13 @@ def main(argv=None) -> int:
         record["grid"] = bench_grid()
         grid = record["grid"]
         for engine in TIERS:
+            prepared = grid[engine]["prepared_sims"]
             print(
                 f"  {engine:>11}: {grid['cells']} cells in "
                 f"{grid[engine]['seconds']:.1f} s "
-                f"({grid[engine]['cells_per_s']:.3f} cells/s)"
+                f"({grid[engine]['cells_per_s']:.3f} cells/s; "
+                f"prepared {prepared['hits']} hit(s), "
+                f"{prepared['builds']} build(s))"
             )
         print(
             f"  speedup: {grid['speedup']:.2f}x incremental, "

@@ -14,6 +14,8 @@ reference engine measured in the same run**, one series per tier:
   (``single_cell.speedup_fast``, ``grid.speedup_fast``)
 * ``batched`` — the cohort-batched tier
   (``single_cell.speedup_batched``, ``grid.speedup_batched``)
+* ``setup`` — the prepared-layer amortization, cold setup over warm
+  setup within one tier (``single_cell.<tier>.setup_cold_over_warm``)
 
 Ratios within one record cancel out the machine: a CI runner that is
 uniformly 40% slower than the committer's box produces the same
@@ -32,7 +34,7 @@ Usage::
 
     python benchmarks/check_bench_regression.py BASELINE FRESH \
         [--threshold 0.20] [--threshold-fast 0.25] \
-        [--threshold-batched 0.30]
+        [--threshold-batched 0.30] [--threshold-setup 0.60]
 """
 
 from __future__ import annotations
@@ -74,6 +76,20 @@ GATED_SERIES: Tuple[Tuple[str, Tuple[Tuple[str, Tuple[str, ...]], ...]], ...] = 
              ("grid", "speedup_batched")),
         ),
     ),
+    # The prepared-layer amortization: cold setup (first construction,
+    # builds the PreparedSim tables) over warm setup (prep-cache hit).
+    # A ratio within one record, so machine-independent like the
+    # speedups; a regression here means per-cell setup stopped being
+    # amortized across cells sharing a plan.
+    (
+        "setup",
+        (
+            ("single-cell incremental cold/warm setup ratio",
+             ("single_cell", "incremental", "setup_cold_over_warm")),
+            ("single-cell batched cold/warm setup ratio",
+             ("single_cell", "batched", "setup_cold_over_warm")),
+        ),
+    ),
 )
 
 #: Reported for context only; absolute throughput tracks hardware.
@@ -81,6 +97,9 @@ INFO_METRICS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("single-cell events/s", ("single_cell", "incremental", "events_per_s")),
     ("quick-grid cells/s", ("grid", "incremental", "cells_per_s")),
     ("quick-grid batched cells/s", ("grid", "batched", "cells_per_s")),
+    ("single-cell batched warm setup s",
+     ("single_cell", "batched", "setup_warm_s")),
+    ("single-cell batched drain s", ("single_cell", "batched", "drain_s")),
 )
 
 
@@ -134,11 +153,22 @@ def main(argv=None) -> int:
         "(default: 0.30; its short wall times make the ratio the "
         "noisiest)",
     )
+    parser.add_argument(
+        "--threshold-setup",
+        type=float,
+        default=0.60,
+        help="relative drop that fails the cold/warm setup-ratio "
+        "series (default: 0.60; sub-millisecond warm setups make "
+        "this the noisiest ratio of all, but a genuine loss of "
+        "prepared-layer amortization is an order of magnitude, "
+        "not a fraction)",
+    )
     args = parser.parse_args(argv)
     thresholds = {
         "default": args.threshold,
         "fast": args.threshold_fast,
         "batched": args.threshold_batched,
+        "setup": args.threshold_setup,
     }
 
     records = []
@@ -158,7 +188,7 @@ def main(argv=None) -> int:
         base, new = _lookup(baseline, path), _lookup(fresh, path)
         if base is not None and new is not None:
             print(
-                f"  [info] {label}: baseline {base:.1f} -> fresh {new:.1f} "
+                f"  [info] {label}: baseline {base:.4g} -> fresh {new:.4g} "
                 f"(absolute; not gated)"
             )
 

@@ -118,6 +118,14 @@ def _print_execution_stats(detailed: bool = False) -> None:
             f"{cache.misses} miss(es)",
             file=sys.stderr,
         )
+    from repro.exec.planning import default_planner
+
+    planner_stats = default_planner().stats()
+    parts = ", ".join(
+        f"{name} {counts['hits']}/{counts['hits'] + counts['builds']}"
+        for name, counts in planner_stats.items()
+    )
+    print(f"[exec] planner cache hits: {parts}", file=sys.stderr)
 
 
 def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
@@ -508,6 +516,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     worker = FleetWorker(
         url=args.url,
         executor=default_service().executor,
+        batch=getattr(args, "batch", 1),
         max_tasks=args.max_tasks,
         max_idle_s=args.max_idle,
     )
@@ -925,6 +934,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="exit after S seconds with nothing leasable "
         "(default: wait for the coordinator to drain)",
+    )
+    worker_parser.add_argument(
+        "--batch",
+        type=int,
+        default=1,
+        metavar="K",
+        help="lease up to K tasks per round-trip and push their "
+        "results as one batch (default: 1, the legacy wire shape)",
     )
     _add_execution_args(worker_parser)
     worker_parser.set_defaults(func=_cmd_worker)

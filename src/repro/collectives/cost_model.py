@@ -108,6 +108,12 @@ class CollectiveCostModel:
     compute a key twice — never observe a wrong cost.
     """
 
+    #: Bound on the per-op memo: one model is shared by every prepared
+    #: simulation of a node, and a long calibration sweep mints many
+    #: distinct payload sizes; clear-on-overflow keeps it finite (the
+    #: same discipline as the other process-shared memos).
+    _MAX_COST_ENTRIES = 65536
+
     def __init__(
         self,
         link: LinkSpec,
@@ -152,12 +158,19 @@ class CollectiveCostModel:
         cached = self._cost_cache.get(op)
         if cached is not None:
             return cached
+        if len(self._cost_cache) >= self._MAX_COST_ENTRIES:
+            self._cost_cache.clear()
         cost = self._cost_uncached(op)
         self._cost_cache[op] = cost
         return cost
 
     def _cost_uncached(self, op: CollectiveOp) -> CollectiveCost:
-        bandwidth = self.effective_link_bandwidth(op)
+        # message_bytes is pure in op; evaluate it once for both the
+        # bandwidth ramp and the channel-utilisation curve.
+        msg_bytes = self.message_bytes(op)
+        bandwidth = self.link.ramp_bandwidth(
+            msg_bytes, self.calibration.msg_half_bytes
+        ) * _LINK_EFF_PER_KIND.get(op.kind, 1.0)
         selected = select_algorithm(
             op, self.link, bandwidth, self.library.launch_overhead_s
         )
@@ -172,9 +185,7 @@ class CollectiveCostModel:
         # table above is expressed per *sent* byte including receives.
         hbm_rate = wire_rate * hbm_per_wire
         hbm_rate = min(hbm_rate, self.hbm_effective_bandwidth)
-        channel_util = self.library.channel_utilization(
-            self.message_bytes(op)
-        )
+        channel_util = self.library.channel_utilization(msg_bytes)
         sm_fraction = self.calibration.comm_sm_fraction * channel_util
         link_fraction = min(
             1.0, wire_rate / self.link.unidir_bytes_per_s

@@ -417,8 +417,16 @@ def run_experiment(
             sim_config = config.sim_config(
                 seed, ideal=mode is ExecutionMode.IDEAL
             )
+            # The prepared sim is invariant to the mode's ideal flag
+            # (keyed on seed/sigma/clock cap only), so all modes of a
+            # run share the planner-cached build.
+            prep = planner.prepared_for(config, overlap, seed)
             result = simulate(
-                node, plans[overlap].tasks, sim_config, cost_model=cost_model
+                node,
+                plans[overlap].tasks,
+                sim_config,
+                cost_model=cost_model,
+                prepared=prep,
             )
             per_mode_runs[mode].append(result)
 

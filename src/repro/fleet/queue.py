@@ -179,16 +179,39 @@ class TaskQueue:
         the same lock as the lease scan so the hint can never refer to
         a task another worker took first.
         """
+        leased, hint = self.lease_many_with_hint(worker, 1)
+        return (leased[0] if leased else None), hint
+
+    def lease_many_with_hint(
+        self, worker: str, n: int
+    ) -> Tuple[List[Tuple[Lease, SimTask]], Optional[float]]:
+        """Lease up to ``n`` eligible tasks to ``worker`` in one pass.
+
+        Each task gets its own independent lease (same deadlines,
+        heartbeats and reaping as single leases — a batch is purely an
+        amortization of the HTTP round-trip, never a new failure
+        domain). Tasks come out in queue order, so a one-worker fleet
+        draining in batches still runs cells in compile order. The
+        retry hint follows the :meth:`lease_with_hint` contract and is
+        only meaningful when the returned list is empty.
+        """
+        if n < 1:
+            raise FleetError("lease batch size must be >= 1")
         now = self._clock()
         with self._lock:
             self._reap_locked(now)
-            leased = self._lease_locked(worker, now)
-            if leased is not None:
+            leased: List[Tuple[Lease, SimTask]] = []
+            while len(leased) < n:
+                one = self._lease_locked(worker, now)
+                if one is None:
+                    break
+                leased.append(one)
+            if leased:
                 return leased, None
             if self._pending:
                 gate = min(s.not_before for s in self._pending.values())
-                return None, max(0.0, gate - now)
-            return None, None
+                return [], max(0.0, gate - now)
+            return [], None
 
     def _lease_locked(
         self, worker: str, now: float

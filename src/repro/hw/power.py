@@ -247,21 +247,30 @@ class PowerEvaluator:
         link_max = coeffs.link_max_frac
         tdp = self.tdp_w
         if np is not None:
-            clock_term = (
-                np.clip(np.asarray(clock_fracs), 0.0, 1.0)
-                ** DVFS_POWER_EXPONENT
-            )
-            dynamic = vec_max * np.clip(np.asarray(vector_utils), 0.0, 1.0)
-            dynamic = dynamic + ten_max * np.clip(
-                np.asarray(tensor_utils), 0.0, 1.0
-            )
-            power_frac = (
-                idle
-                + dynamic * clock_term
-                + hbm_max * np.clip(np.asarray(hbm_fracs), 0.0, 1.0)
-                + link_max * np.clip(np.asarray(link_fracs), 0.0, 1.0)
-            )
-            return (tdp * power_frac).tolist()
+            # In-place accumulation: the expression tree of the
+            # original formulation allocates ~8 temporaries per call,
+            # and the batched engine calls this once per cohort with
+            # scratch views. Every +=/*= below preserves the scalar
+            # path's association order (IEEE addition is commutative,
+            # so folding ``idle`` in after the dynamic product is
+            # bit-identical to ``idle + dynamic * clock_term``).
+            clock_term = np.clip(clock_fracs, 0.0, 1.0)
+            clock_term **= DVFS_POWER_EXPONENT
+            acc = np.clip(vector_utils, 0.0, 1.0)
+            acc *= vec_max
+            ten_term = np.clip(tensor_utils, 0.0, 1.0)
+            ten_term *= ten_max
+            acc += ten_term
+            acc *= clock_term
+            acc += idle
+            hbm_term = np.clip(hbm_fracs, 0.0, 1.0)
+            hbm_term *= hbm_max
+            acc += hbm_term
+            link_term = np.clip(link_fracs, 0.0, 1.0)
+            link_term *= link_max
+            acc += link_term
+            acc *= tdp
+            return acc.tolist()
         clock_term_of = self.clock_term
         out = []
         for i in range(len(clock_fracs)):

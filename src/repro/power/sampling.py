@@ -11,6 +11,8 @@ though instantaneous draw is briefly higher.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import islice
+from operator import le
 from typing import List, Sequence
 
 from repro.errors import ConfigurationError
@@ -87,35 +89,50 @@ class PowerSampler:
         if not segments:
             return SampledTrace(samples=samples, interval_s=self.interval_s)
         n = len(segments)
-        ordered = all(
-            segments[i].start_s <= segments[i + 1].start_s
-            for i in range(n - 1)
-        )
-        end_time = max(seg.end_s for seg in segments)
+        # Tuple-index the namedtuple fields once up front: the
+        # orderedness scan and the window sweeps below touch every
+        # segment, and C-level map/all over prefetched columns beats
+        # a generator re-reading attributes per element. Field order
+        # is pinned by PowerSegment: (gpu, start_s, end_s, power_w,
+        # ...).
+        starts = [seg[1] for seg in segments]
+        ends = [seg[2] for seg in segments]
+        powers = [seg[3] for seg in segments]
+        ordered = all(map(le, starts, islice(starts, 1, None)))
+        end_time = max(ends)
         first = 0
         t = self.interval_s
         while t <= end_time + 1e-12:
-            window_start = max(0.0, t - self.window_s)
+            window_start = t - self.window_s
+            if window_start < 0.0:
+                window_start = 0.0
             energy = 0.0
             if ordered:
                 # Retire segments that can never contribute again (the
                 # window only moves right).
-                while first < n and segments[first].end_s <= window_start:
+                while first < n and ends[first] <= window_start:
                     first += 1
                 for i in range(first, n):
-                    seg = segments[i]
-                    if seg.start_s >= t:
+                    lo = starts[i]
+                    if lo >= t:
                         break
-                    lo = max(seg.start_s, window_start)
-                    hi = min(seg.end_s, t)
+                    if lo < window_start:
+                        lo = window_start
+                    hi = ends[i]
+                    if hi > t:
+                        hi = t
                     if hi > lo:
-                        energy += seg.power_w * (hi - lo)
+                        energy += powers[i] * (hi - lo)
             else:
-                for seg in segments:
-                    lo = max(seg.start_s, window_start)
-                    hi = min(seg.end_s, t)
+                for i in range(n):
+                    lo = starts[i]
+                    if lo < window_start:
+                        lo = window_start
+                    hi = ends[i]
+                    if hi > t:
+                        hi = t
                     if hi > lo:
-                        energy += seg.power_w * (hi - lo)
+                        energy += powers[i] * (hi - lo)
             width = t - window_start
             samples.append(PowerSample(time_s=t, power_w=energy / width))
             t += self.interval_s

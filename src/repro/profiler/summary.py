@@ -5,10 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.profiler.timeline import (
-    intersect_total,
-    total_length,
-)
+from repro.profiler.timeline import interval_intersection, interval_union
 from repro.sim.result import SimulationResult, TaskRecord
 from repro.sim.task import TaskCategory
 
@@ -65,14 +62,6 @@ class ProfileSummary:
         return sum(times) / len(times)
 
 
-def _records_by_phase(
-    records: List[TaskRecord], phase: Optional[str]
-) -> List[TaskRecord]:
-    if phase is None:
-        return records
-    return [r for r in records if r.phase == phase]
-
-
 def summarize(
     result: SimulationResult, phase: Optional[str] = None
 ) -> ProfileSummary:
@@ -82,33 +71,55 @@ def summarize(
     ("forward", "backward", "optimizer").
     """
     summary = ProfileSummary(end_time_s=result.end_time_s)
-    for gpu in range(result.num_gpus):
-        records = _records_by_phase(result.records_for(gpu), phase)
-        by_cat: Dict[TaskCategory, List[TaskRecord]] = {
-            TaskCategory.COMPUTE: [],
-            TaskCategory.COMM: [],
-        }
-        for rec in records:
-            by_cat[rec.category].append(rec)
-        intervals = {
-            cat: [(r.start_s, r.end_s) for r in recs]
+    # One grouping pass over the records instead of a full scan per
+    # GPU: append order within each (gpu, category) bucket is record
+    # order, exactly what the per-GPU ``records_for`` filter yields.
+    by_gpu_cat: Dict[int, Dict[TaskCategory, List[TaskRecord]]] = {
+        gpu: {TaskCategory.COMPUTE: [], TaskCategory.COMM: []}
+        for gpu in range(result.num_gpus)
+    }
+    # Hoisted per-GPU (compute.append, comm.append) pairs: dict-keying
+    # on the enum per record would call its Python-level __hash__,
+    # which is measurable on large traces.
+    appenders = {
+        gpu: (
+            cats[TaskCategory.COMPUTE].append,
+            cats[TaskCategory.COMM].append,
+        )
+        for gpu, cats in by_gpu_cat.items()
+    }
+    compute_cat = TaskCategory.COMPUTE
+    for rec in result.records:
+        if phase is not None and rec.phase != phase:
+            continue
+        pair = appenders.get(rec.gpu)
+        if pair is not None:
+            (pair[0] if rec.category is compute_cat else pair[1])(rec)
+    for gpu, by_cat in by_gpu_cat.items():
+        # Unions once per category (busy time and the intersection both
+        # consume them), and the compute/comm intersection once per GPU
+        # — ``interval_intersection`` is symmetric in its arguments, so
+        # both categories report the same overlapped time.
+        unions = {
+            cat: interval_union([(r.start_s, r.end_s) for r in recs])
             for cat, recs in by_cat.items()
         }
+        overlapped_s = sum(
+            end - start
+            for start, end in interval_intersection(
+                unions[TaskCategory.COMPUTE], unions[TaskCategory.COMM]
+            )
+        )
         summary.per_gpu[gpu] = {}
         for cat, recs in by_cat.items():
-            other = (
-                TaskCategory.COMM
-                if cat is TaskCategory.COMPUTE
-                else TaskCategory.COMPUTE
-            )
             summary.per_gpu[gpu][cat] = CategorySummary(
                 gpu=gpu,
                 category=cat,
                 kernel_count=len(recs),
                 total_kernel_time_s=sum(r.duration_s for r in recs),
-                busy_time_s=total_length(intervals[cat]),
-                overlapped_time_s=intersect_total(
-                    intervals[cat], intervals[other]
+                busy_time_s=sum(
+                    end - start for start, end in unions[cat]
                 ),
+                overlapped_time_s=overlapped_s,
             )
     return summary

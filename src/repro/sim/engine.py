@@ -35,15 +35,11 @@ are memoized on the state they depend on (see
 from __future__ import annotations
 
 import gc
-import math
 import operator
-import threading
-import zlib
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.collectives.cost_model import CollectiveCost, CollectiveCostModel
-from repro.collectives.library import library_for
+from repro.collectives.cost_model import CollectiveCostModel
 from repro.errors import (
     ConfigurationError,
     DeadlockError,
@@ -52,15 +48,16 @@ from repro.errors import (
 )
 from repro.hw.datapath import Datapath
 from repro.hw.dvfs import FrequencyGovernor, PowerLimitPolicy, observe_many
-from repro.hw.power import PowerEvaluator
 from repro.hw.system import NodeSpec
 from repro.sim.collective_sync import CollectiveInstance
 from repro.sim.config import SimConfig
 from repro.sim.events import EventKind, make_event_queue
+from repro.sim.prep import PreparedSim, prepare, reset_prepared, run_arena
 from repro.sim.rates import RateModel
 from repro.sim.result import PowerSegment, SimulationResult, TaskRecord
-from repro.sim.soa import VECTOR_MIN, SoAStore, numpy_or_none
-from repro.sim.task import CommTask, ComputeTask, Task
+from repro.sim.soa import VECTOR_MIN, CohortScratch, numpy_or_none
+from repro.sim.task import CommTask, ComputeTask, Task, TaskCategory
+from repro.workloads.kernels import reset_kernel_intern
 
 #: Floors preventing full starvation (real kernels always trickle).
 _MIN_SM_FRACTION = 0.05
@@ -77,109 +74,28 @@ _SPIN_VECTOR_UTIL = 0.4
 #: Hot-loop aliases (module lookups are faster than attribute chains).
 _INF = float("inf")
 _TASK_FINISH = EventKind.TASK_FINISH
+_GOVERNOR_TICK = EventKind.GOVERNOR_TICK
 _COLLECTIVE_FINISH = EventKind.COLLECTIVE_FINISH
 _PERTURB_BEGIN = EventKind.PERTURB_BEGIN
 _PERTURB_END = EventKind.PERTURB_END
+#: TASK_FINISH events exist only for compute entries (comm retires
+#: through COLLECTIVE_FINISH), so the batched finish branch records
+#: this constant instead of calling the ``category`` property.
+_CAT_COMPUTE = TaskCategory.COMPUTE
 #: (start_s, task_id) over TaskRecord's tuple layout — the result-sort
 #: key, evaluated once per record.
 _RECORD_SORT_KEY = operator.itemgetter(6, 0)
 
-#: Process-wide memoized evaluators per GPU spec object. RateModel and
-#: PowerEvaluator are pure in the (immutable) spec, so sharing them
-#: across simulations cannot change results — it just keeps their
-#: roofline/power memo tables warm across the N runs of a cell and
-#: across cells on the same GPU. Keyed by id() with the spec kept
-#: alive in the value; bounded because nodes come from the memoizing
-#: planner. Creation is lock-guarded for the async executor's thread
-#: fan-out (same convention as the shared Planner caches); the memo
-#: *lookups* inside the shared objects stay unguarded on purpose —
-#: every cached value is a pure function of its key, so concurrent
-#: writers can only store identical floats (a lost update costs one
-#: recomputation, never a wrong number).
-_SHARED_EVALUATORS: Dict[int, Tuple[object, RateModel, PowerEvaluator]] = {}
-_SHARED_EVALUATORS_MAX = 64
-_SHARED_EVALUATORS_LOCK = threading.Lock()
-
-
-def _evaluators_for(gpu) -> Tuple[RateModel, PowerEvaluator]:
-    with _SHARED_EVALUATORS_LOCK:
-        entry = _SHARED_EVALUATORS.get(id(gpu))
-        if entry is None or entry[0] is not gpu:
-            if len(_SHARED_EVALUATORS) >= _SHARED_EVALUATORS_MAX:
-                _SHARED_EVALUATORS.clear()
-            entry = (
-                gpu,
-                RateModel(gpu),
-                PowerEvaluator(gpu.tdp_w, gpu.power),
-            )
-            _SHARED_EVALUATORS[id(gpu)] = entry
-        return entry[1], entry[2]
-
-
-#: Process-wide cache of the per-simulation invariant tables (jittered
-#: compute work/durations, jittered collective costs), keyed by
-#: (id(tasks), id(gpu), id(cost_model), seed, jitter_sigma) with the
-#: keyed objects kept alive in the value so ids stay unique while
-#: cached. The tables are pure in the key and read-only once built, so
-#: sharing them across simulations — e.g. a cell's overlapped and
-#: ideal modes, which simulate the same memoized plan with the same
-#: seed — cannot change results. Same locking convention as
-#: _SHARED_EVALUATORS.
-_SHARED_TABLES: Dict[tuple, tuple] = {}
-_SHARED_TABLES_MAX = 256
-
-#: Dependency indexes (_dependents / _wake_streams) keyed by id(tasks)
-#: with the task list kept alive in the value. Pure in the task list
-#: and read-only once built; shared for the same reason as the tables
-#: above (repeat simulations of one memoized plan).
-_SHARED_DEPS: Dict[int, tuple] = {}
-
-#: Validated task/stream indexes (tasks-by-id, stream order lists)
-#: keyed by (id(tasks), num_gpus). Read-only once built — the engines
-#: track progress in per-instance cursors (_stream_pos, done), never
-#: by mutating these.
-_SHARED_INDEX: Dict[Tuple[int, int], tuple] = {}
-
-#: Jitter factors keyed (seed, sigma) -> {label: factor}. The factor
-#: is pure in (label, seed, sigma), so grid cells that share a task
-#: layout reuse each other's draws. Inner dicts are capped; a benign
-#: race (two threads computing the same label) converges to the same
-#: deterministic value.
-_JITTER_MEMO: Dict[Tuple[int, float], Dict[str, float]] = {}
-_JITTER_MEMO_MAX = 1 << 20
-
-
 def reset_shared_evaluators() -> None:
-    """Drop the process-wide evaluator and invariant-table memos.
+    """Drop the process-wide prep-layer memos (evaluators, prepared
+    sims, jitter factors, the kernel intern table).
 
     Results never depend on them (every cached value is pure in its
     key), but *timings* do — the engine benchmark calls this between
     tiers so no tier inherits a cache another tier warmed.
     """
-    with _SHARED_EVALUATORS_LOCK:
-        _SHARED_EVALUATORS.clear()
-        _SHARED_TABLES.clear()
-        _SHARED_DEPS.clear()
-        _SHARED_INDEX.clear()
-        _JITTER_MEMO.clear()
-
-
-def _stable_unit_uniform(key: str, seed: int) -> float:
-    """Deterministic uniform in (0, 1) from a string key and seed."""
-    h = zlib.crc32(key.encode("utf-8")) ^ (seed * 0x9E3779B9 & 0xFFFFFFFF)
-    h = (h * 2654435761) & 0xFFFFFFFF
-    return (h + 0.5) / 4294967296.0
-
-
-def _lognormal_factor(key: str, seed: int, sigma: float) -> float:
-    """Mean-1 lognormal jitter factor, deterministic in (key, seed)."""
-    if sigma <= 0:
-        return 1.0
-    u = _stable_unit_uniform(key, seed)
-    # Inverse-CDF of the standard normal via Acklam's approximation is
-    # overkill; a logistic approximation is adequate for jitter.
-    z = math.log(u / (1.0 - u)) / 1.702
-    return math.exp(sigma * z - 0.5 * sigma * sigma)
+    reset_prepared()
+    reset_kernel_intern()
 
 
 @dataclass(slots=True)
@@ -213,6 +129,9 @@ class _RunningCompute:
     #: every uncapped (and most capped) evaluations see — so the fused
     #: loop's common case is one float compare instead of a dict walk.
     free_util0: float = 0.0
+    #: The task's id, denormalized so finish (re)scheduling — once per
+    #: rate change per entry — skips the task attribute walk.
+    tid: int = -1
     #: Whether a finish event has ever been scheduled (the first rate
     #: assignment must push even if the placeholder rate matches).
     scheduled: bool = False
@@ -267,30 +186,50 @@ class Simulator:
         tasks: Sequence[Task],
         config: Optional[SimConfig] = None,
         cost_model: Optional[CollectiveCostModel] = None,
+        prepared: Optional[PreparedSim] = None,
     ):
         if config is None:
             config = SimConfig()
         self.node = node
         self.config = config
         self.gpu = node.gpu
-        if cost_model is None:
-            cost_model = CollectiveCostModel(
-                link=node.link,
-                library=library_for(node.gpu.vendor),
-                calibration=node.calibration,
-                hbm_effective_bandwidth=node.gpu.memory.effective_bandwidth,
+        # Everything pure in (plan, node, sim-relevant config) lives in
+        # the prepared layer — built (or fetched from the process-wide
+        # cache) here, or handed in pre-built by the planner.
+        if prepared is None:
+            prepared = prepare(
+                node,
+                tasks,
+                seed=config.seed,
+                jitter_sigma=config.jitter_sigma,
+                max_clock_frac=config.max_clock_frac,
+                cost_model=cost_model,
             )
-        self.cost_model = cost_model
+        elif (
+            prepared.tasks_src is not tasks
+            or prepared.gpu is not node.gpu
+            or (cost_model is not None and prepared.cost_model is not cost_model)
+            or prepared.seed != config.seed
+            or prepared.jitter_sigma != config.jitter_sigma
+            or prepared.max_clock_frac != config.max_clock_frac
+            or prepared.num_gpus != node.num_gpus
+        ):
+            raise PlanError(
+                "prepared simulation does not match (node, tasks, config)"
+            )
+        self.prepared = prepared
+        self.cost_model = prepared.cost_model
         self.stats = EngineStats()
 
-        self.tasks: Dict[int, Task] = {}
-        self.streams: Dict[Tuple[int, str], List[int]] = {}
-        self._stream_pos: Dict[Tuple[int, str], int] = {}
+        # Read-only indexes from the prep layer; only the cursor dict
+        # and completion set are per-run.
+        self.tasks: Dict[int, Task] = prepared.tasks
+        self.streams: Dict[Tuple[int, str], List[int]] = prepared.streams
+        self._stream_pos: Dict[Tuple[int, str], int] = dict.fromkeys(
+            prepared.stream_keys, 0
+        )
         self.done: set = set()
-        #: The caller's task sequence, kept for the invariant-table
-        #: cache key (identity-based; see _SHARED_TABLES).
         self._tasks_src = tasks
-        self._validate_and_index(tasks)
 
         self.time = 0.0
         # Calendar buckets (when selected) are keyed to the governor
@@ -304,16 +243,18 @@ class Simulator:
         self._waiting: set = set()  # comm tasks posted but not started
         self._comm_started: set = set()
 
-        # Memoized pure evaluators (shared per GPU spec — see
-        # _evaluators_for) + per-simulation invariant tables.
-        self._rates, self._power_eval = _evaluators_for(self.gpu)
-        self._build_invariant_tables()
+        # Memoized pure evaluators (shared per GPU spec) + invariant
+        # tables, all read-only from the prep layer.
+        self._rates = prepared.rates
+        self._power_eval = prepared.power_eval
+        self._compute_table = prepared.compute_table
+        self._comm_cost = prepared.comm_cost
         # Hot-path invariants hoisted out of attribute chains.
-        self._hbm_eff = self.gpu.memory.effective_bandwidth
-        self._hbm_bw = self.gpu.memory.bandwidth_bytes_per_s
-        self._spin_scale = node.calibration.spin_sm_scale
-        self._interference = node.calibration.interference_factor
-        self._stall_frac = node.calibration.stall_power_frac
+        self._hbm_eff = prepared.hbm_eff
+        self._hbm_bw = prepared.hbm_bw
+        self._spin_scale = prepared.spin_scale
+        self._interference = prepared.interference
+        self._stall_frac = prepared.stall_frac
 
         self._clock: Dict[int, float] = {
             g: config.max_clock_frac for g in range(node.num_gpus)
@@ -364,171 +305,6 @@ class Simulator:
     # ------------------------------------------------------------------
     # setup
     # ------------------------------------------------------------------
-
-    def _validate_and_index(self, tasks: Sequence[Task]) -> None:
-        if not tasks:
-            raise PlanError("no tasks to simulate")
-        num_gpus = self.node.num_gpus
-        cache_key = (id(tasks), num_gpus)
-        with _SHARED_EVALUATORS_LOCK:
-            entry = _SHARED_INDEX.get(cache_key)
-            if entry is not None and entry[0] is tasks:
-                # Same validated list on a same-width node: share the
-                # read-only indexes; only the cursor dict is fresh.
-                self.tasks = entry[1]
-                self.streams = entry[2]
-                for key in self.streams:
-                    self._stream_pos[key] = 0
-                return
-        for task in tasks:
-            if task.task_id in self.tasks:
-                raise PlanError(f"duplicate task id {task.task_id}")
-            if task.gpu >= num_gpus:
-                raise PlanError(
-                    f"task {task.label}: gpu {task.gpu} out of range for "
-                    f"{num_gpus}-GPU node"
-                )
-            self.tasks[task.task_id] = task
-            key = (task.gpu, task.stream)
-            self.streams.setdefault(key, []).append(task.task_id)
-        known = set(self.tasks)
-        for task in tasks:
-            missing = task.deps - known
-            if missing:
-                raise PlanError(
-                    f"task {task.label}: unknown deps {sorted(missing)}"
-                )
-        for key in self.streams:
-            self._stream_pos[key] = 0
-        with _SHARED_EVALUATORS_LOCK:
-            if len(_SHARED_INDEX) >= _SHARED_TABLES_MAX:
-                _SHARED_INDEX.clear()
-            _SHARED_INDEX[cache_key] = (tasks, self.tasks, self.streams)
-
-    def _build_invariant_tables(self) -> None:
-        """Hoist per-task quantities that never change during the run.
-
-        Jittered work/isolated durations for compute tasks and jittered
-        collective costs per op key are pure in (task, config); building
-        them up front keeps the launch path allocation-only and lets
-        both engines share identical values by construction. The built
-        tables are additionally shared process-wide (_SHARED_TABLES):
-        they are read-only and pure in (tasks, gpu, cost_model, seed,
-        sigma), so two simulations of the same memoized plan — e.g. a
-        cell's overlapped and ideal modes — reuse one build.
-        """
-        seed = self.config.seed
-        sigma = self.config.jitter_sigma
-        max_clock = self.config.max_clock_frac
-        key = (
-            id(self._tasks_src),
-            id(self.gpu),
-            id(self.cost_model),
-            seed,
-            sigma,
-            max_clock,
-        )
-        with _SHARED_EVALUATORS_LOCK:
-            entry = _SHARED_TABLES.get(key)
-            if (
-                entry is not None
-                and entry[0] is self._tasks_src
-                and entry[1] is self.gpu
-                and entry[2] is self.cost_model
-            ):
-                self._compute_table = entry[3]
-                self._comm_cost = entry[4]
-                return
-        compute_table: Dict[
-            int, Tuple[float, float, float, float, float, bool, float]
-        ] = {}
-        comm_cost: Dict[str, CollectiveCost] = {}
-        # Plans repeat a handful of kernels across hundreds of layer
-        # tasks; resolving each kernel's invariants once by identity
-        # (and, for value-equal copies, once by value — a single
-        # dataclass hash instead of one per RateModel memo) keeps this
-        # loop allocation-only.
-        per_kernel: Dict[int, Tuple[float, float, float, float, bool]] = {}
-        by_value: Dict[object, Tuple[float, float, float, float, bool]] = {}
-        jittered = sigma > 0
-        if jittered:
-            with _SHARED_EVALUATORS_LOCK:
-                factor_memo = _JITTER_MEMO.setdefault((seed, sigma), {})
-                if len(factor_memo) > _JITTER_MEMO_MAX:
-                    factor_memo.clear()
-        else:
-            factor_memo = {}
-        memo_get = factor_memo.get
-        for task in self.tasks.values():
-            if isinstance(task, ComputeTask):
-                kernel = task.kernel
-                info = per_kernel.get(id(kernel))
-                if info is None:
-                    info = by_value.get(kernel)
-                    if info is None:
-                        peak_eff, ai = self._rates.kernel_params(kernel)
-                        info = (
-                            peak_eff,
-                            ai,
-                            self._rates.isolated_duration(kernel),
-                            self._rates.free_utilization(kernel, max_clock),
-                            kernel.path.datapath is Datapath.VECTOR,
-                        )
-                        by_value[kernel] = info
-                    per_kernel[id(kernel)] = info
-                peak_eff, ai, iso_base, free_util0, is_vector = info
-                if jittered:
-                    label = f"c{task.task_id}"
-                    factor = memo_get(label)
-                    if factor is None:
-                        factor = _lognormal_factor(label, seed, sigma)
-                        factor_memo[label] = factor
-                    iso = iso_base * factor
-                    flops = kernel.flops * factor
-                else:
-                    iso = iso_base
-                    flops = kernel.flops
-                compute_table[task.task_id] = (
-                    flops,
-                    iso,
-                    peak_eff,
-                    ai,
-                    iso / (iso + 50e-6),
-                    is_vector,
-                    free_util0,
-                )
-            elif isinstance(task, CommTask):
-                key_op = task.op.key
-                if key_op in comm_cost:
-                    continue
-                cost = self.cost_model.cost(task.op)
-                if jittered:
-                    label = f"k{key_op}"
-                    factor = memo_get(label)
-                    if factor is None:
-                        factor = _lognormal_factor(label, seed, sigma)
-                        factor_memo[label] = factor
-                else:
-                    factor = 1.0
-                if factor != 1.0:
-                    # Jitter stretches the duration; the same bytes over
-                    # a longer window means proportionally less HBM
-                    # pressure.
-                    cost = replace(
-                        cost,
-                        duration_s=cost.duration_s * factor,
-                        hbm_bytes_per_s=cost.hbm_bytes_per_s / factor,
-                    )
-                comm_cost[key_op] = cost
-        self._compute_table = compute_table
-        self._comm_cost = comm_cost
-        with _SHARED_EVALUATORS_LOCK:
-            if len(_SHARED_TABLES) >= _SHARED_TABLES_MAX:
-                _SHARED_TABLES.clear()
-            _SHARED_TABLES[key] = (
-                self._tasks_src, self.gpu, self.cost_model,
-                compute_table, comm_cost,
-            )
 
     def _init_perturbations(self) -> None:
         """Arm the degradation injector (``sim/perturb.py``).
@@ -607,7 +383,21 @@ class Simulator:
         self._try_launch()
         self._recompute()
         self._ensure_ticks()
+        # Same rationale as the batched tier's loop: the drain
+        # allocates no reference cycles, so generational collection
+        # scans during it are pure overhead. Restore the caller's
+        # setting even on simulation errors.
+        was_enabled = gc.isenabled()
+        if was_enabled:
+            gc.disable()
+        try:
+            self._run_loop()
+        finally:
+            if was_enabled:
+                gc.enable()
+        return self._finalize()
 
+    def _run_loop(self) -> None:
         total = len(self.tasks)
         while len(self.done) < total:
             event = self.queue.pop_live()
@@ -634,8 +424,6 @@ class Simulator:
             self._try_launch()
             self._recompute()
             self._ensure_ticks()
-
-        return self._finalize()
 
     def _finalize(self) -> SimulationResult:
         """Close out the run: stats, segments, validated result."""
@@ -734,6 +522,7 @@ class Simulator:
         entry = _RunningCompute(
             task, work, 1.0, iso, self.time,
             peak_eff, ai, ramp, is_vector, free_util0,
+            task.task_id,
         )
         self.running[task.task_id] = entry
         self._on_compute_launched(entry)
@@ -968,7 +757,7 @@ class Simulator:
                 entry.scheduled = True
                 finish = self.time + entry.work_remaining / new_rate
                 self.queue.schedule(
-                    finish, EventKind.TASK_FINISH, entry.task.task_id
+                    finish, EventKind.TASK_FINISH, entry.tid
                 )
 
     def _bank_entry(self, entry: _RunningCompute) -> None:
@@ -1357,8 +1146,11 @@ class IncrementalSimulator(Simulator):
         tasks: Sequence[Task],
         config: Optional[SimConfig] = None,
         cost_model: Optional[CollectiveCostModel] = None,
+        prepared: Optional[PreparedSim] = None,
     ):
-        super().__init__(node, tasks, config, cost_model=cost_model)
+        super().__init__(
+            node, tasks, config, cost_model=cost_model, prepared=prepared
+        )
         num_gpus = node.num_gpus
         #: Global log of positive time steps (the replay tape).
         self._dts: List[float] = []
@@ -1369,72 +1161,40 @@ class IncrementalSimulator(Simulator):
         #: Dirty active instances, by creation ``seq``.
         self._dirty_insts: Set[int] = set()
         self._insts_by_seq: Dict[int, CollectiveInstance] = {}
-        #: Per-GPU resident sets. Iterated in creation/launch order so
-        #: float accumulations match the reference engine's global
-        #: dict-order sums exactly.
-        self._running_on: List[Dict[int, _RunningCompute]] = [
-            {} for _ in range(num_gpus)
-        ]
-        self._active_on: List[Dict[int, CollectiveInstance]] = [
-            {} for _ in range(num_gpus)
-        ]
-        self._spinning_on: List[Dict[int, CollectiveInstance]] = [
-            {} for _ in range(num_gpus)
-        ]
+        #: Per-GPU resident sets, pooled across runs (see RunArena).
+        #: Iterated in creation/launch order so float accumulations
+        #: match the reference engine's global dict-order sums exactly.
+        self._arena = run_arena()
+        self._arena_released = False
+        triple = self._arena.acquire_sets(num_gpus)
+        self._arena_sets = triple
+        self._running_on: List[Dict[int, _RunningCompute]] = triple[0]
+        self._active_on: List[Dict[int, CollectiveInstance]] = triple[1]
+        self._spinning_on: List[Dict[int, CollectiveInstance]] = triple[2]
         self._active_inst_count = 0
         #: Streams whose head may have become launchable.
         self._launch_candidates: Set[Tuple[int, str]] = set(self.streams)
-        self._stream_order: Dict[Tuple[int, str], int] = {
-            key: index for index, key in enumerate(self.streams)
-        }
-        #: Reverse dependency index (task id -> tasks waiting on it)
-        #: and the wake set per completion: the task's own stream (its
-        #: successor is exposed) plus every dependent's stream (their
-        #: deps may now be met), pre-resolved to stream keys so the
-        #: per-completion hook is one set update. Both are pure in the
-        #: task list and read-only, so repeat simulations of one
-        #: memoized plan share a single build (_SHARED_DEPS).
-        src = self._tasks_src
-        with _SHARED_EVALUATORS_LOCK:
-            entry = _SHARED_DEPS.get(id(src))
-            if entry is not None and entry[0] is src:
-                self._dependents = entry[1]
-                self._wake_streams = entry[2]
-                return
-        dependents: Dict[int, List[int]] = {}
-        for task in self.tasks.values():
-            for dep in task.deps:
-                dependents.setdefault(dep, []).append(task.task_id)
-        wake_streams: Dict[int, Tuple[Tuple[int, str], ...]] = {}
-        all_tasks = self.tasks
-        deps_get = dependents.get
-        for task in all_tasks.values():
-            own = (task.gpu, task.stream)
-            waiters = deps_get(task.task_id)
-            # The wake set is tiny (own stream plus usually zero or one
-            # dependent's); build the common shapes without a set. The
-            # consumer only ever set-unions these tuples, so member
-            # order is free — dedup is what matters.
-            if not waiters:
-                wake_streams[task.task_id] = (own,)
-            elif len(waiters) == 1:
-                dependent = all_tasks[waiters[0]]
-                other = (dependent.gpu, dependent.stream)
-                wake_streams[task.task_id] = (
-                    (own,) if other == own else (own, other)
-                )
-            else:
-                streams = {own}
-                for tid in waiters:
-                    dependent = all_tasks[tid]
-                    streams.add((dependent.gpu, dependent.stream))
-                wake_streams[task.task_id] = tuple(streams)
-        self._dependents = dependents
-        self._wake_streams = wake_streams
-        with _SHARED_EVALUATORS_LOCK:
-            if len(_SHARED_DEPS) >= _SHARED_TABLES_MAX:
-                _SHARED_DEPS.clear()
-            _SHARED_DEPS[id(src)] = (src, dependents, wake_streams)
+        #: Stream ordering plus the reverse-dependency / wake-stream
+        #: indexes, all read-only from the prep layer.
+        self._stream_order = self.prepared.stream_order
+        self._dependents = self.prepared.dependents
+        self._wake_streams = self.prepared.wake_streams
+
+    def _finalize(self) -> SimulationResult:
+        result = super()._finalize()
+        self._release_run_state()
+        return result
+
+    def _release_run_state(self) -> None:
+        """Return pooled per-run containers to the thread's arena.
+
+        Called once at the end of a completed run; the simulator's own
+        references stay valid (the containers are simply cleared), and
+        nothing reads them after ``_finalize``.
+        """
+        if not self._arena_released:
+            self._arena_released = True
+            self._arena.release_sets(self.node.num_gpus, self._arena_sets)
 
     # ------------------------------------------------------------------
     # lazy banking
@@ -1488,12 +1248,12 @@ class IncrementalSimulator(Simulator):
     def _on_compute_launched(self, entry: _RunningCompute) -> None:
         entry.bank_idx = len(self._dts)
         gpu = entry.task.gpu
-        self._running_on[gpu][entry.task.task_id] = entry
+        self._running_on[gpu][entry.tid] = entry
         self._dirty_gpus.add(gpu)
 
     def _on_compute_finished(self, entry: _RunningCompute) -> None:
         gpu = entry.task.gpu
-        self._running_on[gpu].pop(entry.task.task_id, None)
+        self._running_on[gpu].pop(entry.tid, None)
         self._dirty_gpus.add(gpu)
 
     def _on_instance_created(self, inst: CollectiveInstance) -> None:
@@ -1661,8 +1421,11 @@ class FastSimulator(IncrementalSimulator):
         tasks: Sequence[Task],
         config: Optional[SimConfig] = None,
         cost_model: Optional[CollectiveCostModel] = None,
+        prepared: Optional[PreparedSim] = None,
     ):
-        super().__init__(node, tasks, config, cost_model=cost_model)
+        super().__init__(
+            node, tasks, config, cost_model=cost_model, prepared=prepared
+        )
         num_gpus = node.num_gpus
         #: Sum of cost.sm_fraction over active instances per GPU.
         self._agg_comm_sm: List[float] = [0.0] * num_gpus
@@ -1852,11 +1615,16 @@ class BatchedSimulator(FastSimulator):
         tasks: Sequence[Task],
         config: Optional[SimConfig] = None,
         cost_model: Optional[CollectiveCostModel] = None,
+        prepared: Optional[PreparedSim] = None,
     ):
-        super().__init__(node, tasks, config, cost_model=cost_model)
+        super().__init__(
+            node, tasks, config, cost_model=cost_model, prepared=prepared
+        )
         config = self.config
-        idle = self._power_eval.idle_power()
-        store = SoAStore(node.num_gpus, config.max_clock_frac, idle)
+        prep = self.prepared
+        store = self._arena.acquire_soa(
+            node.num_gpus, config.max_clock_frac, prep.idle_power_w
+        )
         self._soa = store
         # Alias the store's arrays over the dict/list state the parent
         # classes created: inherited hooks, the fused loops and the
@@ -1876,32 +1644,33 @@ class BatchedSimulator(FastSimulator):
         #: Cumulative simulated time — the O(1) banking base.
         self._cum_dt = 0.0
         self._np = numpy_or_none()
+        # Staging arrays for the vectorized multi-GPU drain; that path
+        # is gated on numpy being in play, so so is the scratch.
+        self._cohort_scratch = (
+            CohortScratch(node.num_gpus, self._np)
+            if self._np is not None
+            else None
+        )
         self._adaptive = config.adaptive_governor
         # Hot invariants for the fused evaluation loop.
         self._contention = config.contention_enabled
         self._one_minus_interf = 1.0 - self._interference
         self._hbm_floor = _MIN_HBM_FRACTION * self._hbm_eff
         self._max_clock0 = config.max_clock_frac
+        self._governor_period_s = config.governor_period_s
         #: Bound method of the shared evaluator's clock-pow memo; the
         #: fused loop calls it once per dirty GPU per cohort.
         self._clock_term = self._power_eval.clock_term
-        coeffs = self._power_eval.coeffs
-        sm_max = coeffs.sm_max_frac
-        needed = {Datapath.VECTOR}
-        for row in self._compute_table.values():
-            if not row[5]:
-                needed.add(Datapath.TENSOR)
-        for path in needed:
-            if sm_max.get(path) is None:
-                raise ConfigurationError(
-                    f"no SM power coefficient for {path}"
-                )
-        self._vec_max = sm_max.get(Datapath.VECTOR, 0.0)
-        self._ten_max = sm_max.get(Datapath.TENSOR, 0.0)
-        self._idle_frac = coeffs.idle_frac
-        self._hbm_max = coeffs.hbm_max_frac
-        self._link_max = coeffs.link_max_frac
-        self._tdp = self._power_eval.tdp_w
+        if prep.missing_paths:
+            raise ConfigurationError(
+                f"no SM power coefficient for {prep.missing_paths[0]}"
+            )
+        self._vec_max = prep.vec_max
+        self._ten_max = prep.ten_max
+        self._idle_frac = prep.idle_frac
+        self._hbm_max = prep.hbm_max
+        self._link_max = prep.link_max
+        self._tdp = prep.tdp
         # Closure over the now-complete hot state (see the factory's
         # docstring); every piece it binds is initialized above.
         self._recompute_gpu_fused = self._make_fused_recompute()
@@ -1941,7 +1710,7 @@ class BatchedSimulator(FastSimulator):
         entry.bank_idx = len(self._dts)
         entry.bank_cum = self._cum_dt
         gpu = entry.task.gpu
-        self._running_on[gpu][entry.task.task_id] = entry
+        self._running_on[gpu][entry.tid] = entry
         self._dirty_gpus.add(gpu)
 
     def _on_instance_started(self, inst: CollectiveInstance) -> None:
@@ -1982,6 +1751,11 @@ class BatchedSimulator(FastSimulator):
         self._running_on[gpu].pop(tid, None)
         self._dirty_gpus.add(gpu)
         self._launch_candidates.update(self._wake_streams[tid])
+
+    def _release_run_state(self) -> None:
+        if not self._arena_released:
+            super()._release_run_state()
+            self._arena.release_soa(self.node.num_gpus, self._soa)
 
     # ------------------------------------------------------------------
     # cohort event loop
@@ -2053,9 +1827,12 @@ class BatchedSimulator(FastSimulator):
         dts = self._dts
         events = 0
         cohorts = 0
+        # Reused cohort buffer: the loop fully consumes each cohort
+        # before popping the next, so one list serves the whole run.
+        cohort_buf: list = []
         try:
             while len(done) < total:
-                cohort = pop_cohort()
+                cohort = pop_cohort(cohort_buf)
                 if cohort is None:
                     raise DeadlockError(self._deadlock_report())
                 t = cohort[0][0]
@@ -2101,7 +1878,7 @@ class BatchedSimulator(FastSimulator):
                                 TaskRecord,
                                 (
                                     payload, gpu, task.stream,
-                                    task.label, task.category,
+                                    task.label, _CAT_COMPUTE,
                                     task.phase, started, t,
                                     entry.isolated_s,
                                 ),
@@ -2151,15 +1928,20 @@ class BatchedSimulator(FastSimulator):
                         task = tasks[tid]
                         if not task.deps <= done:
                             continue
-                        if isinstance(task, ComputeTask):
+                        # Dispatch on compute-table membership (exactly
+                        # the ComputeTask ids): one dict probe replaces
+                        # an isinstance check and immediately yields the
+                        # row the compute branch needs anyway.
+                        row = compute_table.get(tid)
+                        if row is not None:
                             (
                                 work, iso, peak_eff, ai, ramp,
                                 is_vector, free_util0,
-                            ) = compute_table[tid]
+                            ) = row
                             entry = _RunningCompute(
                                 task, work, 1.0, iso, self.time,
                                 peak_eff, ai, ramp, is_vector,
-                                free_util0,
+                                free_util0, tid,
                             )
                             running[tid] = entry
                             entry.bank_idx = len(dts)
@@ -2209,9 +1991,14 @@ class BatchedSimulator(FastSimulator):
             return
         clock = self._clock
         power = self._power_now
-        new_clocks = observe_many(
-            [governors[g] for g in gpus], [power[g] for g in gpus]
-        )
+        if len(gpus) == 1:
+            # The dominant cohort shape (one governor due); skip the
+            # list staging — observe() is the same control law.
+            new_clocks = (governors[gpus[0]].observe(power[gpus[0]]),)
+        else:
+            new_clocks = observe_many(
+                [governors[g] for g in gpus], [power[g] for g in gpus]
+            )
         min_seen = self._min_clock_seen
         perturbed = self._perturbed
         caps = self._perturb_cap
@@ -2254,7 +2041,10 @@ class BatchedSimulator(FastSimulator):
 
     def _ensure_ticks(self) -> None:
         governors = self._governors
-        if not governors or not self._has_activity():
+        if not governors:
+            return
+        # _has_activity, inlined (the incremental tier's form).
+        if not (self.running or self._active_inst_count > 0):
             return
         unscheduled = self._tick_unscheduled
         if not unscheduled:
@@ -2266,7 +2056,8 @@ class BatchedSimulator(FastSimulator):
         pending = self._tick_pending
         power_now = self._power_now
         schedule = self.queue.schedule
-        next_t = self.time + self.config.governor_period_s
+        next_t = self.time + self._governor_period_s
+        skipped = 0
         # sorted() keeps the scheduling order identical to the base
         # dispatch's gpu-ascending sweep (same-time FIFO pop order);
         # blocked GPUs are disjoint from this set by invariant. A
@@ -2277,16 +2068,27 @@ class BatchedSimulator(FastSimulator):
         else:
             sweep = sorted(unscheduled)
         for gpu_index in sweep:
-            if adaptive and governors[gpu_index].would_noop(
-                power_now[gpu_index]
-            ):
-                self.stats.ticks_skipped += 1
-                blocked.add(gpu_index)
-            else:
-                pending[gpu_index] = True
-                self._ticks_outstanding += 1
-                schedule(next_t, EventKind.GOVERNOR_TICK, gpu_index)
+            if adaptive:
+                # Governor.would_noop, inlined (same comparisons in the
+                # same order) — one method frame per GPU per cohort at
+                # the loop's call rate.
+                governor = governors[gpu_index]
+                policy = governor.policy
+                if (
+                    not power_now[gpu_index] > policy.limit_w
+                    and not governor.clock_frac < policy.max_clock_frac
+                    and governor._ewma_w <= policy.limit_w
+                ):
+                    skipped += 1
+                    blocked.add(gpu_index)
+                    unscheduled.discard(gpu_index)
+                    continue
+            pending[gpu_index] = True
+            self._ticks_outstanding += 1
+            schedule(next_t, _GOVERNOR_TICK, gpu_index)
             unscheduled.discard(gpu_index)
+        if skipped:
+            self.stats.ticks_skipped += skipped
 
     # ------------------------------------------------------------------
     # fused recompute
@@ -2390,6 +2192,11 @@ class BatchedSimulator(FastSimulator):
         hbm_max = self._hbm_max
         link_max = self._link_max
         clock_term = self._clock_term
+        # The evaluator's clock-pow memo, bound directly: the common
+        # case (clock already seen) is then one dict probe with no
+        # method frame; clock_term remains the miss path and keeps the
+        # memo's bound/eviction discipline.
+        clock_pow = self._power_eval._clock_pow
         power_now = self._power_now
         blocked = self._tick_blocked
         unscheduled = self._tick_unscheduled
@@ -2480,7 +2287,7 @@ class BatchedSimulator(FastSimulator):
                         schedule(
                             now + entry.work_remaining / rate,
                             _TASK_FINISH,
-                            entry.task.task_id,
+                            entry.tid,
                         )
                     # sm_utilization_from_params with sm_fraction=1.0.
                     peak = peak_eff * clock
@@ -2540,9 +2347,12 @@ class BatchedSimulator(FastSimulator):
                 hbm_frac = 1.0
             if link_frac > 1.0:
                 link_frac = 1.0
+            ct = clock_pow.get(clock)
+            if ct is None:
+                ct = clock_term(clock)
             power = tdp * (
                 idle_frac
-                + dynamic_sm * clock_term(clock)
+                + dynamic_sm * ct
                 + hbm_max * hbm_frac
                 + link_max * link_frac
             )
@@ -2564,15 +2374,16 @@ class BatchedSimulator(FastSimulator):
                 ):
                     now = self.time
                     if now > start_s:
+                        # tuple.__new__ like TaskRecord: skips the
+                        # namedtuple's generated kwargs __new__, which
+                        # profiles at this call rate.
                         segments[gpu_index].append(
-                            PowerSegment(
-                                gpu=gpu_index,
-                                start_s=start_s,
-                                end_s=now,
-                                power_w=cur_power,
-                                compute_active=cur_compute,
-                                comm_active=cur_comm,
-                                clock_frac=cur_clock,
+                            tuple.__new__(
+                                PowerSegment,
+                                (
+                                    gpu_index, start_s, now, cur_power,
+                                    cur_compute, cur_comm, cur_clock,
+                                ),
                             )
                         )
                     segment_open[gpu_index] = (
@@ -2676,7 +2487,7 @@ class BatchedSimulator(FastSimulator):
                 schedule(
                     now + entry.work_remaining / rate,
                     _TASK_FINISH,
-                    entry.task.task_id,
+                    entry.tid,
                 )
             util = utils[i]
             clock = clk_util[i]
@@ -2699,14 +2510,15 @@ class BatchedSimulator(FastSimulator):
             ai = entry.ai
             if ai != _INF and ai > 0.0:
                 slot[2] += rate / ai
-        # Phase 4: per-GPU communication terms -> power inputs.
-        clocks: List[float] = []
-        hbm_fracs: List[float] = []
-        link_fracs: List[float] = []
-        vec_utils: List[float] = []
-        ten_utils: List[float] = []
+        # Phase 4: per-GPU communication terms -> power inputs, staged
+        # prefix-first into the preallocated scratch arrays (the values
+        # are identical to the python lists this replaced; the *_many
+        # evaluation sees the same float64 stream either way).
         hbm_bw = self._hbm_bw
-        for gpu_index, clock, n, active_count in per_gpu:
+        clocks, hbm_fracs, link_fracs, vec_utils, ten_utils = (
+            self._cohort_scratch.views(len(per_gpu))
+        )
+        for i, (gpu_index, clock, n, active_count) in enumerate(per_gpu):
             uv, ut, hbm_used = acc[gpu_index]
             link_frac = 0.0
             if active_count:
@@ -2723,11 +2535,11 @@ class BatchedSimulator(FastSimulator):
                 agg = self._agg_spin_sm[gpu_index]
                 if agg > 0.0:
                     uv += _SPIN_VECTOR_UTIL * agg
-            clocks.append(clock)
-            hbm_fracs.append(hbm_used / hbm_bw)
-            link_fracs.append(link_frac if link_frac < 1.0 else 1.0)
-            vec_utils.append(uv)
-            ten_utils.append(ut)
+            clocks[i] = clock
+            hbm_fracs[i] = hbm_used / hbm_bw
+            link_fracs[i] = link_frac if link_frac < 1.0 else 1.0
+            vec_utils[i] = uv
+            ten_utils[i] = ut
         # Phase 5: batched power evaluation + publish.
         powers = self._power_eval.evaluate_parts_many(
             clocks, hbm_fracs, link_fracs, vec_utils, ten_utils, np=np
@@ -2774,8 +2586,11 @@ class AutoSimulator(BatchedSimulator):
         tasks: Sequence[Task],
         config: Optional[SimConfig] = None,
         cost_model: Optional[CollectiveCostModel] = None,
+        prepared: Optional[PreparedSim] = None,
     ):
-        super().__init__(node, tasks, config, cost_model=cost_model)
+        super().__init__(
+            node, tasks, config, cost_model=cost_model, prepared=prepared
+        )
         self._flipped = False
         # Pre-flip execution is bit-exact: replay banking plus the
         # non-adaptive governor cadence.
@@ -2896,6 +2711,7 @@ def make_simulator(
     tasks: Sequence[Task],
     config: Optional[SimConfig] = None,
     cost_model: Optional[CollectiveCostModel] = None,
+    prepared: Optional[PreparedSim] = None,
 ) -> Simulator:
     """Build the engine ``config`` selects (incremental by default).
 
@@ -2919,7 +2735,7 @@ def make_simulator(
         cls = _ENGINE_TIERS["fast"]
     else:
         cls = _ENGINE_TIERS["incremental"]
-    return cls(node, tasks, config, cost_model=cost_model)
+    return cls(node, tasks, config, cost_model=cost_model, prepared=prepared)
 
 
 def simulate(
@@ -2927,12 +2743,17 @@ def simulate(
     tasks: Sequence[Task],
     config: Optional[SimConfig] = None,
     cost_model: Optional[CollectiveCostModel] = None,
+    prepared: Optional[PreparedSim] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build the configured engine and run it.
 
     ``cost_model`` lets callers share one memoized
     :class:`CollectiveCostModel` across many simulations of the same
     node (see :mod:`repro.exec.planning`); it is stateless, so sharing
-    cannot change results.
+    cannot change results. ``prepared`` short-circuits all pure setup
+    with a pre-built (planner-cached) :class:`~repro.sim.prep
+    .PreparedSim` for the same (node, tasks, config).
     """
-    return make_simulator(node, tasks, config, cost_model=cost_model).run()
+    return make_simulator(
+        node, tasks, config, cost_model=cost_model, prepared=prepared
+    ).run()

@@ -24,11 +24,15 @@ Two storage backends share one versioned *lazy invalidation* surface:
   are bit-for-bit interchangeable and the engine equivalence suite
   pins that.
 
-Both backends keep per-key bookkeeping exact: the tombstone count
-(`live_count` is always ``len(queue) - tombstones``), the live-key
-set, and the version table, which is pruned as soon as the last copy
-of a key leaves storage (versions only need to stay monotonic while a
-stale copy could still be popped).
+Per-key bookkeeping lives in one *cell* ``[version, copies, live]``
+per ``(kind, payload)`` key — one dict lookup per schedule and per
+pop where three parallel structures (version table, live-key set,
+copy counts) used to cost three. The cells stay exact: the tombstone
+count (``live_count`` is always ``len(queue) - tombstones``) and the
+cell table, which is pruned as soon as the last copy of a key leaves
+storage (versions only need to stay monotonic while a stale copy
+could still be popped). ``_versions`` / ``_live_keys`` /
+``_key_copies`` remain available as derived views.
 """
 
 from __future__ import annotations
@@ -91,6 +95,12 @@ class Event(NamedTuple):
     epoch: int = 0
 
 
+#: Cell slot indices (cells are plain lists for mutation speed).
+_VERSION = 0
+_COPIES = 1
+_LIVE = 2
+
+
 class EventQueue:
     """A stable min-queue of events keyed by (time, insertion order).
 
@@ -113,20 +123,46 @@ class EventQueue:
 
     def __init__(self) -> None:
         self._counter = itertools.count()
-        #: Current version per (kind, payload); events tagged with an
-        #: older version are tombstones.
-        self._versions: Dict[Tuple[EventKind, Any], int] = {}
-        #: Keys whose *current* version still has an event in storage
-        #: (drives the exact tombstone count below).
-        self._live_keys: set = set()
-        #: Number of copies (live, stale or raw) per key currently in
-        #: storage; drives version-table pruning.
-        self._key_copies: Dict[Tuple[EventKind, Any], int] = {}
+        #: Per-key bookkeeping cell ``[version, copies, live]``:
+        #: ``version`` is None for raw push() keys and the current
+        #: version for schedule()-managed keys; ``copies`` counts
+        #: events (live, stale or raw) currently in storage; ``live``
+        #: is True while the current version still has a copy in
+        #: storage. A cell is pruned when its last copy leaves storage.
+        self._cells: Dict[Tuple[EventKind, Any], list] = {}
         #: Exact number of tombstoned events currently in storage.
         self._tombstones = 0
         #: Total tombstones dropped over the queue's lifetime.
         self.stale_dropped = 0
         self._store_init()
+
+    # ------------------------------------------------------------------
+    # derived views of the cell table (kept for tests and debugging —
+    # these were the three parallel structures the cells replaced)
+    # ------------------------------------------------------------------
+
+    @property
+    def _versions(self) -> Dict[Tuple[EventKind, Any], int]:
+        """Current version per schedule()-managed key (derived view)."""
+        return {
+            key: cell[_VERSION]
+            for key, cell in self._cells.items()
+            if cell[_VERSION] is not None
+        }
+
+    @property
+    def _live_keys(self) -> set:
+        """Keys whose current version is still in storage (derived)."""
+        return {key for key, cell in self._cells.items() if cell[_LIVE]}
+
+    @property
+    def _key_copies(self) -> Dict[Tuple[EventKind, Any], int]:
+        """Copies (live, stale or raw) per key in storage (derived)."""
+        return {
+            key: cell[_COPIES]
+            for key, cell in self._cells.items()
+            if cell[_COPIES]
+        }
 
     # ------------------------------------------------------------------
     # storage primitives (binary heap; overridden by CalendarEventQueue)
@@ -183,7 +219,8 @@ class EventQueue:
         there would silently read as a tombstone and skew the exact
         tombstone count that drives compaction.
         """
-        if (event.kind, event.payload) in self._versions:
+        cell = self._cells.get((event.kind, event.payload))
+        if cell is not None and cell[_VERSION] is not None:
             raise SimulationError(
                 f"event key ({event.kind}, {event.payload!r}) is "
                 f"version-managed; use schedule() instead of push()"
@@ -211,29 +248,33 @@ class EventQueue:
         the engine's hottest call.
         """
         key = (event.kind, event.payload)
-        self._key_copies[key] = self._key_copies.get(key, 0) + 1
+        cell = self._cells.get(key)
+        if cell is None:
+            self._cells[key] = [None, 1, False]
+        else:
+            cell[_COPIES] += 1
         self._store_push((event.time, next(self._counter), event))
 
     def _note_removed(self, event: Event) -> bool:
         """Book-keep one copy leaving storage; True if it was stale.
 
         Decrements the key's copy count and, once no copy remains and
-        the key is not live, prunes its version entry — versions only
-        need to stay monotonic while a stale copy could still surface.
+        the key is not live, prunes its cell — versions only need to
+        stay monotonic while a stale copy could still surface.
         """
         key = (event.kind, event.payload)
-        stale = self._is_stale(event)
-        if stale:
+        cells = self._cells
+        cell = cells[key]
+        version = cell[_VERSION]
+        if version is not None and event.epoch != version:
             self._tombstones -= 1
+            stale = True
         else:
-            self._live_keys.discard(key)
-        remaining = self._key_copies.get(key, 0) - 1
-        if remaining > 0:
-            self._key_copies[key] = remaining
-        else:
-            self._key_copies.pop(key, None)
-            if key not in self._live_keys:
-                self._versions.pop(key, None)
+            cell[_LIVE] = False
+            stale = False
+        cell[_COPIES] -= 1
+        if cell[_COPIES] <= 0 and not cell[_LIVE]:
+            del cells[key]
         return stale
 
     def pop(self) -> Optional[Event]:
@@ -279,33 +320,33 @@ class EventQueue:
         most one live event per key at any moment.
         """
         # Validate before touching any bookkeeping: a rejected time
-        # must leave versions/live-keys/tombstone counts untouched.
+        # must leave the cell table and tombstone count untouched.
         if not (0.0 <= time < _INF):
             self._validate_time(time, kind)
         key = (kind, payload)
-        versions = self._versions
-        version = versions.get(key)
-        if version is None:
-            if self._key_copies.get(key, 0) > 0:
+        cells = self._cells
+        cell = cells.get(key)
+        if cell is None:
+            version = 1
+            cells[key] = [1, 1, True]
+        else:
+            version = cell[_VERSION]
+            if version is None:
                 raise SimulationError(
                     f"event key ({kind}, {payload!r}) has raw push() "
                     f"copies outstanding; it cannot become "
                     f"version-managed"
                 )
-            version = 1
-        else:
             version += 1
-        versions[key] = version
-        if key in self._live_keys:
-            self._tombstones += 1
-        else:
-            self._live_keys.add(key)
+            cell[_VERSION] = version
+            if cell[_LIVE]:
+                self._tombstones += 1
+            else:
+                cell[_LIVE] = True
+            cell[_COPIES] += 1
         # tuple.__new__ directly: NamedTuple's generated __new__ is an
         # extra python frame per event on the engine's hottest call.
         event = tuple.__new__(Event, (time, kind, payload, version))
-        # _push_validated, inlined (same key tuple, no second frame).
-        copies = self._key_copies
-        copies[key] = copies.get(key, 0) + 1
         self._store_push((time, next(self._counter), event))
         return event
 
@@ -319,15 +360,19 @@ class EventQueue:
         callers that retire a key *without* popping it (e.g. aborting
         a task from outside the event loop).
         """
-        key = (kind, payload)
-        if key in self._live_keys:
-            self._versions[key] = self._versions.get(key, 0) + 1
-            self._live_keys.discard(key)
+        cell = self._cells.get((kind, payload))
+        if cell is not None and cell[_LIVE]:
+            cell[_VERSION] = (cell[_VERSION] or 0) + 1
+            cell[_LIVE] = False
             self._tombstones += 1
 
     def _is_stale(self, event: Event) -> bool:
-        current = self._versions.get((event.kind, event.payload))
-        return current is not None and event.epoch != current
+        cell = self._cells.get((event.kind, event.payload))
+        return (
+            cell is not None
+            and cell[_VERSION] is not None
+            and event.epoch != cell[_VERSION]
+        )
 
     def pop_live(self) -> Optional[Event]:
         """Earliest non-tombstoned event, or None when none remain."""
@@ -344,7 +389,9 @@ class EventQueue:
                 self.compact()
             return event
 
-    def pop_live_cohort(self) -> Optional[List[Event]]:
+    def pop_live_cohort(
+        self, out: Optional[List[Event]] = None
+    ) -> Optional[List[Event]]:
         """Every live event sharing the earliest timestamp, or None.
 
         The cohort-batched engine processes all state deltas landing on
@@ -354,13 +401,15 @@ class EventQueue:
         order repeated :meth:`pop_live` calls would produce. Stale
         copies encountered while draining the head time are discarded
         and counted exactly as :meth:`pop_live` would.
+
+        ``out`` is an optional reusable buffer: when given it is
+        cleared and filled instead of allocating a fresh list per
+        cohort (the caller must consume it before the next pop).
         """
         # _note_removed is inlined below (twice): this runs once per
         # engine cohort and the call/tuple overhead is measurable. The
         # bookkeeping must stay line-for-line equivalent to it.
-        versions = self._versions
-        live_keys = self._live_keys
-        key_copies = self._key_copies
+        cells = self._cells
         store_pop = self._store_pop
         first: Optional[Event] = None
         while True:
@@ -369,19 +418,17 @@ class EventQueue:
                 break
             event = item[2]
             key = (event[1], event[2])
-            current = versions.get(key)
-            stale = current is not None and event[3] != current
-            if stale:
+            cell = cells[key]
+            version = cell[_VERSION]
+            if version is not None and event[3] != version:
                 self._tombstones -= 1
+                stale = True
             else:
-                live_keys.discard(key)
-            remaining = key_copies.get(key, 0) - 1
-            if remaining > 0:
-                key_copies[key] = remaining
-            else:
-                key_copies.pop(key, None)
-                if key not in live_keys:
-                    versions.pop(key, None)
+                cell[_LIVE] = False
+                stale = False
+            cell[_COPIES] -= 1
+            if cell[_COPIES] <= 0 and not cell[_LIVE]:
+                del cells[key]
             if stale:
                 self.stale_dropped += 1
                 continue
@@ -389,7 +436,12 @@ class EventQueue:
             break
         if first is None:
             return None
-        cohort = [first]
+        if out is None:
+            cohort = [first]
+        else:
+            out.clear()
+            out.append(first)
+            cohort = out
         time = first[0]
         store_pop_if_time = self._store_pop_if_time
         while True:
@@ -398,19 +450,17 @@ class EventQueue:
                 break
             event = item[2]
             key = (event[1], event[2])
-            current = versions.get(key)
-            stale = current is not None and event[3] != current
-            if stale:
+            cell = cells[key]
+            version = cell[_VERSION]
+            if version is not None and event[3] != version:
                 self._tombstones -= 1
+                stale = True
             else:
-                live_keys.discard(key)
-            remaining = key_copies.get(key, 0) - 1
-            if remaining > 0:
-                key_copies[key] = remaining
-            else:
-                key_copies.pop(key, None)
-                if key not in live_keys:
-                    versions.pop(key, None)
+                cell[_LIVE] = False
+                stale = False
+            cell[_COPIES] -= 1
+            if cell[_COPIES] <= 0 and not cell[_LIVE]:
+                del cells[key]
             if stale:
                 self.stale_dropped += 1
                 continue
@@ -448,9 +498,9 @@ class EventQueue:
     def check_invariants(self) -> None:
         """Assert the bookkeeping matches storage exactly (test hook).
 
-        O(n); verifies the tombstone count, the live-key set, the
-        per-key copy counts and that the version table holds no entry
-        for keys with no copies left in storage.
+        O(n); verifies the tombstone count, the per-key cells (via the
+        derived views) and that no cell survives with no copies left
+        in storage.
         """
         items = list(self._store_items())
         stale = sum(1 for item in items if self._is_stale(item[2]))
@@ -459,10 +509,11 @@ class EventQueue:
                 f"tombstone count {self._tombstones} != {stale} stale "
                 f"events in storage"
             )
+        versions = self._versions
         live = {
             (item[2].kind, item[2].payload)
             for item in items
-            if (item[2].kind, item[2].payload) in self._versions
+            if (item[2].kind, item[2].payload) in versions
             and not self._is_stale(item[2])
         }
         if live != self._live_keys:
@@ -477,10 +528,19 @@ class EventQueue:
             raise AssertionError(
                 f"copy counts {self._key_copies!r} != storage {copies!r}"
             )
-        orphaned = set(self._versions) - set(copies)
+        orphaned = set(versions) - set(copies)
         if orphaned:
             raise AssertionError(
                 f"version entries without storage copies: {orphaned!r}"
+            )
+        leaked = [
+            key
+            for key, cell in self._cells.items()
+            if cell[_COPIES] <= 0 and not cell[_LIVE]
+        ]
+        if leaked:
+            raise AssertionError(
+                f"cells with no copies and no live event: {leaked!r}"
             )
         if self.live_count != len(items) - stale:
             raise AssertionError("live_count disagrees with storage")
@@ -593,31 +653,27 @@ class CalendarEventQueue(EventQueue):
         if not (0.0 <= time < _INF):
             self._validate_time(time, kind)
         key = (kind, payload)
-        versions = self._versions
-        copies = self._key_copies
-        version = versions.get(key)
-        if version is None:
-            if copies.get(key, 0) > 0:
+        cells = self._cells
+        cell = cells.get(key)
+        if cell is None:
+            version = 1
+            cells[key] = [1, 1, True]
+        else:
+            version = cell[0]
+            if version is None:
                 raise SimulationError(
                     f"event key ({kind}, {payload!r}) has raw push() "
                     f"copies outstanding; it cannot become "
                     f"version-managed"
                 )
-            version = 1
-        else:
             version += 1
-        versions[key] = version
-        if key in self._live_keys:
-            self._tombstones += 1
-        else:
-            self._live_keys.add(key)
+            cell[0] = version
+            if cell[2]:
+                self._tombstones += 1
+            else:
+                cell[2] = True
+            cell[1] += 1
         event = tuple.__new__(Event, (time, kind, payload, version))
-        # Reschedules dominate, so the key usually has a copy count
-        # already; += with a KeyError fallback beats get()+store.
-        try:
-            copies[key] += 1
-        except KeyError:
-            copies[key] = 1
         # _store_push, inlined. The bucket index formula must match it
         # exactly (raw push() copies land via the base method).
         index = int(time / self.bucket_width_s)
@@ -633,10 +689,10 @@ class CalendarEventQueue(EventQueue):
         self._count += 1
         return event
 
-    def pop_live_cohort(self) -> Optional[List[Event]]:
-        versions = self._versions
-        live_keys = self._live_keys
-        key_copies = self._key_copies
+    def pop_live_cohort(
+        self, out: Optional[List[Event]] = None
+    ) -> Optional[List[Event]]:
+        cells = self._cells
         buckets = self._buckets
         order = self._order
         heappop = heapq.heappop
@@ -659,19 +715,17 @@ class CalendarEventQueue(EventQueue):
             self._count -= 1
             # _note_removed, inlined.
             key = (event[1], event[2])
-            current = versions.get(key)
-            stale = current is not None and event[3] != current
-            if stale:
+            cell = cells[key]
+            version = cell[0]
+            if version is not None and event[3] != version:
                 self._tombstones -= 1
+                stale = True
             else:
-                live_keys.discard(key)
-            remaining = key_copies.get(key, 0) - 1
-            if remaining > 0:
-                key_copies[key] = remaining
-            else:
-                key_copies.pop(key, None)
-                if key not in live_keys:
-                    versions.pop(key, None)
+                cell[2] = False
+                stale = False
+            cell[1] -= 1
+            if cell[1] <= 0 and not cell[2]:
+                del cells[key]
             if stale:
                 self.stale_dropped += 1
                 continue
@@ -679,7 +733,12 @@ class CalendarEventQueue(EventQueue):
             break
         if first is None:
             return None
-        cohort = [first]
+        if out is None:
+            cohort = [first]
+        else:
+            out.clear()
+            out.append(first)
+            cohort = out
         time = first[0]
         # Equal floats always share a bucket index, so the same-time
         # drain never has to look past the bucket the head came from.
@@ -687,19 +746,17 @@ class CalendarEventQueue(EventQueue):
             event = heappop(bucket)[2]
             self._count -= 1
             key = (event[1], event[2])
-            current = versions.get(key)
-            stale = current is not None and event[3] != current
-            if stale:
+            cell = cells[key]
+            version = cell[0]
+            if version is not None and event[3] != version:
                 self._tombstones -= 1
+                stale = True
             else:
-                live_keys.discard(key)
-            remaining = key_copies.get(key, 0) - 1
-            if remaining > 0:
-                key_copies[key] = remaining
-            else:
-                key_copies.pop(key, None)
-                if key not in live_keys:
-                    versions.pop(key, None)
+                cell[2] = False
+                stale = False
+            cell[1] -= 1
+            if cell[1] <= 0 and not cell[2]:
+                del cells[key]
             if stale:
                 self.stale_dropped += 1
                 continue

@@ -1,0 +1,559 @@
+"""The prepared-simulation layer: everything pure in (plan, node, config).
+
+A grid sweep simulates the same memoized plan hundreds of times —
+across power caps, modes and repeat runs — and every simulator
+``__init__`` used to rebuild the same validated task/stream indexes,
+jittered kernel tables and collective costs from scratch. This module
+hoists all of it into one immutable :class:`PreparedSim`, built once
+per distinct ``(plan, node, sim-relevant config fields)`` and shared
+read-only by every engine tier:
+
+* **task/stream indexes** — tasks by id, per-stream launch order,
+  reverse-dependency and wake-stream maps (validation included, with
+  the same :class:`~repro.errors.PlanError` semantics the engines had);
+* **kernel parameter tables** — per-task jittered work / isolated
+  durations with pre-resolved roofline parameters, and per-op jittered
+  collective costs. Kernels are routed through the process-wide
+  hash-consing intern table (:func:`repro.workloads.kernels
+  .intern_kernel`) so the identity-keyed memo dicts inside
+  :class:`~repro.sim.rates.RateModel`,
+  :class:`~repro.hw.power.PowerEvaluator` and
+  :class:`~repro.collectives.cost_model.CollectiveCostModel` hit
+  across grid cells instead of rebuilding per cell;
+* **hoisted scalars** — calibration factors and power coefficients the
+  fused batched loop binds directly.
+
+Safety argument: every field is pure in the cache key, and nothing in
+the prepared object is mutated after construction (the engines track
+run progress in per-run cursors and arena state, never in these
+tables). Sharing therefore cannot change results — the equivalence
+and golden suites pin this, and ``tests/test_sim_prep.py`` checks the
+isolation property directly.
+
+The module also owns :class:`RunArena`, a small per-thread pool for
+the *mutable* per-run containers (per-GPU resident-set dicts, the
+batched tier's SoA columns) so back-to-back runs reuse allocations
+instead of building fresh dicts per cell.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import zlib
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.collectives.cost_model import CollectiveCost, CollectiveCostModel
+from repro.collectives.library import library_for
+from repro.errors import PlanError
+from repro.hw.datapath import Datapath
+from repro.hw.power import PowerEvaluator
+from repro.hw.system import NodeSpec
+from repro.sim.rates import RateModel
+from repro.sim.soa import SoAStore
+from repro.sim.task import CommTask, ComputeTask, Task
+from repro.workloads.kernels import intern_kernel
+
+#: Process-wide memoized evaluators per GPU spec object. RateModel and
+#: PowerEvaluator are pure in the (immutable) spec, so sharing them
+#: across simulations cannot change results — it just keeps their
+#: roofline/power memo tables warm across runs and cells. Keyed by
+#: id() with the spec kept alive in the value. Creation is
+#: lock-guarded for the async executor's thread fan-out; the memo
+#: *lookups* inside the shared objects stay unguarded on purpose —
+#: every cached value is a pure function of its key, so concurrent
+#: writers can only store identical floats.
+_SHARED_EVALUATORS: Dict[int, Tuple[object, RateModel, PowerEvaluator]] = {}
+_SHARED_EVALUATORS_MAX = 64
+_LOCK = threading.Lock()
+
+#: Prepared simulations keyed by identity of the pure inputs plus the
+#: sim-relevant config scalars. Objects are kept alive in the value so
+#: ids stay unique while cached.
+_PREP_CACHE: Dict[tuple, "PreparedSim"] = {}
+_PREP_CACHE_MAX = 256
+_PREP_STATS = {"hits": 0, "builds": 0}
+
+#: Default cost models per node object (identity-keyed, node kept
+#: alive): lets ``Simulator(node, tasks, config)`` calls without an
+#: explicit cost model share one prepared sim per node.
+_DEFAULT_COST_MODELS: Dict[int, Tuple[NodeSpec, CollectiveCostModel]] = {}
+
+#: Jitter factors keyed (seed, sigma) -> {label: factor}. The factor
+#: is pure in (label, seed, sigma), so grid cells that share a task
+#: layout reuse each other's draws. Inner dicts are capped; a benign
+#: race (two threads computing the same label) converges to the same
+#: deterministic value.
+_JITTER_MEMO: Dict[Tuple[int, float], Dict[str, float]] = {}
+_JITTER_MEMO_MAX = 1 << 20
+
+
+def evaluators_for(gpu) -> Tuple[RateModel, PowerEvaluator]:
+    """The shared (RateModel, PowerEvaluator) pair for one GPU spec."""
+    with _LOCK:
+        entry = _SHARED_EVALUATORS.get(id(gpu))
+        if entry is None or entry[0] is not gpu:
+            if len(_SHARED_EVALUATORS) >= _SHARED_EVALUATORS_MAX:
+                _SHARED_EVALUATORS.clear()
+            entry = (
+                gpu,
+                RateModel(gpu),
+                PowerEvaluator(gpu.tdp_w, gpu.power),
+            )
+            _SHARED_EVALUATORS[id(gpu)] = entry
+        return entry[1], entry[2]
+
+
+def default_cost_model(node: NodeSpec) -> CollectiveCostModel:
+    """Memoized default cost model per node object (identity-keyed)."""
+    with _LOCK:
+        entry = _DEFAULT_COST_MODELS.get(id(node))
+        if entry is not None and entry[0] is node:
+            return entry[1]
+    model = CollectiveCostModel(
+        link=node.link,
+        library=library_for(node.gpu.vendor),
+        calibration=node.calibration,
+        hbm_effective_bandwidth=node.gpu.memory.effective_bandwidth,
+    )
+    with _LOCK:
+        if len(_DEFAULT_COST_MODELS) >= _SHARED_EVALUATORS_MAX:
+            _DEFAULT_COST_MODELS.clear()
+        return _DEFAULT_COST_MODELS.setdefault(id(node), (node, model))[1]
+
+
+def reset_prepared() -> None:
+    """Drop every process-wide prep cache and zero the counters.
+
+    Results never depend on them (every cached value is pure in its
+    key), but *timings* do — the engine benchmark calls this between
+    tiers so no tier inherits a cache another tier warmed.
+    """
+    with _LOCK:
+        _SHARED_EVALUATORS.clear()
+        _PREP_CACHE.clear()
+        _DEFAULT_COST_MODELS.clear()
+        _JITTER_MEMO.clear()
+        _PREP_STATS["hits"] = 0
+        _PREP_STATS["builds"] = 0
+
+
+def prep_stats() -> dict:
+    """Prep-cache hit/build counters plus current size (for benches)."""
+    with _LOCK:
+        return {
+            "hits": _PREP_STATS["hits"],
+            "builds": _PREP_STATS["builds"],
+            "size": len(_PREP_CACHE),
+        }
+
+
+def _stable_unit_uniform(key: str, seed: int) -> float:
+    """Deterministic uniform in (0, 1) from a string key and seed."""
+    h = zlib.crc32(key.encode("utf-8")) ^ (seed * 0x9E3779B9 & 0xFFFFFFFF)
+    h = (h * 2654435761) & 0xFFFFFFFF
+    return (h + 0.5) / 4294967296.0
+
+
+def _lognormal_factor(key: str, seed: int, sigma: float) -> float:
+    """Mean-1 lognormal jitter factor, deterministic in (key, seed)."""
+    if sigma <= 0:
+        return 1.0
+    u = _stable_unit_uniform(key, seed)
+    # Inverse-CDF of the standard normal via Acklam's approximation is
+    # overkill; a logistic approximation is adequate for jitter.
+    z = math.log(u / (1.0 - u)) / 1.702
+    return math.exp(sigma * z - 0.5 * sigma * sigma)
+
+
+@dataclass(frozen=True)
+class PreparedSim:
+    """Everything a simulator needs that is pure in (plan, node, config).
+
+    Immutable by convention and construction: the contained dicts are
+    never written after :func:`prepare` returns (the engines track all
+    run progress in per-run cursors), so one instance is safely shared
+    by any number of concurrent simulations.
+    """
+
+    node: NodeSpec
+    gpu: object
+    cost_model: CollectiveCostModel
+    #: The caller's task sequence (identity is part of the cache key).
+    tasks_src: Sequence[Task]
+    seed: int
+    jitter_sigma: float
+    max_clock_frac: float
+    num_gpus: int
+    #: Validated task/stream indexes (read-only).
+    tasks: Dict[int, Task]
+    streams: Dict[Tuple[int, str], List[int]]
+    stream_keys: Tuple[Tuple[int, str], ...]
+    stream_order: Dict[Tuple[int, str], int]
+    #: Reverse-dependency index and per-completion wake sets.
+    dependents: Dict[int, List[int]]
+    wake_streams: Dict[int, Tuple[Tuple[int, str], ...]]
+    #: Per-task jittered kernel rows:
+    #: (flops, iso, peak_eff, ai, ramp, is_vector, free_util0).
+    compute_table: Dict[int, Tuple[float, float, float, float, float, bool, float]]
+    #: Per-op jittered collective costs.
+    comm_cost: Dict[str, CollectiveCost]
+    #: Shared memoizing evaluators for this GPU spec.
+    rates: RateModel
+    power_eval: PowerEvaluator
+    idle_power_w: float
+    #: Hoisted node/GPU invariants for the hot loops.
+    hbm_eff: float
+    hbm_bw: float
+    spin_scale: float
+    interference: float
+    stall_frac: float
+    #: Power coefficients for the batched tier's fused evaluation;
+    #: ``missing_paths`` defers the batched tier's coefficient check
+    #: to construction time so the exact tiers keep accepting specs
+    #: the batched tier would reject.
+    vec_max: float
+    ten_max: float
+    idle_frac: float
+    hbm_max: float
+    link_max: float
+    tdp: float
+    missing_paths: Tuple[Datapath, ...]
+
+
+def _build_indexes(node: NodeSpec, tasks: Sequence[Task]):
+    """Validate the plan and build every task/stream index.
+
+    Same checks and :class:`PlanError` messages as the engines'
+    original ``_validate_and_index``.
+    """
+    if not tasks:
+        raise PlanError("no tasks to simulate")
+    num_gpus = node.num_gpus
+    by_id: Dict[int, Task] = {}
+    streams: Dict[Tuple[int, str], List[int]] = {}
+    for task in tasks:
+        if task.task_id in by_id:
+            raise PlanError(f"duplicate task id {task.task_id}")
+        if task.gpu >= num_gpus:
+            raise PlanError(
+                f"task {task.label}: gpu {task.gpu} out of range for "
+                f"{num_gpus}-GPU node"
+            )
+        by_id[task.task_id] = task
+        key = (task.gpu, task.stream)
+        streams.setdefault(key, []).append(task.task_id)
+    known = set(by_id)
+    for task in tasks:
+        missing = task.deps - known
+        if missing:
+            raise PlanError(
+                f"task {task.label}: unknown deps {sorted(missing)}"
+            )
+    dependents: Dict[int, List[int]] = {}
+    for task in by_id.values():
+        for dep in task.deps:
+            dependents.setdefault(dep, []).append(task.task_id)
+    wake_streams: Dict[int, Tuple[Tuple[int, str], ...]] = {}
+    deps_get = dependents.get
+    for task in by_id.values():
+        own = (task.gpu, task.stream)
+        waiters = deps_get(task.task_id)
+        # The wake set is tiny (own stream plus usually zero or one
+        # dependent's); build the common shapes without a set. The
+        # consumer only ever set-unions these tuples, so member order
+        # is free — dedup is what matters.
+        if not waiters:
+            wake_streams[task.task_id] = (own,)
+        elif len(waiters) == 1:
+            dependent = by_id[waiters[0]]
+            other = (dependent.gpu, dependent.stream)
+            wake_streams[task.task_id] = (
+                (own,) if other == own else (own, other)
+            )
+        else:
+            wake = {own}
+            for tid in waiters:
+                dependent = by_id[tid]
+                wake.add((dependent.gpu, dependent.stream))
+            wake_streams[task.task_id] = tuple(wake)
+    return by_id, streams, dependents, wake_streams
+
+
+def _build_tables(
+    tasks: Dict[int, Task],
+    rates: RateModel,
+    cost_model: CollectiveCostModel,
+    seed: int,
+    sigma: float,
+    max_clock: float,
+):
+    """Jittered per-task kernel rows and per-op collective costs.
+
+    Pure in the arguments; identical arithmetic (and jitter draws) to
+    the tables the engines used to build inline.
+    """
+    compute_table: Dict[
+        int, Tuple[float, float, float, float, float, bool, float]
+    ] = {}
+    comm_cost: Dict[str, CollectiveCost] = {}
+    # Plans repeat a handful of kernels across hundreds of layer
+    # tasks; interning resolves value-equal copies to one canonical
+    # object so the per-identity memo below — and every downstream
+    # KernelSpec-keyed memo — hits across tasks *and* across plans.
+    per_kernel: Dict[int, Tuple[float, float, float, float, bool]] = {}
+    jittered = sigma > 0
+    if jittered:
+        with _LOCK:
+            factor_memo = _JITTER_MEMO.setdefault((seed, sigma), {})
+            if len(factor_memo) > _JITTER_MEMO_MAX:
+                factor_memo.clear()
+    else:
+        factor_memo = {}
+    memo_get = factor_memo.get
+    for task in tasks.values():
+        if isinstance(task, ComputeTask):
+            kernel = intern_kernel(task.kernel)
+            info = per_kernel.get(id(kernel))
+            if info is None:
+                peak_eff, ai, iso, free0 = rates.kernel_row(
+                    kernel, max_clock
+                )
+                info = (
+                    peak_eff,
+                    ai,
+                    iso,
+                    free0,
+                    kernel.path.datapath is Datapath.VECTOR,
+                )
+                per_kernel[id(kernel)] = info
+            peak_eff, ai, iso_base, free_util0, is_vector = info
+            if jittered:
+                label = f"c{task.task_id}"
+                factor = memo_get(label)
+                if factor is None:
+                    factor = _lognormal_factor(label, seed, sigma)
+                    factor_memo[label] = factor
+                iso = iso_base * factor
+                flops = kernel.flops * factor
+            else:
+                iso = iso_base
+                flops = kernel.flops
+            compute_table[task.task_id] = (
+                flops,
+                iso,
+                peak_eff,
+                ai,
+                iso / (iso + 50e-6),
+                is_vector,
+                free_util0,
+            )
+        elif isinstance(task, CommTask):
+            key_op = task.op.key
+            if key_op in comm_cost:
+                continue
+            cost = cost_model.cost(task.op)
+            if jittered:
+                label = f"k{key_op}"
+                factor = memo_get(label)
+                if factor is None:
+                    factor = _lognormal_factor(label, seed, sigma)
+                    factor_memo[label] = factor
+            else:
+                factor = 1.0
+            if factor != 1.0:
+                # Jitter stretches the duration; the same bytes over a
+                # longer window means proportionally less HBM pressure.
+                cost = replace(
+                    cost,
+                    duration_s=cost.duration_s * factor,
+                    hbm_bytes_per_s=cost.hbm_bytes_per_s / factor,
+                )
+            comm_cost[key_op] = cost
+    return compute_table, comm_cost
+
+
+def prepare(
+    node: NodeSpec,
+    tasks: Sequence[Task],
+    *,
+    seed: int = 0,
+    jitter_sigma: float = 0.0,
+    max_clock_frac: float = 1.0,
+    cost_model: Optional[CollectiveCostModel] = None,
+) -> PreparedSim:
+    """Build (or fetch) the :class:`PreparedSim` for one plan+node+config.
+
+    Cached process-wide, keyed by the identity of the pure inputs
+    (task list, GPU spec, calibration, cost model) plus the
+    sim-relevant config scalars — the same key discipline the old
+    per-table caches used, consolidated into one entry.
+    """
+    if cost_model is None:
+        cost_model = default_cost_model(node)
+    gpu = node.gpu
+    calibration = node.calibration
+    key = (
+        id(tasks),
+        id(gpu),
+        id(cost_model),
+        id(calibration),
+        seed,
+        jitter_sigma,
+        max_clock_frac,
+        node.num_gpus,
+    )
+    with _LOCK:
+        prep = _PREP_CACHE.get(key)
+        if (
+            prep is not None
+            and prep.tasks_src is tasks
+            and prep.gpu is gpu
+            and prep.cost_model is cost_model
+            and prep.node.calibration is calibration
+        ):
+            _PREP_STATS["hits"] += 1
+            return prep
+
+    rates, power_eval = evaluators_for(gpu)
+    by_id, streams, dependents, wake_streams = _build_indexes(node, tasks)
+    compute_table, comm_cost = _build_tables(
+        by_id, rates, cost_model, seed, jitter_sigma, max_clock_frac
+    )
+    coeffs = power_eval.coeffs
+    sm_max = coeffs.sm_max_frac
+    needed = {Datapath.VECTOR}
+    for row in compute_table.values():
+        if not row[5]:
+            needed.add(Datapath.TENSOR)
+    missing = tuple(
+        sorted(
+            (p for p in needed if sm_max.get(p) is None),
+            key=lambda p: p.value,
+        )
+    )
+    prep = PreparedSim(
+        node=node,
+        gpu=gpu,
+        cost_model=cost_model,
+        tasks_src=tasks,
+        seed=seed,
+        jitter_sigma=jitter_sigma,
+        max_clock_frac=max_clock_frac,
+        num_gpus=node.num_gpus,
+        tasks=by_id,
+        streams=streams,
+        stream_keys=tuple(streams),
+        stream_order={key_: i for i, key_ in enumerate(streams)},
+        dependents=dependents,
+        wake_streams=wake_streams,
+        compute_table=compute_table,
+        comm_cost=comm_cost,
+        rates=rates,
+        power_eval=power_eval,
+        idle_power_w=power_eval.idle_power(),
+        hbm_eff=gpu.memory.effective_bandwidth,
+        hbm_bw=gpu.memory.bandwidth_bytes_per_s,
+        spin_scale=calibration.spin_sm_scale,
+        interference=calibration.interference_factor,
+        stall_frac=calibration.stall_power_frac,
+        vec_max=sm_max.get(Datapath.VECTOR, 0.0) or 0.0,
+        ten_max=sm_max.get(Datapath.TENSOR, 0.0) or 0.0,
+        idle_frac=coeffs.idle_frac,
+        hbm_max=coeffs.hbm_max_frac,
+        link_max=coeffs.link_max_frac,
+        tdp=power_eval.tdp_w,
+        missing_paths=missing,
+    )
+    with _LOCK:
+        _PREP_STATS["builds"] += 1
+        if len(_PREP_CACHE) >= _PREP_CACHE_MAX:
+            _PREP_CACHE.clear()
+        return _PREP_CACHE.setdefault(key, prep)
+
+
+# ---------------------------------------------------------------------------
+# Per-run mutable-state arena.
+# ---------------------------------------------------------------------------
+
+
+class RunArena:
+    """Per-thread pool of the engines' per-run mutable containers.
+
+    A grid sweep constructs thousands of simulators back to back; the
+    per-GPU resident-set dicts and the batched tier's SoA columns are
+    identical in shape every time. The arena hands them out cleared
+    (or value-reset, for the SoA store) and takes them back at
+    ``_finalize``, so steady-state runs allocate none of them.
+
+    Thread-local by construction — two simulators on different threads
+    never share a pooled object, and a simulator returns state only
+    after its run completed (every container is empty or fully
+    reinitialized on the next acquire, so reuse is invisible to
+    results).
+    """
+
+    _MAX_POOL = 4
+
+    def __init__(self) -> None:
+        self._sets: Dict[int, List[tuple]] = {}
+        self._soas: Dict[int, List[SoAStore]] = {}
+
+    def acquire_sets(self, num_gpus: int):
+        """Three per-GPU dict lists: running_on, active_on, spinning_on."""
+        pool = self._sets.get(num_gpus)
+        if pool:
+            return pool.pop()
+        return (
+            [{} for _ in range(num_gpus)],
+            [{} for _ in range(num_gpus)],
+            [{} for _ in range(num_gpus)],
+        )
+
+    def release_sets(self, num_gpus: int, triple) -> None:
+        pool = self._sets.setdefault(num_gpus, [])
+        if len(pool) >= self._MAX_POOL:
+            return
+        for dicts in triple:
+            for d in dicts:
+                d.clear()
+        pool.append(triple)
+
+    def acquire_soa(
+        self, num_gpus: int, max_clock_frac: float, idle_power_w: float
+    ) -> SoAStore:
+        """A value-reset SoA store (bit-identical to a fresh one)."""
+        pool = self._soas.get(num_gpus)
+        if pool:
+            store = pool.pop()
+            for i in range(num_gpus):
+                store.clock[i] = max_clock_frac
+                store.power[i] = idle_power_w
+                store.comm_sm[i] = 0.0
+                store.spin_sm[i] = 0.0
+                store.hbm[i] = 0.0
+                store.link[i] = 0.0
+                store.rate_mul[i] = 1.0
+                store.hbm_mul[i] = 1.0
+                store.link_mul[i] = 1.0
+                store.clock_cap[i] = max_clock_frac
+            return store
+        return SoAStore(num_gpus, max_clock_frac, idle_power_w)
+
+    def release_soa(self, num_gpus: int, store: SoAStore) -> None:
+        pool = self._soas.setdefault(num_gpus, [])
+        if len(pool) < self._MAX_POOL:
+            pool.append(store)
+
+
+_ARENAS = threading.local()
+
+
+def run_arena() -> RunArena:
+    """The calling thread's arena (created on first use)."""
+    arena = getattr(_ARENAS, "arena", None)
+    if arena is None:
+        arena = RunArena()
+        _ARENAS.arena = arena
+    return arena

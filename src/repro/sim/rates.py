@@ -112,6 +112,7 @@ class RateModel:
         self._peak_eff: Dict[KernelSpec, float] = {}
         self._iso: Dict[KernelSpec, float] = {}
         self._free_util: Dict[Tuple[KernelSpec, float], float] = {}
+        self._rows: Dict[Tuple[KernelSpec, float], Tuple] = {}
 
     def _peak_eff_for(self, kernel: KernelSpec) -> float:
         value = self._peak_eff.get(kernel)
@@ -291,6 +292,32 @@ class RateModel:
             return 0.0
         util = rate_flops_per_s / peak
         return min(util, sm_fraction if sm_fraction > 0 else 1.0, 1.0)
+
+    def kernel_row(
+        self, kernel: KernelSpec, clock_frac: float
+    ) -> Tuple[float, float, float, float]:
+        """``(peak_eff, ai, isolated_s, free_util)`` in one memo probe.
+
+        The prepared-simulation table build needs all four per-kernel
+        invariants at once; resolving them through the individual memos
+        costs three kernel-keyed probes per kernel per plan. This
+        combined row is assembled from those same memos on first sight
+        (so every float is identical to the piecewise path) and then
+        answers in a single lookup.
+        """
+        key = (kernel, clock_frac)
+        row = self._rows.get(key)
+        if row is None:
+            if len(self._rows) >= self._MAX_FREE_ENTRIES:
+                self._rows.clear()
+            row = (
+                self._peak_eff_for(kernel),
+                kernel.arithmetic_intensity,
+                self.isolated_duration(kernel),
+                self.free_utilization(kernel, clock_frac),
+            )
+            self._rows[key] = row
+        return row
 
     def free_utilization(self, kernel: KernelSpec, clock_frac: float) -> float:
         """Uncontended SM utilisation at a given clock, memoized.

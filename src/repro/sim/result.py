@@ -143,15 +143,39 @@ class SimulationResult:
 
         With ``gpu=None`` the per-GPU sums are averaged, matching how
         the paper reports per-GPU kernel times on symmetric workloads.
+        The whole-node sums are memoized per category in one pass over
+        the records (metrics assembly asks for several categories per
+        result); accumulating all categories in record order adds each
+        category's terms in exactly the order the filtered sum would,
+        so the memo is bit-identical, and it is keyed on the record
+        count so a still-running simulation cannot serve stale sums.
         """
         if gpu is not None:
             return sum(r.duration_s for r in self.records_for(gpu, category))
         if self.num_gpus == 0:
             return 0.0
-        total = sum(
-            r.duration_s for r in self.records if r.category is category
-        )
-        return total / self.num_gpus
+        records = self.records
+        cached = getattr(self, "_category_time_cache", None)
+        if cached is None or cached[0] != len(records):
+            # Identity branches on the two known categories: dict-keying
+            # on an enum calls its Python-level __hash__ per record,
+            # which dominates this pass on large traces.
+            compute_total = 0.0
+            comm_total = 0.0
+            totals: Dict[TaskCategory, float] = {}
+            for r in records:
+                cat = r[4]
+                if cat is TaskCategory.COMPUTE:
+                    compute_total += r[7] - r[6]
+                elif cat is TaskCategory.COMM:
+                    comm_total += r[7] - r[6]
+                else:
+                    totals[cat] = totals.get(cat, 0.0) + (r[7] - r[6])
+            totals[TaskCategory.COMPUTE] = compute_total
+            totals[TaskCategory.COMM] = comm_total
+            cached = (len(records), totals)
+            self._category_time_cache = cached
+        return cached[1].get(category, 0.0) / self.num_gpus
 
     def intervals(
         self, gpu: int, category: TaskCategory
@@ -164,10 +188,19 @@ class SimulationResult:
         )
 
     def energy_j(self, gpu: int = None) -> float:  # type: ignore[assignment]
-        """Total energy over the run (one GPU or whole node)."""
+        """Total energy over the run (one GPU or whole node).
+
+        Indexes the segment tuples directly — ``power_w * (end_s -
+        start_s)`` is :attr:`PowerSegment.energy_j` with the two
+        property frames stripped; metrics assembly sums hundreds of
+        thousands of segments per grid pass.
+        """
         gpus = [gpu] if gpu is not None else list(self.power_segments)
+        segments = self.power_segments
         return sum(
-            seg.energy_j for g in gpus for seg in self.power_segments.get(g, [])
+            seg[3] * (seg[2] - seg[1])
+            for g in gpus
+            for seg in segments.get(g, [])
         )
 
     def validate(self) -> None:

@@ -59,6 +59,42 @@ def numpy_or_none():
     return _numpy
 
 
+class CohortScratch:
+    """Preallocated staging arrays for the vectorized cohort drain.
+
+    The multi-GPU recompute used to build five fresh python lists per
+    cohort and hand them to the ``*_many`` power entry point, which
+    converted each with ``np.asarray``. The scratch owns one
+    numpy array per component, sized to the node, filled prefix-first
+    and passed down as zero-copy views — no per-cohort allocation and
+    no list-to-array conversion. Only constructed when numpy is in
+    play (the pure-python fallback path never reaches the vectorized
+    drain), and only ever read through :meth:`views`, so a prefix from
+    an earlier, larger cohort can never leak into a later one.
+    """
+
+    __slots__ = ("num_gpus", "clock", "hbm_frac", "link_frac",
+                 "vec_util", "ten_util")
+
+    def __init__(self, num_gpus: int, np) -> None:
+        self.num_gpus = num_gpus
+        self.clock = np.empty(num_gpus, dtype=np.float64)
+        self.hbm_frac = np.empty(num_gpus, dtype=np.float64)
+        self.link_frac = np.empty(num_gpus, dtype=np.float64)
+        self.vec_util = np.empty(num_gpus, dtype=np.float64)
+        self.ten_util = np.empty(num_gpus, dtype=np.float64)
+
+    def views(self, count: int):
+        """Zero-copy prefix views over the first ``count`` slots."""
+        return (
+            self.clock[:count],
+            self.hbm_frac[:count],
+            self.link_frac[:count],
+            self.vec_util[:count],
+            self.ten_util[:count],
+        )
+
+
 class SoAStore:
     """Per-GPU hot state as parallel arrays (struct-of-arrays).
 

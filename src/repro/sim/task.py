@@ -25,6 +25,11 @@ class TaskCategory(enum.Enum):
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value
 
+    # Members are singletons; identity hashing matches the default
+    # name hash semantically but stays in C (profiler tables and
+    # metrics assembly key dicts on the category per record).
+    __hash__ = object.__hash__
+
 
 @dataclass(frozen=True)
 class Task:

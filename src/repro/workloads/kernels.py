@@ -99,12 +99,66 @@ class KernelSpec:
         """A copy with FLOPs and bytes scaled by ``flop_scale``."""
         if flop_scale <= 0:
             raise ConfigurationError("flop_scale must be positive")
-        return replace(
-            self,
-            name=self.name + name_suffix,
-            flops=self.flops * flop_scale,
-            bytes_moved=self.bytes_moved * flop_scale,
+        return intern_kernel(
+            replace(
+                self,
+                name=self.name + name_suffix,
+                flops=self.flops * flop_scale,
+                bytes_moved=self.bytes_moved * flop_scale,
+            )
         )
+
+
+# ---------------------------------------------------------------------------
+# Hash-consing intern table.
+#
+# Kernel specs key the engine's hottest memo tables (roofline peaks,
+# isolated durations, free-running utilisation, power activity rows,
+# collective costs). Grid sweeps rebuild structurally-equal specs for
+# every cell; interning collapses them to one canonical object so those
+# memo dicts hit across cells (identity short-circuits ``dict`` key
+# comparison before ``__eq__`` runs) and the tables stay small.
+# ``dict.setdefault`` is atomic under the GIL, so no lock is needed on
+# the hot path.
+
+_KERNEL_INTERN: dict = {}
+_KERNEL_INTERN_MAX = 65536
+_INTERN_STATS = {"hits": 0, "misses": 0}
+
+
+def intern_kernel(spec: KernelSpec) -> KernelSpec:
+    """Return the canonical instance for ``spec``.
+
+    Equal specs (by value) map to one shared object; the first spec
+    with a given value becomes the canonical one. The table is bounded:
+    on overflow it is cleared wholesale, which only costs future
+    sharing — existing holders keep working because every consumer
+    keys by value (hash/eq), never by identity alone.
+    """
+    canonical = _KERNEL_INTERN.get(spec)
+    if canonical is not None:
+        _INTERN_STATS["hits"] += 1
+        return canonical
+    if len(_KERNEL_INTERN) >= _KERNEL_INTERN_MAX:
+        _KERNEL_INTERN.clear()
+    _INTERN_STATS["misses"] += 1
+    return _KERNEL_INTERN.setdefault(spec, spec)
+
+
+def kernel_intern_stats() -> dict:
+    """Intern-table hit/miss counters plus current size (for benches)."""
+    return {
+        "hits": _INTERN_STATS["hits"],
+        "misses": _INTERN_STATS["misses"],
+        "size": len(_KERNEL_INTERN),
+    }
+
+
+def reset_kernel_intern() -> None:
+    """Drop the intern table and zero the counters (test isolation)."""
+    _KERNEL_INTERN.clear()
+    _INTERN_STATS["hits"] = 0
+    _INTERN_STATS["misses"] = 0
 
 
 def _gemm_efficiency(m: int, n: int, k: int) -> float:
@@ -144,13 +198,15 @@ def gemm_kernel(
     elt = store_precision.bytes_per_element
     flops = 2.0 * m * n * k
     bytes_moved = float(elt) * (m * k + k * n + m * n)
-    return KernelSpec(
-        name=name,
-        kind=KernelKind.GEMM,
-        flops=flops,
-        bytes_moved=bytes_moved,
-        path=path,
-        efficiency=_gemm_efficiency(m, n, k),
+    return intern_kernel(
+        KernelSpec(
+            name=name,
+            kind=KernelKind.GEMM,
+            flops=flops,
+            bytes_moved=bytes_moved,
+            path=path,
+            efficiency=_gemm_efficiency(m, n, k),
+        )
     )
 
 
@@ -174,11 +230,13 @@ def elementwise_kernel(
     precision = path.precision
     if precision is Precision.TF32:
         precision = Precision.FP32
-    return KernelSpec(
-        name=name,
-        kind=kind,
-        flops=num_elements * flops_per_element,
-        bytes_moved=num_elements * bytes_per_element,
-        path=ComputePath(precision, Datapath.VECTOR),
-        efficiency=0.9,
+    return intern_kernel(
+        KernelSpec(
+            name=name,
+            kind=kind,
+            flops=num_elements * flops_per_element,
+            bytes_moved=num_elements * bytes_per_element,
+            path=ComputePath(precision, Datapath.VECTOR),
+            efficiency=0.9,
+        )
     )

@@ -1,0 +1,235 @@
+"""The prepared-simulation layer: interning, caching, shared reuse.
+
+The contract under test is the one that makes cross-cell sharing safe:
+
+* Kernel construction is hash-consed — value-equal specs are the
+  *same object*, so every identity-keyed memo downstream (rate
+  tables, the prep layer's per-kernel rows) hits across plans.
+* ``prepare()`` is memoized on identity + sim-relevant scalars, and
+  a :class:`PreparedSim` is immutable in practice: any number of
+  simulator runs (same tier or mixed tiers, sequential or repeated)
+  over one shared instance must produce bit-for-bit the results of
+  fully isolated runs.
+* The per-run arena recycles mutable state between runs without any
+  observable carry-over.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.primitives import CollectiveKind
+from repro.errors import PlanError
+from repro.hw.datapath import FP16_TENSOR, FP32_VECTOR
+from repro.hw.system import make_node
+from repro.parallel.plan import PlanBuilder
+from repro.sim.config import SimConfig
+from repro.sim.engine import (
+    BatchedSimulator,
+    IncrementalSimulator,
+    Simulator,
+)
+from repro.sim.prep import prep_stats, prepare, reset_prepared
+from repro.sim.task import COMM_STREAM
+from repro.units import MB
+from repro.workloads.kernels import (
+    KernelSpec,
+    elementwise_kernel,
+    gemm_kernel,
+    intern_kernel,
+    kernel_intern_stats,
+    reset_kernel_intern,
+)
+
+NODE = make_node("A100", 2)
+
+
+def _tasks(rounds=3, num_gpus=2):
+    builder = PlanBuilder("prep")
+    kernels = [
+        gemm_kernel("gemm", 512, 512, 512, FP16_TENSOR),
+        elementwise_kernel("ew", 4e6, FP16_TENSOR),
+    ]
+    prev = {}
+    for r in range(rounds):
+        for g in range(num_gpus):
+            deps = [prev[g]] if g in prev else []
+            prev[g] = builder.add_compute(
+                g, kernels[r % len(kernels)], deps=deps
+            )
+        builder.add_collective(
+            CollectiveKind.ALL_REDUCE,
+            32 * MB,
+            list(range(num_gpus)),
+            stream=COMM_STREAM,
+        )
+    return builder.build().tasks
+
+
+# ----------------------------------------------------------------------
+# kernel hash-consing
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    m=st.integers(min_value=1, max_value=4096),
+    n=st.integers(min_value=1, max_value=4096),
+    k=st.integers(min_value=1, max_value=4096),
+)
+def test_gemm_construction_is_hash_consed(m, n, k):
+    a = gemm_kernel("g", m, n, k, FP16_TENSOR)
+    b = gemm_kernel("g", m, n, k, FP16_TENSOR)
+    assert a is b
+    # A different shape (or path) must not alias.
+    c = gemm_kernel("g", m, n, k + 1, FP16_TENSOR)
+    assert c is not a
+    d = gemm_kernel("g", m, n, k, FP32_VECTOR)
+    assert d is not a
+
+
+def test_intern_kernel_canonicalizes_equal_specs():
+    reset_kernel_intern()
+    a = gemm_kernel("x", 128, 128, 128, FP16_TENSOR)
+    # A structurally equal spec built by hand interns to the same
+    # canonical object.
+    clone = KernelSpec(
+        name=a.name,
+        kind=a.kind,
+        flops=a.flops,
+        bytes_moved=a.bytes_moved,
+        path=a.path,
+        efficiency=a.efficiency,
+    )
+    assert clone is not a
+    assert intern_kernel(clone) is a
+    stats = kernel_intern_stats()
+    assert stats["hits"] >= 1
+    assert stats["size"] >= 1
+
+
+def test_scaled_kernels_are_interned():
+    a = gemm_kernel("s", 256, 256, 256, FP16_TENSOR)
+    assert a.scaled(0.5) is a.scaled(0.5)
+    assert a.scaled(0.5) is not a
+
+
+# ----------------------------------------------------------------------
+# prepare() memoization
+# ----------------------------------------------------------------------
+
+
+def test_prepare_is_memoized_per_plan_and_scalars():
+    reset_prepared()
+    tasks = _tasks()
+    before = prep_stats()
+    p1 = prepare(NODE, tasks, seed=3, jitter_sigma=0.01)
+    p2 = prepare(NODE, tasks, seed=3, jitter_sigma=0.01)
+    assert p1 is p2
+    after = prep_stats()
+    assert after["builds"] == before["builds"] + 1
+    assert after["hits"] == before["hits"] + 1
+    # Any sim-relevant scalar busts the key.
+    assert prepare(NODE, tasks, seed=4, jitter_sigma=0.01) is not p1
+    assert prepare(NODE, tasks, seed=3, jitter_sigma=0.02) is not p1
+    assert (
+        prepare(NODE, tasks, seed=3, jitter_sigma=0.01, max_clock_frac=0.9)
+        is not p1
+    )
+
+
+def test_prepare_validates_like_the_simulator():
+    with pytest.raises(PlanError):
+        prepare(NODE, {}, seed=0)
+
+
+def test_mismatched_prepared_is_rejected():
+    tasks = _tasks()
+    prep = prepare(NODE, tasks, seed=1)
+    with pytest.raises(PlanError):
+        IncrementalSimulator(
+            NODE, tasks, SimConfig(seed=2), prepared=prep
+        )
+    other = _tasks(rounds=2)
+    with pytest.raises(PlanError):
+        IncrementalSimulator(
+            NODE, other, SimConfig(seed=1), prepared=prep
+        )
+
+
+# ----------------------------------------------------------------------
+# shared PreparedSim == isolated runs, bit for bit
+# ----------------------------------------------------------------------
+
+
+def _observables(result):
+    return (
+        result.end_time_s,
+        result.records,
+        result.power_segments,
+        result.min_clock_frac_seen,
+    )
+
+
+@pytest.mark.parametrize(
+    "engine_cls", [Simulator, IncrementalSimulator, BatchedSimulator]
+)
+def test_shared_prepared_matches_isolated_runs(engine_cls):
+    tasks = _tasks(rounds=4)
+    config = SimConfig(jitter_sigma=0.02, seed=11, governor_period_s=5e-6)
+    if engine_cls is Simulator:
+        config = dataclasses.replace(config, reference_engine=True)
+    elif engine_cls is BatchedSimulator:
+        config = config.fast()
+    # Isolated baseline: fresh prep layer, its own prepared sim.
+    reset_prepared()
+    baseline = _observables(engine_cls(NODE, tasks, config).run())
+    # N simulators sharing one explicit PreparedSim, run back to back
+    # (the arena recycles run state between them).
+    reset_prepared()
+    prep = prepare(
+        NODE,
+        tasks,
+        seed=config.seed,
+        jitter_sigma=config.jitter_sigma,
+        max_clock_frac=config.max_clock_frac,
+    )
+    for _ in range(3):
+        sim = engine_cls(NODE, tasks, config, prepared=prep)
+        assert sim.prepared is prep
+        assert _observables(sim.run()) == baseline
+
+
+def test_prepared_survives_mixed_tiers():
+    """One prepared sim serves exact and batched tiers alternately."""
+    tasks = _tasks(rounds=4)
+    exact_cfg = SimConfig(jitter_sigma=0.01, seed=5)
+    prep = prepare(
+        NODE, tasks, seed=5, jitter_sigma=0.01, max_clock_frac=1.0
+    )
+    exact_a = _observables(
+        IncrementalSimulator(NODE, tasks, exact_cfg, prepared=prep).run()
+    )
+    fast_cfg = exact_cfg.fast()
+    batched = _observables(
+        BatchedSimulator(NODE, tasks, fast_cfg, prepared=prep).run()
+    )
+    # The batched run must not have perturbed the shared tables: the
+    # exact tier reproduces its result exactly afterwards.
+    exact_b = _observables(
+        IncrementalSimulator(NODE, tasks, exact_cfg, prepared=prep).run()
+    )
+    assert exact_a == exact_b
+    assert batched[1] is not None  # ran to completion
+
+
+def test_prepared_tables_are_shared_across_simulators():
+    tasks = _tasks()
+    prep = prepare(NODE, tasks, seed=0, jitter_sigma=0.0)
+    a = IncrementalSimulator(NODE, tasks, SimConfig(), prepared=prep)
+    b = IncrementalSimulator(NODE, tasks, SimConfig(), prepared=prep)
+    assert a._compute_table is b._compute_table
+    assert a._comm_cost is b._comm_cost
+    assert a._rates is b._rates
+    assert a.tasks is b.tasks
