@@ -1,0 +1,78 @@
+"""JSON baseline for grandfathered findings.
+
+A baseline entry matches a finding on ``(code, file, message)`` —
+line numbers are recorded for humans but ignored for matching, so a
+baseline survives unrelated edits above the grandfathered site. Stale
+entries (matching nothing in the current run) are reported so the
+baseline shrinks monotonically instead of rotting.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.checks.findings import Finding
+from repro.errors import ConfigurationError
+
+BASELINE_VERSION = 1
+
+BaselineKey = Tuple[str, str, str]
+
+
+def load_baseline(path: Path) -> List[Dict[str, object]]:
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ConfigurationError(f"baseline file not found: {path}")
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"baseline {path} is not valid JSON: {exc}")
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise ConfigurationError(
+            f"baseline {path}: expected version {BASELINE_VERSION}"
+        )
+    entries = payload.get("findings", [])
+    if not isinstance(entries, list):
+        raise ConfigurationError(f"baseline {path}: 'findings' must be a list")
+    for entry in entries:
+        if not isinstance(entry, dict) or not {"code", "file", "message"} <= set(entry):
+            raise ConfigurationError(
+                f"baseline {path}: each entry needs code/file/message"
+            )
+    return entries
+
+
+def save_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [f.to_payload() for f in sorted(findings, key=Finding.sort_key)],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def baseline_keys(entries: Iterable[Dict[str, object]]) -> Set[BaselineKey]:
+    return {
+        (str(e["code"]), str(e["file"]), str(e["message"])) for e in entries
+    }
+
+
+def split_by_baseline(
+    findings: Sequence[Finding], entries: Sequence[Dict[str, object]]
+) -> Tuple[List[Finding], List[Finding], List[BaselineKey]]:
+    """Partition findings into (fresh, grandfathered) plus stale keys."""
+    keys = baseline_keys(entries)
+    fresh: List[Finding] = []
+    grandfathered: List[Finding] = []
+    seen: Set[BaselineKey] = set()
+    for finding in findings:
+        key = finding.baseline_key()
+        if key in keys:
+            grandfathered.append(finding)
+            seen.add(key)
+        else:
+            fresh.append(finding)
+    stale = sorted(keys - seen)
+    return fresh, grandfathered, stale

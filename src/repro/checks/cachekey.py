@@ -1,0 +1,316 @@
+"""C-series: cache-key completeness.
+
+The on-disk result cache is only safe if every field that can change a
+simulated number rides the job cache key. Four frozen config
+dataclasses carry those fields; this checker pins the contracts that
+keep them digestable:
+
+* C201 — a target-class field annotated with an unhashable container
+  head (``list``/``dict``/``set``/``Mapping``/...). Frozen dataclasses
+  with such fields cannot hash, and mutable fields invite post-hoc
+  edits the cache key never sees.
+* C202 — a target-class field declared ``field(compare=False)`` or
+  ``field(hash=False)``: the field would stop participating in
+  equality/hashing while still steering the simulation.
+* C203 — the cache-key serializer (``SimJob.payload``) popping or
+  deleting a config entry *unconditionally*, or popping a name that is
+  not a known config field. Default-value elision must stay inside an
+  ``if`` that proves the field is at its inert default.
+* C204 — a target class whose ``to_dict()`` dict literal misses one of
+  its own dataclass fields (the dict is what gets hashed/persisted).
+* C205 — a ``SimConfig`` field not forwarded as a keyword by
+  ``ExperimentConfig.sim_config()``: the field would be pinned at its
+  default with no cache-key witness, so changing the default would
+  silently invalidate every cached result.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.checks.findings import Finding
+from repro.checks.project import Project, dotted_name
+
+#: Dataclasses whose fields feed cache keys / spec hashes.
+TARGET_CLASSES: Tuple[str, ...] = (
+    "SimConfig",
+    "ExperimentConfig",
+    "PerturbationSpec",
+    "SweepSpec",
+)
+
+#: Class whose ``payload`` method is the cache-key serializer.
+SERIALIZER_CLASS = "payload"
+
+#: Annotation heads that are unhashable (or mutable) as field types.
+UNHASHABLE_HEADS = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "List",
+    "Dict",
+    "Set",
+    "Mapping",
+    "MutableMapping",
+    "MutableSequence",
+    "MutableSet",
+}
+
+_WRAPPER_HEADS = {"Optional", "Union"}
+
+
+class _FoundClass:
+    def __init__(self, relpath: str, node: ast.ClassDef):
+        self.relpath = relpath
+        self.node = node
+        self.fields: List[Tuple[str, ast.AnnAssign]] = []
+        for stmt in node.body:
+            if (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and _annotation_head(stmt.annotation) != "ClassVar"
+            ):
+                self.fields.append((stmt.target.id, stmt))
+
+    def field_names(self) -> List[str]:
+        return [name for name, _ in self.fields]
+
+    def method(self, name: str) -> Optional[ast.FunctionDef]:
+        for stmt in self.node.body:
+            if isinstance(stmt, ast.FunctionDef) and stmt.name == name:
+                return stmt
+        return None
+
+
+def _annotation_head(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # String annotation: take the leading identifier.
+        text = node.value.split("[", 1)[0].strip()
+        return text.rsplit(".", 1)[-1] or None
+    name = dotted_name(node)
+    if name is None:
+        return None
+    return name.rsplit(".", 1)[-1]
+
+
+def _annotation_heads(node: ast.AST) -> Iterator[Tuple[str, ast.AST]]:
+    """Outermost head, descending through Optional/Union wrappers."""
+    head = _annotation_head(node)
+    if head is None:
+        return
+    if head in _WRAPPER_HEADS and isinstance(node, ast.Subscript):
+        inner = node.slice
+        elements = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+        for element in elements:
+            yield from _annotation_heads(element)
+    else:
+        yield head, node
+
+
+def _collect_targets(project: Project) -> Dict[str, _FoundClass]:
+    found: Dict[str, _FoundClass] = {}
+    for pf in project.iter_files():
+        for node in ast.walk(pf.tree):
+            if isinstance(node, ast.ClassDef) and node.name in TARGET_CLASSES:
+                # First definition wins (fixture trees define exactly one).
+                found.setdefault(node.name, _FoundClass(pf.relpath, node))
+    return found
+
+
+def _check_fields(cls: _FoundClass) -> Iterator[Finding]:
+    for name, stmt in cls.fields:
+        for head, node in _annotation_heads(stmt.annotation):
+            if head in UNHASHABLE_HEADS:
+                yield Finding(
+                    code="C201",
+                    message=(
+                        f"{cls.node.name}.{name} is annotated {head}[...]; "
+                        f"unhashable fields cannot ride the cache key"
+                    ),
+                    file=cls.relpath,
+                    line=stmt.lineno,
+                    col=stmt.col_offset,
+                )
+                break
+        if isinstance(stmt.value, ast.Call):
+            func = dotted_name(stmt.value.func)
+            if func in {"field", "dataclasses.field"}:
+                for kw in stmt.value.keywords:
+                    if kw.arg in {"compare", "hash"} and (
+                        isinstance(kw.value, ast.Constant)
+                        and kw.value.value is False
+                    ):
+                        yield Finding(
+                            code="C202",
+                            message=(
+                                f"{cls.node.name}.{name} sets "
+                                f"field({kw.arg}=False); config fields "
+                                f"must participate in hashing"
+                            ),
+                            file=cls.relpath,
+                            line=stmt.lineno,
+                            col=stmt.col_offset,
+                        )
+
+
+def _pop_name(call: ast.Call) -> Optional[str]:
+    """Field name of an ``x.pop("name"...)`` call, else None."""
+    if (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr == "pop"
+        and call.args
+        and isinstance(call.args[0], ast.Constant)
+        and isinstance(call.args[0].value, str)
+    ):
+        return call.args[0].value
+    return None
+
+
+def _iter_drops(
+    body: List[ast.stmt], conditional: bool
+) -> Iterator[Tuple[str, ast.AST, bool]]:
+    """Yield (field, node, was_conditional) for pops/dels in ``body``."""
+    for stmt in body:
+        if isinstance(stmt, ast.If):
+            yield from _iter_drops(stmt.body, True)
+            yield from _iter_drops(stmt.orelse, True)
+            continue
+        if isinstance(stmt, (ast.For, ast.While, ast.With, ast.Try)):
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Call):
+                    name = _pop_name(sub)
+                    if name is not None:
+                        yield name, sub, conditional
+            continue
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.slice, ast.Constant)
+                    and isinstance(target.slice.value, str)
+                ):
+                    yield target.slice.value, stmt, conditional
+            continue
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Call):
+                name = _pop_name(sub)
+                if name is not None:
+                    yield name, sub, conditional
+
+
+def _check_serializer(
+    project: Project, known_fields: Set[str]
+) -> Iterator[Finding]:
+    for pf in project.iter_files():
+        for node in ast.walk(pf.tree):
+            if not (isinstance(node, ast.ClassDef) and node.name == "SimJob"):
+                continue
+            for stmt in node.body:
+                if not (
+                    isinstance(stmt, ast.FunctionDef)
+                    and stmt.name == SERIALIZER_CLASS
+                ):
+                    continue
+                for field_name, drop, conditional in _iter_drops(
+                    stmt.body, False
+                ):
+                    if not conditional:
+                        yield Finding(
+                            code="C203",
+                            message=(
+                                f"payload() drops {field_name!r} "
+                                f"unconditionally; default elision must "
+                                f"be guarded by an if"
+                            ),
+                            file=pf.relpath,
+                            line=drop.lineno,
+                            col=drop.col_offset,
+                        )
+                    elif known_fields and field_name not in known_fields:
+                        yield Finding(
+                            code="C203",
+                            message=(
+                                f"payload() drops {field_name!r}, which is "
+                                f"not a known config field"
+                            ),
+                            file=pf.relpath,
+                            line=drop.lineno,
+                            col=drop.col_offset,
+                        )
+
+
+def _check_to_dict(cls: _FoundClass) -> Iterator[Finding]:
+    method = cls.method("to_dict") or cls.method("to_payload")
+    if method is None:
+        return
+    keys: Set[str] = set()
+    for node in ast.walk(method):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.add(key.value)
+    if not keys:
+        return
+    for name in cls.field_names():
+        if name not in keys:
+            yield Finding(
+                code="C204",
+                message=(
+                    f"{cls.node.name}.{method.name}() omits field "
+                    f"{name!r} from its dict literal"
+                ),
+                file=cls.relpath,
+                line=method.lineno,
+                col=method.col_offset,
+            )
+
+
+def _check_sim_config_forwarding(
+    experiment: _FoundClass, sim_config: _FoundClass
+) -> Iterator[Finding]:
+    method = experiment.method("sim_config")
+    if method is None:
+        return
+    calls = [
+        node
+        for node in ast.walk(method)
+        if isinstance(node, ast.Call)
+        and _annotation_head(node.func) == "SimConfig"
+    ]
+    if not calls:
+        return
+    for name in sim_config.field_names():
+        forwarded = any(
+            any(kw.arg == name for kw in call.keywords) for call in calls
+        )
+        if not forwarded:
+            yield Finding(
+                code="C205",
+                message=(
+                    f"sim_config() never forwards SimConfig.{name}; the "
+                    f"field is pinned at its default with no cache-key "
+                    f"witness"
+                ),
+                file=experiment.relpath,
+                line=calls[0].lineno,
+                col=calls[0].col_offset,
+            )
+
+
+def check_cachekey(project: Project) -> Iterator[Finding]:
+    targets = _collect_targets(project)
+    for cls in targets.values():
+        yield from _check_fields(cls)
+        yield from _check_to_dict(cls)
+    known: Set[str] = set()
+    if "ExperimentConfig" in targets:
+        known.update(targets["ExperimentConfig"].field_names())
+    yield from _check_serializer(project, known)
+    if "ExperimentConfig" in targets and "SimConfig" in targets:
+        yield from _check_sim_config_forwarding(
+            targets["ExperimentConfig"], targets["SimConfig"]
+        )

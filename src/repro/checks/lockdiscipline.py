@@ -1,0 +1,138 @@
+"""L-series: lock discipline — a lightweight static race detector.
+
+Within each class in the scoped files, any ``self.X`` attribute that is
+ever accessed inside a ``with self.<lock>:`` block (or inside a method
+whose name ends in ``_locked`` — the repo's convention for lock-held
+helpers) is *guarded*: the author considered it shared state. Every
+other access to a guarded attribute in the same class must also happen
+in a lock context:
+
+* L401 — guarded attribute written outside any lock context.
+* L402 — guarded attribute read (or called) outside any lock context.
+
+``__init__`` is exempt (construction is single-threaded by contract),
+and attributes whose names contain ``lock`` are never guarded (taking
+the lock necessarily reads it unlocked). The checker is lexical — it
+cannot see callers — so the ``_locked`` suffix is how helper methods
+declare "my caller holds the lock"; a ``_locked`` helper invoked
+outside a lock context is itself flagged via the method-attribute
+access.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from repro.checks.findings import Finding
+from repro.checks.project import ParsedFile, Project
+
+#: Files whose classes are held to the discipline. fleet/ is the
+#: multi-threaded subsystem; the planner cache is the one exec-side
+#: structure shared across executor threads.
+DEFAULT_SCOPE: Tuple[str, ...] = ("fleet/", "exec/planning.py")
+
+#: Methods exempt from the outside-lock sweep.
+EXEMPT_METHODS = ("__init__", "__post_init__")
+
+
+#: Attribute-name tokens that denote a synchronization primitive.
+#: Token-wise on purpose: ``_state_lock`` is a lock, ``_clock`` is not.
+_LOCK_TOKENS = frozenset({"lock", "rlock", "mutex", "cond", "condition"})
+
+
+def _is_lock_name(attr: str) -> bool:
+    return any(tok in _LOCK_TOKENS for tok in attr.lower().strip("_").split("_"))
+
+
+def _is_self_lock(expr: ast.AST) -> bool:
+    return (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and _is_lock_name(expr.attr)
+    )
+
+
+def _self_attr(node: ast.AST) -> str:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return ""
+
+
+class _ClassScan:
+    """Single pass over one class: accesses partitioned by lock context."""
+
+    def __init__(self, cls: ast.ClassDef):
+        #: (attr, node, is_write) tuples inside lock contexts.
+        self.locked: List[Tuple[str, ast.Attribute, bool]] = []
+        #: same, outside lock contexts (exempt methods skipped).
+        self.unlocked: List[Tuple[str, ast.Attribute, bool]] = []
+        for stmt in cls.body:
+            if isinstance(stmt, ast.FunctionDef):
+                held = stmt.name.endswith("_locked")
+                exempt = stmt.name in EXEMPT_METHODS
+                for sub in stmt.body:
+                    self._walk(sub, held=held, exempt=exempt)
+
+    def _walk(self, node: ast.AST, held: bool, exempt: bool) -> None:
+        if isinstance(node, ast.With):
+            item_held = held or any(
+                _is_self_lock(item.context_expr) for item in node.items
+            )
+            for item in node.items:
+                self._walk(item.context_expr, held=held, exempt=exempt)
+            for child in node.body:
+                self._walk(child, held=item_held, exempt=exempt)
+            return
+        if isinstance(node, ast.FunctionDef):
+            # A nested function may run on another thread; treat its
+            # body as outside the lock regardless of where it is
+            # defined.
+            for child in node.body:
+                self._walk(child, held=False, exempt=exempt)
+            return
+        attr = _self_attr(node)
+        if attr and not _is_lock_name(attr):
+            is_write = isinstance(node.ctx, (ast.Store, ast.Del))  # type: ignore[attr-defined]
+            record = (attr, node, is_write)
+            if held:
+                self.locked.append(record)
+            elif not exempt:
+                self.unlocked.append(record)
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, held=held, exempt=exempt)
+
+
+def _check_class(cls: ast.ClassDef, pf: ParsedFile) -> Iterator[Finding]:
+    scan = _ClassScan(cls)
+    guarded: Set[str] = {attr for attr, _, _ in scan.locked}
+    if not guarded:
+        return
+    for attr, node, is_write in scan.unlocked:
+        if attr not in guarded:
+            continue
+        yield Finding(
+            code="L401" if is_write else "L402",
+            message=(
+                f"{cls.name}.{attr} is "
+                f"{'written' if is_write else 'read'} outside a lock "
+                f"but accessed under one elsewhere in the class"
+            ),
+            file=pf.relpath,
+            line=node.lineno,
+            col=node.col_offset,
+        )
+
+
+def check_lockdiscipline(
+    project: Project, scope: Tuple[str, ...] = DEFAULT_SCOPE
+) -> Iterator[Finding]:
+    for pf in project.iter_files(scope):
+        for node in ast.walk(pf.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from _check_class(node, pf)

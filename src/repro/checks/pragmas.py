@@ -1,0 +1,42 @@
+"""Per-line ``# repro: allow[CODE]`` suppression pragmas.
+
+A pragma suppresses findings anchored to its physical line::
+
+    now = time.time()  # repro: allow[D101] wall-clock is display-only
+
+Multiple codes separate with commas (``allow[D101,D105]``); anything
+after the closing bracket is free-form justification. ``allow[*]``
+suppresses every code on the line — reserved for fixture scaffolding,
+never for real source.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Sequence
+
+PRAGMA_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9*,\s]+)\]")
+
+
+def allowed_codes(line: str) -> FrozenSet[str]:
+    """Codes suppressed on this source line (empty if no pragma)."""
+    match = PRAGMA_RE.search(line)
+    if match is None:
+        return frozenset()
+    return frozenset(
+        code.strip() for code in match.group(1).split(",") if code.strip()
+    )
+
+
+def file_pragmas(lines: Sequence[str]) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line number -> allowed codes, for lines with pragmas."""
+    out: Dict[int, FrozenSet[str]] = {}
+    for idx, line in enumerate(lines, start=1):
+        codes = allowed_codes(line)
+        if codes:
+            out[idx] = codes
+    return out
+
+
+def is_suppressed(code: str, line_codes: FrozenSet[str]) -> bool:
+    return "*" in line_codes or code in line_codes

@@ -696,6 +696,37 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.checks import format_findings, run_checks
+    from repro.checks.baseline import save_baseline
+    from repro.checks.runner import iter_codes
+
+    if args.list_codes:
+        for code, description in iter_codes():
+            print(f"{code}  {description}")
+        return 0
+    if args.root is not None:
+        root = Path(args.root)
+    else:
+        root = Path(__file__).resolve().parent
+    report = run_checks(
+        root,
+        select=args.select,
+        baseline=Path(args.baseline) if args.baseline else None,
+    )
+    if args.write_baseline:
+        save_baseline(Path(args.write_baseline), report.findings)
+        print(
+            f"wrote {len(report.findings)} finding(s) to "
+            f"{args.write_baseline}"
+        )
+        return 0
+    print(format_findings(report, args.format))
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -1005,6 +1036,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--sequential", action="store_true", help="serialize communication"
     )
     trace_parser.set_defaults(func=_cmd_trace)
+
+    check_parser = sub.add_parser(
+        "check",
+        help="static invariant checks (determinism, cache keys, tier "
+        "parity, lock/wire discipline)",
+    )
+    check_parser.add_argument(
+        "--select",
+        default=None,
+        metavar="D,C,T,L,W",
+        help="comma-separated checker series (default: all)",
+    )
+    check_parser.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    check_parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="JSON baseline of grandfathered findings",
+    )
+    check_parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="PATH",
+        help="write current unsuppressed findings as a new baseline and exit",
+    )
+    check_parser.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="tree to scan (default: the installed repro package)",
+    )
+    check_parser.add_argument(
+        "--list-codes",
+        action="store_true",
+        help="print the finding-code registry and exit",
+    )
+    check_parser.set_defaults(func=_cmd_check)
     return parser
 
 

@@ -257,7 +257,7 @@ class ExperimentConfig:
             and os.environ.get(SIM_COHORT_ENV, "").strip().lower()
             not in _FALSY
         )
-        config = SimConfig(
+        config = SimConfig(  # repro: allow[C205] governor period, power tracing, and the sim-time wall are methodology constants; changing them is a CACHE_SCHEMA_VERSION bump, not a per-cell knob
             contention_enabled=not ideal,
             power_limit_w=self.power_limit_w,
             max_clock_frac=self.max_clock_frac,

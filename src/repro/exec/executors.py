@@ -204,7 +204,7 @@ class RemoteExecutor(Executor):
         )
         deadline = (
             None if self.timeout is None
-            else time.monotonic() + self.timeout
+            else time.monotonic() + self.timeout  # repro: allow[D101] operational poll deadline, not simulated state
         )
         payloads = {}
         waiting = list(by_key)
@@ -222,7 +222,7 @@ class RemoteExecutor(Executor):
                     raise
             waiting = still
             if waiting:
-                if deadline is not None and time.monotonic() > deadline:
+                if deadline is not None and time.monotonic() > deadline:  # repro: allow[D101] operational poll deadline
                     raise FleetError(
                         f"coordinator {self.coordinator} did not resolve "
                         f"{len(waiting)} job(s) within {self.timeout}s"

@@ -181,7 +181,7 @@ class Planner:
                 self._prepared.move_to_end(key)
                 self.prepared_hits += 1
                 return prep
-        node = self.node_for(config)
+        node = self.node_for(config)  # repro: allow[L402] self-locking method (RLock); holds no planner state unlocked
         plan = self.plan_for(config, overlap)
         cost_model = self.cost_model_for(config)
         prep = prepare(

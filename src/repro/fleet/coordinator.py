@@ -122,6 +122,12 @@ class FleetCoordinator:
         )
         self.poll_interval = poll_interval
         self.plan: Optional[FleetPlan] = None
+        # Guards the coordinator's own mutable state: handle_submit
+        # and handle_lease run on server threads concurrently with the
+        # serve loop's drain flip and finalization. The queue and cache
+        # carry their own locks; ``plan`` is written once before
+        # start() and is read-only afterwards.
+        self._state_lock = threading.Lock()
         #: key -> infeasible flag for keys resolved from the cache at
         #: seed time (worker completions live in the queue's done map).
         self._precached: Dict[str, bool] = {}
@@ -145,14 +151,17 @@ class FleetCoordinator:
         """
         self.plan = plan
         queued = 0
+        precached = 0
         for key, job in plan.jobs_by_key.items():
             payload = self.cache.load_payload(key)
             if payload is not None and payload.get("schema") is not None:
-                self._precached[key] = "infeasible" in payload
+                with self._state_lock:
+                    self._precached[key] = "infeasible" in payload
+                    precached = len(self._precached)
                 continue
             if self.queue.add(task_from_job(job, plan.spec_hash)):
                 queued += 1
-        return queued, len(self._precached)
+        return queued, precached
 
     # ------------------------------------------------------------------
     # Server lifecycle
@@ -196,18 +205,20 @@ class FleetCoordinator:
         drained with dead-lettered tasks (or ``timeout`` expired) — no
         manifest is written and the failures stay reported in status.
         """
-        deadline = None if timeout is None else time.monotonic() + timeout
+        deadline = None if timeout is None else time.monotonic() + timeout  # repro: allow[D101] serve-loop deadline, not simulated state
         while True:
             self.queue.reap()
             if self.queue.drained:
                 break
-            if deadline is not None and time.monotonic() > deadline:
-                self._draining = True
+            if deadline is not None and time.monotonic() > deadline:  # repro: allow[D101] serve-loop deadline
+                with self._state_lock:
+                    self._draining = True
                 time.sleep(grace)
                 self.stop()
                 return False
             time.sleep(self.poll_interval)
-        self._draining = True
+        with self._state_lock:
+            self._draining = True
         ok = self.queue.succeeded
         if ok:
             self.finalize()
@@ -220,7 +231,8 @@ class FleetCoordinator:
     # ------------------------------------------------------------------
 
     def _resolved_flags(self) -> Dict[str, bool]:
-        flags = dict(self._precached)
+        with self._state_lock:
+            flags = dict(self._precached)
         flags.update(self.queue.done_keys())
         return flags
 
@@ -255,7 +267,9 @@ class FleetCoordinator:
                 "infeasible": sum(1 for k in plan.job_keys if flags[k]),
             },
         )
-        self.manifest_file = save_manifest(self.cache.directory, manifest)
+        manifest_file = save_manifest(self.cache.directory, manifest)
+        with self._state_lock:
+            self.manifest_file = manifest_file
         return manifest
 
     # ------------------------------------------------------------------
@@ -264,7 +278,9 @@ class FleetCoordinator:
 
     def handle_lease(self, body: dict) -> dict:
         worker = str(body.get("worker") or "anonymous")
-        if self._draining:
+        with self._state_lock:
+            draining = self._draining
+        if draining:
             return {"state": "drained"}
         batched = "n" in body
         if batched:
@@ -387,7 +403,8 @@ class FleetCoordinator:
                     f"not be comparable"
                 )
             if self.cache.load_payload(task.cache_key) is not None:
-                self._precached.setdefault(task.cache_key, False)
+                with self._state_lock:
+                    self._precached.setdefault(task.cache_key, False)
                 states.append({"key": task.cache_key, "state": "cached"})
             elif self.queue.add(task):
                 states.append({"key": task.cache_key, "state": "queued"})
@@ -405,9 +422,12 @@ class FleetCoordinator:
         return 200, payload
 
     def status(self) -> dict:
+        with self._state_lock:
+            draining = self._draining
+            manifest_file = self.manifest_file
         report = {
             "code_version": code_version(),
-            "draining": self._draining,
+            "draining": draining,
             "queue": self.queue.snapshot(),
             "cache": {
                 "dir": (
@@ -430,8 +450,8 @@ class FleetCoordinator:
                     1 for k in self.plan.jobs_by_key if k in flags
                 ),
                 "manifest_file": (
-                    str(self.manifest_file)
-                    if self.manifest_file is not None
+                    str(manifest_file)
+                    if manifest_file is not None
                     else None
                 ),
             }

@@ -197,8 +197,8 @@ class TaskQueue:
         """
         if n < 1:
             raise FleetError("lease batch size must be >= 1")
-        now = self._clock()
         with self._lock:
+            now = self._clock()
             self._reap_locked(now)
             leased: List[Tuple[Lease, SimTask]] = []
             while len(leased) < n:
@@ -247,8 +247,8 @@ class TaskQueue:
 
     def heartbeat(self, lease_id: str) -> bool:
         """Extend a live lease; ``False`` if it expired or is unknown."""
-        now = self._clock()
         with self._lock:
+            now = self._clock()
             self._reap_locked(now)
             lease = self._leases.get(lease_id)
             if lease is None:
@@ -295,8 +295,8 @@ class TaskQueue:
 
     def fail(self, lease_id: str, error: str) -> None:
         """A worker reported an execution error: requeue with backoff."""
-        now = self._clock()
         with self._lock:
+            now = self._clock()
             lease = self._leases.pop(lease_id, None)
             if lease is None:
                 return

@@ -284,7 +284,7 @@ class FleetWorker:
                     # count toward the max_idle_s exit.
                     idle_since = None
                 else:
-                    now = time.monotonic()
+                    now = time.monotonic()  # repro: allow[D101] idle-exit timer, not simulated state
                     if idle_since is None:
                         idle_since = now
                     elif (

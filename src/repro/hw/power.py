@@ -208,7 +208,7 @@ class PowerEvaluator:
             self._clock_pow[clock_frac] = term
         return term
 
-    def evaluate_parts_many(
+    def evaluate_parts_many(  # repro: allow[T304] sm_items splits into fixed (vector, tensor) component arrays
         self,
         clock_fracs,
         hbm_fracs,

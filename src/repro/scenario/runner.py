@@ -707,11 +707,11 @@ def merge_scenario(target: str, quick: bool = True) -> ScenarioMergeReport:
         for key, manifest in shards.items()
         if manifest.spec_hash == spec_hash
     }
-    complete_counts = sorted(
+    complete_counts = [
         count
-        for count in {key[1] for key in matching}
+        for count in sorted({key[1] for key in matching})
         if all((index, count) in matching for index in range(count))
-    )
+    ]
     if complete_counts:
         count = complete_counts[-1]
         shards = {

@@ -320,7 +320,7 @@ class SweepSpec:
 
     name: str = ""
     description: str = ""
-    base: Mapping[str, Any] = field(default_factory=dict)
+    base: Mapping[str, Any] = field(default_factory=dict)  # repro: allow[C201] identity is spec_hash() over normalized plain forms, never hash(spec)
     axes: Sequence[Mapping[str, Sequence[Any]]] = ()
     include: Sequence[Mapping[str, Any]] = ()
     constraints: Sequence[Constraint] = ()

@@ -1,0 +1,19 @@
+"""C-series fixture: the experiment-side config dataclass."""
+
+from dataclasses import dataclass, field
+from typing import List
+
+from sim.config import SimConfig
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    gpu: str = "H100"
+    knobs: List[int] = field(default_factory=list)  # line 11: C201
+    note: str = field(default="", compare=False)  # line 12: C202
+
+    def sim_config(self, seed):
+        return SimConfig(
+            alpha=float(seed),
+            beta=seed,
+        )  # gamma missing: C205 anchored at the call

@@ -1,0 +1,15 @@
+"""C-series fixture: the cache-key serializer."""
+
+
+class SimJob:
+    def __init__(self, config):
+        self.config = config
+
+    def payload(self):
+        config = dict(vars(self.config))
+        config.pop("gpu")  # line 10: C203 (unconditional drop)
+        if config.get("note") == "":
+            config.pop("bogus", None)  # line 12: C203 (unknown field)
+        if config.get("knobs") == []:
+            config.pop("knobs", None)  # guarded + known: must NOT fire
+        return {"schema": 1, "config": config}

@@ -1,0 +1,13 @@
+"""C-series fixture: a sweep spec whose to_dict drops a field."""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    name: str = ""
+    axes: Tuple[str, ...] = ()
+
+    def to_dict(self):  # line 12: C204 (axes missing)
+        return {"name": self.name}

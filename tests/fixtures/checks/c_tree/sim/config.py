@@ -1,0 +1,10 @@
+"""C-series fixture: the simulator-side config dataclass."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    alpha: float = 1.0
+    beta: int = 0
+    gamma: bool = True  # never forwarded by sim_config(): C205

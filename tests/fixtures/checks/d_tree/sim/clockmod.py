@@ -1,0 +1,48 @@
+"""D-series fixture: every determinism violation, at pinned lines."""
+
+import os
+import random
+import time
+from datetime import datetime
+
+
+def wall_clock():
+    return time.time()  # line 10: D101
+
+
+def stamped():
+    return datetime.now()  # line 14: D102
+
+
+def jitter():
+    return random.random()  # line 18: D103
+
+
+def rng():
+    return random.Random()  # line 22: D103
+
+
+def iterate_set(items):
+    out = []
+    for item in {1, 2, 3}:  # line 27: D104
+        out.append(item)
+    return out + list(set(items))  # line 29: D104
+
+
+def scan(path):
+    return [name for name in os.listdir(path)]  # line 33: D105
+
+
+def scan_sorted(path):
+    # Blessed: wrapped in sorted(), must NOT fire.
+    return sorted(os.listdir(path))
+
+
+def iterate_sorted_set(items):
+    # Blessed: sorted set iteration, must NOT fire.
+    return [item for item in sorted(set(items))]
+
+
+def seeded(seed):
+    # Blessed: a seeded RNG is the sanctioned pattern.
+    return random.Random(seed)

@@ -1,0 +1,7 @@
+"""Outside the D-series scope: wall-clock here must NOT fire."""
+
+import time
+
+
+def took():
+    return time.time()

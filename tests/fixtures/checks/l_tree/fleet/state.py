@@ -1,0 +1,31 @@
+"""L-series fixture: one class with clean and racy attribute access."""
+
+import threading
+
+
+class SharedState:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+        self._count = 0
+        self.label = "fixture"
+
+    def add(self, item):
+        with self._lock:
+            self._items.append(item)
+            self._count += 1
+
+    def _evict_locked(self):
+        # _locked suffix: caller holds the lock; must NOT fire.
+        self._items.pop(0)
+        self._count -= 1
+
+    def racy_write(self):
+        self._items = []  # line 24: L401
+
+    def racy_read(self):
+        return self._count  # line 27: L402
+
+    def unguarded(self):
+        # Never accessed under the lock anywhere: must NOT fire.
+        return self.label

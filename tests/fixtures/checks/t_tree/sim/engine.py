@@ -1,0 +1,57 @@
+"""T-series fixture: dispatch chains and SoA column access."""
+
+from sim.events import EventKind
+from sim.soa import SoAStore
+
+_TASK_FINISH = EventKind.TASK_FINISH
+_GOVERNOR_TICK = EventKind.GOVERNOR_TICK
+
+
+class LeakyEngine:
+    def run(self, event):
+        kind = event.kind
+        if kind is _TASK_FINISH:  # line 13: T301 (PERTURB_BEGIN missed)
+            self.finish(event)
+        elif kind is EventKind.GOVERNOR_TICK:
+            self.tick(event)
+
+    def finish(self, event):
+        pass
+
+    def tick(self, event):
+        pass
+
+
+class CompleteEngine:
+    def run(self, event):
+        kind = event.kind
+        # Explicit member per branch: must NOT fire.
+        if kind is _TASK_FINISH:
+            pass
+        elif kind is _GOVERNOR_TICK:
+            pass
+        elif kind is EventKind.PERTURB_BEGIN:
+            pass
+
+
+class CatchAllEngine:
+    def run(self, event):
+        kind = event.kind
+        # Trailing else catches the rest: must NOT fire.
+        if kind is _TASK_FINISH:
+            pass
+        elif kind is _GOVERNOR_TICK:
+            pass
+        else:
+            pass
+
+
+class ColumnUser:
+    def __init__(self, n):
+        self._soa = SoAStore(n)
+
+    def step(self):
+        store = self._soa
+        store.clock[0] = 1.0
+        store.reset()
+        return store.wattage[0]  # line 55: T305 (no such column)

@@ -1,0 +1,9 @@
+"""T-series fixture: the event vocabulary."""
+
+import enum
+
+
+class EventKind(enum.Enum):
+    TASK_FINISH = "task_finish"
+    GOVERNOR_TICK = "governor_tick"
+    PERTURB_BEGIN = "perturb_begin"

@@ -1,0 +1,36 @@
+"""T-series fixture: vectorized kernels and their twins."""
+
+
+def rate(peak, util):
+    return peak * util
+
+
+def rate_many(peaks, utils, np=None):
+    # Twin present, np fallback present: must NOT fire.
+    if np is not None:
+        return (np.asarray(peaks) * np.asarray(utils)).tolist()
+    return [rate(p, u) for p, u in zip(peaks, utils)]
+
+
+def orphan_many(values, np=None):  # line 14: T302 (no scalar twin)
+    if np is not None:
+        return np.asarray(values).tolist()
+    return list(values)
+
+
+def nofallback(value):
+    return value * 2.0
+
+
+def nofallback_many(values):  # line 25: T303 (no np=None parameter)
+    return [nofallback(v) for v in values]
+
+
+def drift(alpha, beta, gamma):
+    return alpha + beta + gamma
+
+
+def drift_many(alphas, betas, np=None):  # line 33: T304 (2 vs 3 params)
+    if np is not None:
+        return (np.asarray(alphas) + np.asarray(betas)).tolist()
+    return [a + b for a, b in zip(alphas, betas)]

@@ -1,0 +1,15 @@
+"""T-series fixture: the struct-of-arrays store."""
+
+
+class SoAStore:
+    __slots__ = ("num_gpus", "clock", "power")
+
+    def __init__(self, num_gpus):
+        self.num_gpus = num_gpus
+        self.clock = [1.0] * num_gpus
+        self.power = [0.0] * num_gpus
+
+    def reset(self):
+        for i in range(self.num_gpus):
+            self.clock[i] = 1.0
+            self.power[i] = 0.0

@@ -1,0 +1,28 @@
+"""W-series fixture: the server side of the wire contract."""
+
+
+class Coordinator:
+    def handle_lease(self, body):
+        worker = body.get("worker")
+        shard = body["phantom"]  # W504: no client sends "phantom"
+        return {"state": "task", "lease": f"{worker}-{shard}"}
+
+    def handle_result(self, body):
+        if "error" in body:
+            return {"ok": False}
+        return {"ok": True}
+
+
+class Handler:
+    def do_POST(self):
+        routes = {
+            "/lease": self.coordinator.handle_lease,
+            "/result": self.coordinator.handle_result,
+            "/unused": self.coordinator.handle_result,  # W502
+        }
+        return routes
+
+    def do_GET(self):
+        if self.path == "/status":
+            return {"draining": False}
+        return {}

@@ -1,0 +1,25 @@
+"""W-series fixture: the client side of the wire contract."""
+
+from fleet.protocol import request_json
+
+
+class Worker:
+    def __init__(self, url):
+        self.url = url
+
+    def lease(self):
+        body = {"worker": "w1", "typo_field": 1}  # W503: typo_field
+        response = request_json(f"{self.url}/lease", body)
+        state = response.get("state")
+        mystery = response.get("mystery")  # W505: not in server vocabulary
+        return state, mystery
+
+    def push(self, error):
+        body = {"error": str(error)}
+        return request_json(f"{self.url}/result", body)
+
+    def probe(self):
+        return request_json(f"{self.url}/nosuch")  # W501: unrouted
+
+    def status(self):
+        return request_json(f"{self.url}/status")
